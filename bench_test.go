@@ -1,0 +1,474 @@
+package pcbl
+
+// Benchmark harness: one benchmark per evaluation figure of the paper (run
+// cmd/experiments for the full paper-scale tables; these track the cost of
+// each experiment's hot path at reduced scale), plus ablation benchmarks for
+// the design choices called out in DESIGN.md.
+//
+//	go test -bench=. -benchmem
+
+import (
+	"sync"
+	"testing"
+
+	"pcbl/internal/core"
+	"pcbl/internal/datagen"
+	"pcbl/internal/dataset"
+	"pcbl/internal/experiments"
+	"pcbl/internal/lattice"
+	"pcbl/internal/multilabel"
+	"pcbl/internal/pgstats"
+	"pcbl/internal/sampling"
+	"pcbl/internal/search"
+)
+
+// Bench datasets are generated once and shared.
+var benchOnce sync.Once
+var benchData struct {
+	bluenile, compas, creditcard *dataset.Dataset
+	wide                         *dataset.Dataset // forces byte-string keys
+	psBlueNile                   *core.PatternSet
+	psCompas                     *core.PatternSet
+}
+
+func benchSetup(b *testing.B) {
+	b.Helper()
+	benchOnce.Do(func() {
+		var err error
+		if benchData.bluenile, err = datagen.BlueNile(20000, 1); err != nil {
+			panic(err)
+		}
+		if benchData.compas, err = datagen.COMPAS(10000, 2); err != nil {
+			panic(err)
+		}
+		if benchData.creditcard, err = datagen.CreditCard(6000, 3); err != nil {
+			panic(err)
+		}
+		benchData.wide = wideDataset(8000, 16, 32)
+		benchData.psBlueNile = core.DistinctTuples(benchData.bluenile)
+		benchData.psCompas = core.DistinctTuples(benchData.compas)
+	})
+}
+
+// wideDataset builds a schema whose domain product overflows 63 bits, so
+// full-width group-by must take the byte-string key path.
+func wideDataset(rows, attrs, domain int) *dataset.Dataset {
+	names := make([]string, attrs)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	bld := dataset.NewBuilder("wide", names...)
+	v := uint64(88172645463325252)
+	row := make([]string, attrs)
+	for r := 0; r < rows; r++ {
+		for i := range row {
+			v ^= v << 13
+			v ^= v >> 7
+			v ^= v << 17
+			row[i] = string(rune('A' + int(v%uint64(domain))))
+		}
+		bld.AppendStrings(row...)
+	}
+	d, err := bld.Build()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// --- Figure 1: nutrition-label rendering -------------------------------
+
+func BenchmarkFig01_RenderLabel(b *testing.B) {
+	benchSetup(b)
+	d := benchData.compas
+	s, _ := lattice.FromNames(d.AttrNames(), "Gender", "Race")
+	l := core.BuildLabel(d, s)
+	eval := core.Evaluate(l, benchData.psCompas, core.EvalOptions{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.Render(l, core.RenderOptions{Eval: &eval})
+	}
+}
+
+// --- Figure 4: accuracy sweep (PCBL vs baselines, absolute error) ------
+
+func benchAccuracy(b *testing.B, d *dataset.Dataset, bound int) {
+	ps := core.DistinctTuples(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := search.TopDown(d, ps, search.Options{Bound: bound, FastEval: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = core.Evaluate(res.Label, ps, core.EvalOptions{})
+	}
+}
+
+func BenchmarkFig04_BlueNile_PCBL(b *testing.B) {
+	benchSetup(b)
+	benchAccuracy(b, benchData.bluenile, 50)
+}
+
+func BenchmarkFig04_COMPAS_PCBL(b *testing.B) {
+	benchSetup(b)
+	benchAccuracy(b, benchData.compas, 50)
+}
+
+func BenchmarkFig04_CreditCard_PCBL(b *testing.B) {
+	benchSetup(b)
+	benchAccuracy(b, benchData.creditcard, 50)
+}
+
+func BenchmarkFig04_BlueNile_Postgres(b *testing.B) {
+	benchSetup(b)
+	d := benchData.bluenile
+	ps := benchData.psBlueNile
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := pgstats.Analyze(d, pgstats.Options{Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = core.Evaluate(st, ps, core.EvalOptions{})
+	}
+}
+
+func BenchmarkFig04_BlueNile_Sampling(b *testing.B) {
+	benchSetup(b)
+	d := benchData.bluenile
+	ps := benchData.psBlueNile
+	size := sampling.SampleSizeFor(d, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est, err := sampling.New(d, size, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = core.Evaluate(est, ps, core.EvalOptions{})
+	}
+}
+
+// --- Figure 5: q-error evaluation ---------------------------------------
+
+func BenchmarkFig05_Evaluate_QError(b *testing.B) {
+	benchSetup(b)
+	d := benchData.bluenile
+	ps := benchData.psBlueNile
+	res, err := search.TopDown(d, ps, search.Options{Bound: 50, FastEval: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.Evaluate(res.Label, ps, core.EvalOptions{})
+	}
+}
+
+// --- Figure 6: label generation time, naive vs optimized ----------------
+
+func BenchmarkFig06_Naive_BlueNile(b *testing.B) {
+	benchSetup(b)
+	d := benchData.bluenile
+	ps := benchData.psBlueNile
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.Naive(d, ps, search.Options{Bound: 50, FastEval: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig06_TopDown_BlueNile(b *testing.B) {
+	benchSetup(b)
+	d := benchData.bluenile
+	ps := benchData.psBlueNile
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.TopDown(d, ps, search.Options{Bound: 50, FastEval: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig06_Naive_COMPAS(b *testing.B) {
+	benchSetup(b)
+	d := benchData.compas
+	ps := benchData.psCompas
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.Naive(d, ps, search.Options{Bound: 30, FastEval: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig06_TopDown_COMPAS(b *testing.B) {
+	benchSetup(b)
+	d := benchData.compas
+	ps := benchData.psCompas
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.TopDown(d, ps, search.Options{Bound: 30, FastEval: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 7: runtime vs data size -------------------------------------
+
+func BenchmarkFig07_DataSize(b *testing.B) {
+	benchSetup(b)
+	for _, factor := range []int{1, 2, 4} {
+		scaled, err := datagen.Scale(benchData.bluenile, factor, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ps := core.DistinctTuples(scaled)
+		b.Run(sizeName(factor), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := search.TopDown(scaled, ps, search.Options{Bound: 50, FastEval: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sizeName(factor int) string {
+	return "x" + string(rune('0'+factor))
+}
+
+// --- Figure 8: runtime vs attribute count -------------------------------
+
+func BenchmarkFig08_AttrCount(b *testing.B) {
+	benchSetup(b)
+	for _, k := range []int{3, 5, 7} {
+		proj, err := benchData.bluenile.Prefix(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ps := core.DistinctTuples(proj)
+		b.Run("attrs"+string(rune('0'+k)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := search.TopDown(proj, ps, search.Options{Bound: 50, FastEval: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 9: candidate sets examined -----------------------------------
+
+func BenchmarkFig09_Candidates(b *testing.B) {
+	benchSetup(b)
+	nd := experiments.NamedDataset{Name: "BlueNile", D: benchData.bluenile}
+	cfg := experiments.Config{Scale: experiments.ScaleTiny, Seed: 1, SamplingTrials: 1, FastEval: true}
+	b.ResetTimer()
+	var naive, opt int
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunCandidates(nd, cfg, []int{50})
+		if err != nil {
+			b.Fatal(err)
+		}
+		naive, opt = res.Points[0].Naive, res.Points[0].Optimized
+	}
+	b.ReportMetric(float64(naive), "naive-sets")
+	b.ReportMetric(float64(opt), "opt-sets")
+}
+
+// --- Figure 10: optimal label vs drop-one sub-labels ---------------------
+
+func BenchmarkFig10_SubLabels(b *testing.B) {
+	benchSetup(b)
+	nd := experiments.NamedDataset{Name: "COMPAS", D: benchData.compas}
+	cfg := experiments.Config{Scale: experiments.ScaleTiny, Seed: 1, SamplingTrials: 1, FastEval: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSubLabels(nd, cfg, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Core micro-benchmarks ------------------------------------------------
+
+func BenchmarkCore_BuildLabel(b *testing.B) {
+	benchSetup(b)
+	d := benchData.compas
+	s, _ := lattice.FromNames(d.AttrNames(), "DecileScore", "ScoreText", "RecSupervisionLevel")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.BuildLabel(d, s)
+	}
+}
+
+func BenchmarkCore_Estimate(b *testing.B) {
+	benchSetup(b)
+	d := benchData.compas
+	s, _ := lattice.FromNames(d.AttrNames(), "DecileScore", "ScoreText")
+	l := core.BuildLabel(d, s)
+	ps := benchData.psCompas
+	row := ps.Row(0)
+	attrs := ps.Attrs(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.EstimateRow(row, attrs)
+	}
+}
+
+func BenchmarkCore_DistinctTuples(b *testing.B) {
+	benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		_ = core.DistinctTuples(benchData.bluenile)
+	}
+}
+
+// --- Ablations (design choices called out in DESIGN.md) -------------------
+
+// Sorted early-termination evaluation (§IV-C) vs exact scan.
+func BenchmarkAblation_EvalMode_Exact(b *testing.B) {
+	benchSetup(b)
+	d := benchData.bluenile
+	ps := benchData.psBlueNile
+	s, _ := lattice.FromNames(d.AttrNames(), "cut", "polish")
+	l := core.BuildLabel(d, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = core.MaxAbsError(l, ps, core.MaxErrOptions{Workers: 1})
+	}
+}
+
+func BenchmarkAblation_EvalMode_SortedEarlyStop(b *testing.B) {
+	benchSetup(b)
+	d := benchData.bluenile
+	ps := benchData.psBlueNile
+	ps.SortByCountDesc()
+	s, _ := lattice.FromNames(d.AttrNames(), "cut", "polish")
+	l := core.BuildLabel(d, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = core.MaxAbsError(l, ps, core.MaxErrOptions{Sorted: true})
+	}
+}
+
+// Mixed-radix uint64 keys vs byte-string fallback keys for group-by.
+func BenchmarkAblation_Key_Uint64(b *testing.B) {
+	benchSetup(b)
+	d := benchData.compas // full-width keys fit in uint64
+	full := lattice.FullSet(d.NumAttrs())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.BuildPC(d, full)
+	}
+}
+
+func BenchmarkAblation_Key_Bytes(b *testing.B) {
+	benchSetup(b)
+	d := benchData.wide // 32^16 overflows: byte-string path
+	full := lattice.FullSet(d.NumAttrs())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.BuildPC(d, full)
+	}
+}
+
+// Parallel vs sequential candidate evaluation.
+func BenchmarkAblation_Parallel_Workers1(b *testing.B) {
+	benchSetup(b)
+	d := benchData.bluenile
+	ps := benchData.psBlueNile
+	s, _ := lattice.FromNames(d.AttrNames(), "cut", "polish")
+	l := core.BuildLabel(d, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.Evaluate(l, ps, core.EvalOptions{Workers: 1})
+	}
+}
+
+func BenchmarkAblation_Parallel_WorkersMax(b *testing.B) {
+	benchSetup(b)
+	d := benchData.bluenile
+	ps := benchData.psBlueNile
+	s, _ := lattice.FromNames(d.AttrNames(), "cut", "polish")
+	l := core.BuildLabel(d, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.Evaluate(l, ps, core.EvalOptions{})
+	}
+}
+
+// Label-size early abort at the bound vs full distinct count.
+func BenchmarkAblation_SizeAbort_On(b *testing.B) {
+	benchSetup(b)
+	d := benchData.creditcard
+	s := lattice.NewAttrSet(0, 1, 2, 3, 4, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = core.LabelSize(d, s, 50)
+	}
+}
+
+func BenchmarkAblation_SizeAbort_Off(b *testing.B) {
+	benchSetup(b)
+	d := benchData.creditcard
+	s := lattice.NewAttrSet(0, 1, 2, 3, 4, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = core.LabelSize(d, s, -1)
+	}
+}
+
+// Branch-and-bound evaluation cutoff (beyond paper) on/off.
+func BenchmarkAblation_BranchAndBound_Off(b *testing.B) {
+	benchSetup(b)
+	d := benchData.compas
+	ps := benchData.psCompas
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.TopDown(d, ps, search.Options{Bound: 50, FastEval: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_BranchAndBound_On(b *testing.B) {
+	benchSetup(b)
+	d := benchData.compas
+	ps := benchData.psCompas
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.TopDown(d, ps, search.Options{Bound: 50, FastEval: true, BranchAndBound: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Single label vs multi-label estimation (the future-work extension).
+func BenchmarkAblation_SingleLabel(b *testing.B) {
+	benchSetup(b)
+	d := benchData.compas
+	ps := benchData.psCompas
+	s, _ := lattice.FromNames(d.AttrNames(), "DecileScore", "ScoreText", "RecSupervisionLevel")
+	l := core.BuildLabel(d, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.Evaluate(l, ps, core.EvalOptions{})
+	}
+}
+
+func BenchmarkAblation_MultiLabel(b *testing.B) {
+	benchSetup(b)
+	d := benchData.compas
+	ps := benchData.psCompas
+	s1, _ := lattice.FromNames(d.AttrNames(), "DecileScore", "ScoreText", "RecSupervisionLevel")
+	s2, _ := lattice.FromNames(d.AttrNames(), "Gender", "Race", "Age")
+	m, err := multilabel.New([]*core.Label{core.BuildLabel(d, s1), core.BuildLabel(d, s2)}, multilabel.BestOverlap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.Evaluate(m, ps, core.EvalOptions{})
+	}
+}

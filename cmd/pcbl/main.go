@@ -1,0 +1,332 @@
+// Command pcbl builds, inspects and queries pattern count–based labels.
+//
+// Subcommands:
+//
+//	pcbl gen      -name compas|bluenile|creditcard -rows N -seed S -out data.csv
+//	pcbl inspect  -in data.csv
+//	pcbl label    -in data.csv -bound 50 [-algo topdown|naive] [-out label.json] [-render]
+//	pcbl estimate -label label.json -pattern "attr=value,attr2=value2"
+//
+// The gen subcommand materializes the synthetic evaluation datasets so the
+// rest of the pipeline can be exercised on files, like a user's own data.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"pcbl"
+	"pcbl/internal/datagen"
+	"pcbl/internal/htmlreport"
+	"pcbl/internal/patexpr"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = runGen(os.Args[2:])
+	case "inspect":
+		err = runInspect(os.Args[2:])
+	case "label":
+		err = runLabel(os.Args[2:])
+	case "estimate":
+		err = runEstimate(os.Args[2:])
+	case "audit":
+		err = runAudit(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "pcbl: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcbl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: pcbl <subcommand> [flags]
+
+subcommands:
+  gen       generate a synthetic evaluation dataset as CSV
+  inspect   summarize a CSV dataset (attributes, domains, value counts)
+  label     generate an optimal label for a CSV dataset
+  estimate  estimate a pattern count from a saved label, without the data
+  audit     flag under-represented attribute-value intersections from a label`)
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	name := fs.String("name", "compas", "dataset: compas, bluenile or creditcard")
+	rows := fs.Int("rows", 10000, "number of tuples")
+	seed := fs.Uint64("seed", 1, "generation seed")
+	out := fs.String("out", "", "output CSV path (stdout when empty)")
+	fs.Parse(args)
+
+	var (
+		d   *pcbl.Dataset
+		err error
+	)
+	switch *name {
+	case "compas":
+		d, err = datagen.COMPAS(*rows, *seed)
+	case "bluenile":
+		d, err = datagen.BlueNile(*rows, *seed)
+	case "creditcard":
+		d, err = datagen.CreditCard(*rows, *seed)
+	default:
+		return fmt.Errorf("unknown dataset %q", *name)
+	}
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		return pcbl.WriteCSV(os.Stdout, d)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := pcbl.WriteCSV(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d rows × %d attributes to %s\n", d.NumRows(), d.NumAttrs(), *out)
+	return nil
+}
+
+func runInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV path (required)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	d, err := pcbl.ReadCSVFile(*in, pcbl.CSVOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Println(d.String())
+	for a := 0; a < d.NumAttrs(); a++ {
+		attr := d.Attr(a)
+		counts := d.ValueCounts(a)
+		fmt.Printf("  %-24s %d values", attr.Name(), attr.DomainSize())
+		if nn := d.NonNullCount(a); nn < d.NumRows() {
+			fmt.Printf(", %d NULLs", d.NumRows()-nn)
+		}
+		fmt.Println()
+		for i, v := range attr.Domain() {
+			if i >= 8 {
+				fmt.Printf("      … %d more values\n", attr.DomainSize()-8)
+				break
+			}
+			fmt.Printf("      %-28s %d\n", v, counts[i])
+		}
+	}
+	return nil
+}
+
+func runLabel(args []string) error {
+	fs := flag.NewFlagSet("label", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV path (required)")
+	bound := fs.Int("bound", 50, "label size bound B_s")
+	algo := fs.String("algo", "topdown", "search algorithm: topdown or naive")
+	out := fs.String("out", "", "write the label as JSON to this path")
+	htmlOut := fs.String("html", "", "write a standalone HTML label report to this path")
+	render := fs.Bool("render", false, "print the human-readable nutrition label")
+	bins := fs.Int("bins", 5, "bucketize numeric attributes into this many bins (0 disables)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	d, err := pcbl.ReadCSVFile(*in, pcbl.CSVOptions{})
+	if err != nil {
+		return err
+	}
+	if *bins > 1 {
+		d, err = pcbl.BucketizeAllNumeric(d, pcbl.BucketizeOptions{Bins: *bins, Strategy: pcbl.EqualFrequency})
+		if err != nil {
+			return err
+		}
+	}
+	res, err := pcbl.GenerateLabel(d, pcbl.GenerateOptions{
+		Bound:     *bound,
+		Algorithm: pcbl.Algorithm(*algo),
+		FastEval:  true,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("label attributes: %s\n", res.Attrs.Format(d.AttrNames()))
+	fmt.Printf("label size:       %d (bound %d)\n", res.Size, *bound)
+	fmt.Printf("max abs error:    %.1f over %d distinct patterns\n", res.MaxErr, res.Stats.PatternsScanned)
+	fmt.Printf("search:           %d sets examined, %d in bound, %v total\n",
+		res.Stats.SizeComputed, res.Stats.InBound, res.Stats.Total().Round(1000))
+	if *render {
+		eval := pcbl.Evaluate(res.Label, nil)
+		fmt.Println()
+		fmt.Println(pcbl.RenderLabel(res.Label, &eval))
+	}
+	if *out != "" {
+		data, err := pcbl.EncodeLabel(res.Label)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("label written to %s (%d bytes)\n", *out, len(data))
+	}
+	if *htmlOut != "" {
+		eval := pcbl.Evaluate(res.Label, nil)
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			return err
+		}
+		if err := htmlreport.Write(f, res.Label.Portable(), htmlreport.Options{Eval: &eval}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("HTML report written to %s\n", *htmlOut)
+	}
+	return nil
+}
+
+func runEstimate(args []string) error {
+	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
+	labelPath := fs.String("label", "", "label JSON path (required)")
+	patternArg := fs.String("pattern", "", `pattern as "attr=value,attr2=value2" (required)`)
+	fs.Parse(args)
+	if *labelPath == "" || *patternArg == "" {
+		return fmt.Errorf("-label and -pattern are required")
+	}
+	data, err := os.ReadFile(*labelPath)
+	if err != nil {
+		return err
+	}
+	pl, err := pcbl.DecodeLabel(data)
+	if err != nil {
+		return err
+	}
+	assign, err := patexpr.Parse(*patternArg)
+	if err != nil {
+		return err
+	}
+	est, err := pl.Estimate(assign)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("estimated count: %.1f of %d total rows (%.3f%%)\n",
+		est, pl.TotalRows, 100*est/float64(pl.TotalRows))
+	return nil
+}
+
+// runAudit estimates the size of every value combination over the given
+// attributes from a saved label and flags those under the threshold — the
+// paper's fitness-for-use scenario (inadequate representation of protected
+// groups) as a command.
+func runAudit(args []string) error {
+	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	labelPath := fs.String("label", "", "label JSON path (required)")
+	attrsArg := fs.String("attrs", "", "comma-separated attributes to intersect (required)")
+	threshold := fs.Float64("threshold", 0, "flag combinations with estimated count below this (default: 0.5% of rows)")
+	all := fs.Bool("all", false, "print every combination, not only flagged ones")
+	fs.Parse(args)
+	if *labelPath == "" || *attrsArg == "" {
+		return fmt.Errorf("-label and -attrs are required")
+	}
+	data, err := os.ReadFile(*labelPath)
+	if err != nil {
+		return err
+	}
+	pl, err := pcbl.DecodeLabel(data)
+	if err != nil {
+		return err
+	}
+	if *threshold <= 0 {
+		*threshold = 0.005 * float64(pl.TotalRows)
+	}
+
+	// Resolve the audited attributes and their recorded domains.
+	domains := map[string][]string{}
+	for _, a := range pl.Attrs {
+		domains[a.Name] = a.Values
+	}
+	var names []string
+	for _, n := range strings.Split(*attrsArg, ",") {
+		n = strings.TrimSpace(n)
+		if _, ok := domains[n]; !ok {
+			return fmt.Errorf("attribute %q not in label (have: %s)", n, strings.Join(labelAttrNames(pl), ", "))
+		}
+		names = append(names, n)
+	}
+
+	type finding struct {
+		expr string
+		est  float64
+	}
+	var findings []finding
+	assign := map[string]string{}
+	var rec func(int) error
+	rec = func(i int) error {
+		if i == len(names) {
+			est, err := pl.Estimate(assign)
+			if err != nil {
+				return err
+			}
+			if *all || est < *threshold {
+				findings = append(findings, finding{patexpr.Format(names, assign), est})
+			}
+			return nil
+		}
+		for _, v := range domains[names[i]] {
+			assign[names[i]] = v
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		delete(assign, names[i])
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return err
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].est < findings[j].est })
+	fmt.Printf("auditing %s over %d rows (threshold %.0f)\n\n", strings.Join(names, " × "), pl.TotalRows, *threshold)
+	for _, f := range findings {
+		marker := " "
+		if f.est < *threshold {
+			marker = "⚠"
+		}
+		fmt.Printf("%s %8.0f  %s\n", marker, f.est, f.expr)
+	}
+	if len(findings) == 0 {
+		fmt.Println("no combinations below the threshold")
+	}
+	return nil
+}
+
+// labelAttrNames lists the attribute names recorded in a portable label.
+func labelAttrNames(pl *pcbl.PortableLabel) []string {
+	out := make([]string, len(pl.Attrs))
+	for i, a := range pl.Attrs {
+		out[i] = a.Name
+	}
+	return out
+}

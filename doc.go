@@ -1,0 +1,31 @@
+// Package pcbl is a Go implementation of "Patterns Count-Based Labels for
+// Datasets" (Moskovitch & Jagadish, ICDE 2021): bounded-size dataset labels
+// that record value counts for every attribute value plus pattern counts
+// over a chosen attribute subset, from which the count of any attribute-
+// value combination in the data can be estimated — the count profile a
+// "nutrition label for datasets" needs in order to expose representation
+// gaps, skew and correlated attributes before the data is used to train a
+// model.
+//
+// The package is a thin facade over the implementation packages:
+//
+//   - internal/core     — patterns, labels, estimation, error metrics
+//   - internal/search   — optimal-label search (naive and Algorithm 1)
+//   - internal/dataset  — categorical columnar tables, CSV, bucketization
+//   - internal/sampling, internal/pgstats — the paper's baselines
+//   - internal/datagen  — emulators of the paper's evaluation datasets
+//   - internal/experiments — regeneration of every evaluation figure
+//
+// # Quick start
+//
+//	d, _ := pcbl.ReadCSVFile("people.csv", pcbl.CSVOptions{})
+//	res, _ := pcbl.GenerateLabel(d, pcbl.GenerateOptions{Bound: 50})
+//	fmt.Println(pcbl.RenderLabel(res.Label, nil))
+//
+//	p, _ := pcbl.NewPattern(d, map[string]string{"race": "Hispanic", "gender": "Female"})
+//	fmt.Printf("≈ %.0f rows\n", res.Label.Estimate(p))
+//
+// A label can be serialized into a self-contained JSON artifact
+// (PortableLabel) and shipped as metadata with the dataset; consumers can
+// then estimate counts without the data itself.
+package pcbl

@@ -1,0 +1,66 @@
+package pcbl_test
+
+import (
+	"fmt"
+	"strings"
+
+	"pcbl"
+)
+
+const exampleCSV = `gender,age group,race,marital status
+Female,under 20,African-American,single
+Male,20-39,African-American,divorced
+Male,under 20,Hispanic,single
+Male,20-39,Caucasian,married
+Female,20-39,African-American,divorced
+Male,20-39,Caucasian,divorced
+Female,20-39,African-American,married
+Male,under 20,African-American,single
+Female,20-39,Caucasian,divorced
+Male,under 20,Caucasian,single
+Male,20-39,Hispanic,divorced
+Female,under 20,Hispanic,single
+Female,20-39,Hispanic,married
+Female,under 20,Caucasian,single
+Female,20-39,Caucasian,married
+Male,20-39,Hispanic,married
+Male,20-39,African-American,married
+Female,20-39,Hispanic,divorced
+`
+
+// ExampleGenerateLabel reproduces the paper's Example 3.7: on the Figure 2
+// data with a size budget of 5, the optimal label uses {age group, marital
+// status}.
+func ExampleGenerateLabel() {
+	d, _ := pcbl.ReadCSV(strings.NewReader(exampleCSV), pcbl.CSVOptions{})
+	res, _ := pcbl.GenerateLabel(d, pcbl.GenerateOptions{Bound: 5, Workers: 1})
+	fmt.Printf("%s, size %d\n", res.Attrs.Format(d.AttrNames()), res.Size)
+	// Output: {age group, marital status}, size 3
+}
+
+// ExampleLabel_Estimate reproduces Example 2.12: Est(p, l) = 6·9/18 = 3.
+func ExampleLabel_Estimate() {
+	d, _ := pcbl.ReadCSV(strings.NewReader(exampleCSV), pcbl.CSVOptions{})
+	l, _ := pcbl.BuildLabel(d, "age group", "marital status")
+	p, _ := pcbl.NewPattern(d, map[string]string{
+		"gender": "Female", "age group": "20-39", "marital status": "married",
+	})
+	fmt.Printf("estimate %.0f, true %d\n", l.Estimate(p), pcbl.Count(d, p))
+	// Output: estimate 3, true 3
+}
+
+// ExamplePortableLabel_Estimate shows consuming a published label without
+// access to the data.
+func ExamplePortableLabel_Estimate() {
+	d, _ := pcbl.ReadCSV(strings.NewReader(exampleCSV), pcbl.CSVOptions{})
+	l, _ := pcbl.BuildLabel(d, "gender", "race")
+	labelJSON, _ := pcbl.EncodeLabel(l)
+
+	// Elsewhere, with only the JSON:
+	published, _ := pcbl.DecodeLabel(labelJSON)
+	est, _ := published.Estimate(map[string]string{
+		"gender": "Female", "race": "Hispanic", "marital status": "divorced",
+	})
+	fmt.Printf("≈ %.0f rows\n", est)
+	// Output: ≈ 1 rows
+}

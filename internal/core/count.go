@@ -1,0 +1,188 @@
+package core
+
+import (
+	"pcbl/internal/dataset"
+	"pcbl/internal/lattice"
+)
+
+// PC is a pattern-count index: the set P_S of all patterns over an attribute
+// set S with positive count, together with their counts (the PC section of a
+// label, Definition 2.9). It is the group-by of the dataset on S.
+type PC struct {
+	keyer *Keyer
+	u     map[uint64]int // fast path (mixed-radix keys)
+	s     map[string]int // fallback (byte-string keys)
+}
+
+// BuildPC groups dataset d by attribute set s and returns the pattern-count
+// index. Rows with NULL in any attribute of s belong to no pattern over s
+// and are skipped.
+func BuildPC(d *dataset.Dataset, s lattice.AttrSet) *PC {
+	k := NewKeyer(d, s)
+	pc := &PC{keyer: k}
+	cols := datasetCols(d)
+	if k.Fits() {
+		pc.u = make(map[uint64]int)
+		for r := 0; r < d.NumRows(); r++ {
+			if key, ok := k.KeyRow(cols, r); ok {
+				pc.u[key]++
+			}
+		}
+		return pc
+	}
+	pc.s = make(map[string]int)
+	var buf []byte
+	for r := 0; r < d.NumRows(); r++ {
+		b, ok := k.AppendBytesRow(buf[:0], cols, r)
+		buf = b
+		if ok {
+			pc.s[string(b)]++
+		}
+	}
+	return pc
+}
+
+// Attrs returns the attribute set S the index covers.
+func (pc *PC) Attrs() lattice.AttrSet { return pc.keyer.Attrs() }
+
+// Size returns |P_S| — the number of positive-count patterns over S. This is
+// the label size the bound B_s of the optimal-label problem constrains.
+func (pc *PC) Size() int {
+	if pc.u != nil {
+		return len(pc.u)
+	}
+	return len(pc.s)
+}
+
+// LookupVals returns the count of the pattern whose member values appear in
+// the dense identifier slice vals; 0 when the pattern is absent (count 0) or
+// any member slot is NULL.
+func (pc *PC) LookupVals(vals []uint16) int {
+	if pc.u != nil {
+		key, ok := pc.keyer.KeyVals(vals)
+		if !ok {
+			return 0
+		}
+		return pc.u[key]
+	}
+	var buf [128]byte
+	b, ok := pc.keyer.AppendBytesVals(buf[:0], vals)
+	if !ok {
+		return 0
+	}
+	return pc.s[string(b)]
+}
+
+// Lookup returns c_D(p|S) for pattern p: the count of p restricted to S.
+// The pattern must constrain every attribute of S; use a marginal PC (see
+// Label) otherwise.
+func (pc *PC) Lookup(p Pattern) int { return pc.LookupVals(p.vals) }
+
+// Each invokes fn for every stored pattern, passing a dense identifier slice
+// (valid only for the duration of the call) and the pattern's count.
+// Iteration stops early when fn returns false. Order is unspecified.
+func (pc *PC) Each(n int, fn func(vals []uint16, count int) bool) {
+	vals := make([]uint16, n)
+	if pc.u != nil {
+		for key, c := range pc.u {
+			pc.keyer.Decode(key, vals)
+			if !fn(vals, c) {
+				return
+			}
+		}
+		return
+	}
+	for key, c := range pc.s {
+		pc.keyer.DecodeBytes(key, vals)
+		if !fn(vals, c) {
+			return
+		}
+	}
+}
+
+// Marginalize returns the PC over sub ⊆ S computed by summing this index's
+// entries — no dataset rescan. Counts of rows that were NULL in S \ sub are
+// not recovered (they never entered this index); a Label therefore builds
+// marginals from the dataset when NULLs may matter, and from the parent PC
+// otherwise. For NULL-free datasets the two agree (tested).
+func (pc *PC) Marginalize(d *dataset.Dataset, sub lattice.AttrSet) *PC {
+	k := NewKeyer(d, sub)
+	out := &PC{keyer: k}
+	n := d.NumAttrs()
+	if k.Fits() {
+		out.u = make(map[uint64]int)
+		pc.Each(n, func(vals []uint16, c int) bool {
+			key, ok := k.KeyVals(vals)
+			if ok {
+				out.u[key] += c
+			}
+			return true
+		})
+		return out
+	}
+	out.s = make(map[string]int)
+	var buf []byte
+	pc.Each(n, func(vals []uint16, c int) bool {
+		b, ok := k.AppendBytesVals(buf[:0], vals)
+		buf = b
+		if ok {
+			out.s[string(b)] += c
+		}
+		return true
+	})
+	return out
+}
+
+// LabelSize returns |P_S| for attribute set s, the size a label built on s
+// would have (paper line 6 of Algorithm 1: labelSize(c, D)). When cap >= 0
+// and the distinct count exceeds cap, counting aborts and LabelSize returns
+// (cap+1, false): the caller only needs to know the bound was breached.
+// Label sizes are monotone in S (refining a grouping can only split groups),
+// which is what makes this early abort — and Algorithm 1's subtree pruning —
+// sound.
+func LabelSize(d *dataset.Dataset, s lattice.AttrSet, cap int) (size int, within bool) {
+	k := NewKeyer(d, s)
+	cols := datasetCols(d)
+	if k.Fits() {
+		seen := make(map[uint64]struct{})
+		for r := 0; r < d.NumRows(); r++ {
+			key, ok := k.KeyRow(cols, r)
+			if !ok {
+				continue
+			}
+			if _, dup := seen[key]; !dup {
+				seen[key] = struct{}{}
+				if cap >= 0 && len(seen) > cap {
+					return cap + 1, false
+				}
+			}
+		}
+		return len(seen), true
+	}
+	seen := make(map[string]struct{})
+	var buf []byte
+	for r := 0; r < d.NumRows(); r++ {
+		b, ok := k.AppendBytesRow(buf[:0], cols, r)
+		buf = b
+		if !ok {
+			continue
+		}
+		if _, dup := seen[string(b)]; !dup {
+			seen[string(b)] = struct{}{}
+			if cap >= 0 && len(seen) > cap {
+				return cap + 1, false
+			}
+		}
+	}
+	return len(seen), true
+}
+
+// datasetCols gathers the raw columns once so hot loops avoid repeated
+// method calls.
+func datasetCols(d *dataset.Dataset) [][]uint16 {
+	cols := make([][]uint16, d.NumAttrs())
+	for i := range cols {
+		cols[i] = d.Col(i)
+	}
+	return cols
+}

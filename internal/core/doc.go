@@ -1,0 +1,15 @@
+// Package core implements the primary contribution of "Patterns Count-Based
+// Labels for Datasets" (Moskovitch & Jagadish, ICDE 2021): patterns over
+// categorical attributes (§II-A), pattern-count based labels consisting of a
+// value-count section VC and a pattern-count section PC (§II-B, Definition
+// 2.9), the count-estimation function Est(p, l) (Definition 2.11), and the
+// absolute and q-error metrics used to score a label against a pattern set
+// (Definition 2.13 and §II-B "Error metric").
+//
+// The package also provides the counting machinery the label model and the
+// search algorithms (package search) are built on: mixed-radix and byte-level
+// group-by keys, pattern-count indexes (PC), label-size computation with
+// early abort, distinct-tuple enumeration (the evaluation pattern set P_A of
+// §IV-A), and parallel label evaluation with the paper's sorted
+// early-termination optimization (§IV-C).
+package core

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+
+	"pcbl/internal/dataset"
+	"pcbl/internal/lattice"
+)
+
+// Keyer encodes the values of an attribute set into compact group-by keys.
+// When the product of the member domain sizes fits in 63 bits it produces
+// mixed-radix uint64 keys (the fast path); otherwise it produces byte-string
+// keys of two bytes per member attribute. Rows holding NULL in any member
+// attribute have no key: they satisfy no pattern over the set.
+type Keyer struct {
+	attrs   lattice.AttrSet
+	members []int    // ascending attribute indices
+	mult    []uint64 // mixed-radix multipliers, aligned with members
+	dims    []uint64 // domain sizes, aligned with members
+	fits    bool
+}
+
+// NewKeyer builds a Keyer for attribute set s over dataset d.
+func NewKeyer(d *dataset.Dataset, s lattice.AttrSet) *Keyer {
+	members := s.Members()
+	k := &Keyer{
+		attrs:   s,
+		members: members,
+		mult:    make([]uint64, len(members)),
+		dims:    make([]uint64, len(members)),
+		fits:    true,
+	}
+	prod := uint64(1)
+	const limit = uint64(math.MaxInt64)
+	for j, i := range members {
+		dim := uint64(d.Attr(i).DomainSize())
+		if dim == 0 {
+			dim = 1 // attribute entirely NULL; no row will produce a key
+		}
+		k.dims[j] = dim
+		k.mult[j] = prod
+		if k.fits {
+			if prod > limit/dim {
+				k.fits = false
+			} else {
+				prod *= dim
+			}
+		}
+	}
+	return k
+}
+
+// Attrs returns the attribute set the keyer covers.
+func (k *Keyer) Attrs() lattice.AttrSet { return k.attrs }
+
+// Fits reports whether the fast mixed-radix uint64 encoding is in use.
+func (k *Keyer) Fits() bool { return k.fits }
+
+// KeyVals encodes a dense value slice (one identifier per dataset attribute)
+// into a uint64 key. ok is false when any member attribute is NULL or the
+// keyer does not fit in uint64.
+func (k *Keyer) KeyVals(vals []uint16) (key uint64, ok bool) {
+	if !k.fits {
+		return 0, false
+	}
+	for j, i := range k.members {
+		id := vals[i]
+		if id == dataset.Null {
+			return 0, false
+		}
+		key += uint64(id-1) * k.mult[j]
+	}
+	return key, true
+}
+
+// KeyRow encodes row r of the given columns. ok is false when any member
+// attribute is NULL or the keyer does not fit in uint64.
+func (k *Keyer) KeyRow(cols [][]uint16, r int) (key uint64, ok bool) {
+	if !k.fits {
+		return 0, false
+	}
+	for j, i := range k.members {
+		id := cols[i][r]
+		if id == dataset.Null {
+			return 0, false
+		}
+		key += uint64(id-1) * k.mult[j]
+	}
+	return key, true
+}
+
+// Decode writes the value identifiers encoded in key into the dense slice
+// vals (one slot per dataset attribute). Slots outside the keyer's members
+// are left untouched.
+func (k *Keyer) Decode(key uint64, vals []uint16) {
+	for j := len(k.members) - 1; j >= 0; j-- {
+		q := key / k.mult[j]
+		vals[k.members[j]] = uint16(q) + 1
+		key -= q * k.mult[j]
+	}
+}
+
+// AppendBytesVals appends the byte-string key for a dense value slice to
+// dst. ok is false when any member attribute is NULL.
+func (k *Keyer) AppendBytesVals(dst []byte, vals []uint16) (out []byte, ok bool) {
+	for _, i := range k.members {
+		id := vals[i]
+		if id == dataset.Null {
+			return dst, false
+		}
+		dst = append(dst, byte(id), byte(id>>8))
+	}
+	return dst, true
+}
+
+// AppendBytesRow appends the byte-string key for row r of the given columns
+// to dst. ok is false when any member attribute is NULL.
+func (k *Keyer) AppendBytesRow(dst []byte, cols [][]uint16, r int) (out []byte, ok bool) {
+	for _, i := range k.members {
+		id := cols[i][r]
+		if id == dataset.Null {
+			return dst, false
+		}
+		dst = append(dst, byte(id), byte(id>>8))
+	}
+	return dst, true
+}
+
+// DecodeBytes writes the value identifiers of a byte-string key into the
+// dense slice vals.
+func (k *Keyer) DecodeBytes(key string, vals []uint16) {
+	for j, i := range k.members {
+		vals[i] = uint16(key[2*j]) | uint16(key[2*j+1])<<8
+	}
+}

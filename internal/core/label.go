@@ -1,0 +1,138 @@
+package core
+
+import (
+	"sync"
+
+	"pcbl/internal/dataset"
+	"pcbl/internal/lattice"
+)
+
+// Label is a pattern count–based label L_S(D) (Definition 2.9): the pattern
+// counts PC of every positive-count pattern over the attribute set S, plus
+// the value counts VC of every attribute value in D. The label size — the
+// quantity bounded by B_s in the optimal-label problem — is |PC|; VC is
+// fixed for a given dataset and shared by all its labels.
+//
+// A Label retains a reference to its dataset to serve VC lookups and build
+// marginal indexes; use Portable to produce a self-contained, serializable
+// label for shipping as dataset metadata.
+type Label struct {
+	d     *dataset.Dataset
+	attrs lattice.AttrSet
+	pc    *PC
+
+	// VC-derived tables, precomputed for estimation speed.
+	fracs [][]float64 // fracs[a][id-1] = c_D({A=v}) / Σ_u c_D({A=u})
+	vc    [][]int     // vc[a][id-1] = c_D({A=v})
+
+	mu        sync.Mutex
+	marginals map[lattice.AttrSet]*PC // lazy indexes for S' ⊂ S lookups
+}
+
+// BuildLabel computes L_S(D).
+func BuildLabel(d *dataset.Dataset, s lattice.AttrSet) *Label {
+	l := &Label{
+		d:         d,
+		attrs:     s,
+		pc:        BuildPC(d, s),
+		fracs:     make([][]float64, d.NumAttrs()),
+		vc:        make([][]int, d.NumAttrs()),
+		marginals: make(map[lattice.AttrSet]*PC),
+	}
+	for a := 0; a < d.NumAttrs(); a++ {
+		l.fracs[a] = d.Fractions(a)
+		l.vc[a] = d.ValueCounts(a)
+	}
+	return l
+}
+
+// Dataset returns the dataset the label was built from.
+func (l *Label) Dataset() *dataset.Dataset { return l.d }
+
+// Attrs returns S — the attribute set the PC section covers.
+func (l *Label) Attrs() lattice.AttrSet { return l.attrs }
+
+// Size returns |PC| = |P_S|, the label size.
+func (l *Label) Size() int { return l.pc.Size() }
+
+// PC returns the label's pattern-count index.
+func (l *Label) PC() *PC { return l.pc }
+
+// VCSize returns |VC|: the number of (attribute, value) count entries.
+func (l *Label) VCSize() int { return l.d.VCSize() }
+
+// ValueCount returns c_D({A_a = v}) for value identifier id of attribute a.
+func (l *Label) ValueCount(a int, id uint16) int {
+	if id == dataset.Null {
+		return 0
+	}
+	return l.vc[a][id-1]
+}
+
+// Fraction returns the independence factor of value id of attribute a:
+// c_D({A=v}) / Σ_u c_D({A=u}).
+func (l *Label) Fraction(a int, id uint16) float64 {
+	if id == dataset.Null {
+		return 0
+	}
+	return l.fracs[a][id-1]
+}
+
+// Estimate computes Est(p, l) (Definition 2.11): the count of p's
+// restriction to S, multiplied by the independence fraction of every
+// pattern attribute outside S:
+//
+//	Est(p, l) = c_D(p|S) · Π_{A ∈ Attr(p) \ S} c_D({A = p.A}) / Σ_v c_D({A = v})
+//
+// When Attr(p) ⊆ S the estimate is exact (§III-A). When Attr(p) does not
+// cover all of S, c_D(p|S∩Attr(p)) is served from a lazily-built marginal
+// index. When Attr(p) ∩ S is empty the base count is |D| (the empty pattern
+// is satisfied by every tuple) and the estimate degenerates to the pure
+// independence estimate of Example 2.6.
+func (l *Label) Estimate(p Pattern) float64 {
+	return l.EstimateRow(p.vals, p.attrs)
+}
+
+// EstimateRow is Estimate on a dense value slice; vals must have one slot
+// per dataset attribute and attrs identifies the constrained slots. The
+// slice is not retained.
+func (l *Label) EstimateRow(vals []uint16, attrs lattice.AttrSet) float64 {
+	inter := attrs.Intersect(l.attrs)
+	var base float64
+	switch {
+	case inter == l.attrs:
+		base = float64(l.pc.LookupVals(vals))
+	case inter.IsEmpty():
+		base = float64(l.d.NumRows())
+	default:
+		base = float64(l.marginal(inter).LookupVals(vals))
+	}
+	if base == 0 {
+		return 0
+	}
+	est := base
+	for _, a := range attrs.Diff(l.attrs).Members() {
+		id := vals[a]
+		if id == dataset.Null {
+			continue
+		}
+		est *= l.fracs[a][id-1]
+	}
+	return est
+}
+
+// marginal returns a PC over sub ⊂ S, building and caching it on first use.
+// Marginals are built from the dataset (not by summing the parent PC) so
+// that rows that are NULL in S \ sub are still counted, which Definition
+// 2.11 requires: c_D(p|S1) counts every tuple satisfying the restricted
+// pattern.
+func (l *Label) marginal(sub lattice.AttrSet) *PC {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if pc, ok := l.marginals[sub]; ok {
+		return pc
+	}
+	pc := BuildPC(l.d, sub)
+	l.marginals[sub] = pc
+	return pc
+}

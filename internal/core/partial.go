@@ -1,0 +1,48 @@
+package core
+
+import (
+	"pcbl/internal/dataset"
+	"pcbl/internal/lattice"
+)
+
+// PartialLabelSize measures a label's PC size under the accounting the
+// paper's NP-hardness reduction uses (Appendix A, Lemma A.8): tuples are
+// grouped by their NULL-dropped restriction to S — a tuple that is NULL in
+// some attributes of S still contributes the partial pattern over the
+// attributes it does have — and only patterns constraining at least two
+// attributes are charged to the PC section (single-attribute patterns are
+// value counts, already stored in VC).
+//
+// On a NULL-free dataset with |S| ≥ 2 this coincides with LabelSize. When
+// cap ≥ 0 and the distinct count exceeds cap, counting aborts and the
+// function returns (cap+1, false).
+func PartialLabelSize(d *dataset.Dataset, s lattice.AttrSet, cap int) (size int, within bool) {
+	members := s.Members()
+	cols := make([][]uint16, len(members))
+	for j, i := range members {
+		cols[j] = d.Col(i)
+	}
+	seen := make(map[string]struct{})
+	var buf []byte
+	for r := 0; r < d.NumRows(); r++ {
+		buf = buf[:0]
+		nonNull := 0
+		for j := range members {
+			id := cols[j][r]
+			if id != dataset.Null {
+				nonNull++
+			}
+			buf = append(buf, byte(id), byte(id>>8))
+		}
+		if nonNull < 2 {
+			continue
+		}
+		if _, dup := seen[string(buf)]; !dup {
+			seen[string(buf)] = struct{}{}
+			if cap >= 0 && len(seen) > cap {
+				return cap + 1, false
+			}
+		}
+	}
+	return len(seen), true
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"pcbl/internal/dataset"
+	"pcbl/internal/lattice"
+	"pcbl/internal/testutil"
+)
+
+// TestExample24 verifies Example 2.4: the pattern {age group = under 20,
+// marital status = single} has count 6 on the Figure 2 data.
+func TestExample24(t *testing.T) {
+	d := testutil.Fig2()
+	p, err := NewPattern(d, map[string]string{"age group": "under 20", "marital status": "single"})
+	if err != nil {
+		t.Fatalf("NewPattern: %v", err)
+	}
+	if got := CountPattern(d, p); got != 6 {
+		t.Errorf("count = %d, want 6", got)
+	}
+	if got := p.Attrs().Size(); got != 2 {
+		t.Errorf("|Attr(p)| = %d, want 2", got)
+	}
+}
+
+func TestNewPatternErrors(t *testing.T) {
+	d := testutil.Fig2()
+	if _, err := NewPattern(d, map[string]string{"nope": "x"}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := NewPattern(d, map[string]string{"gender": "Nonbinary"}); err == nil {
+		t.Error("value outside active domain accepted")
+	}
+}
+
+func TestPatternRestrict(t *testing.T) {
+	d := testutil.Fig2()
+	p, _ := NewPattern(d, map[string]string{
+		"gender": "Female", "age group": "20-39", "marital status": "married",
+	})
+	s, _ := lattice.FromNames(d.AttrNames(), "age group", "marital status")
+	q := p.Restrict(s)
+	if q.Attrs() != s {
+		t.Fatalf("restricted attrs = %v, want %v", q.Attrs(), s)
+	}
+	want, _ := NewPattern(d, map[string]string{"age group": "20-39", "marital status": "married"})
+	if !q.Equal(want) {
+		t.Errorf("restrict = %s, want %s", q.Format(d), want.Format(d))
+	}
+	// Restricting to a superset leaves the pattern unchanged.
+	if r := p.Restrict(lattice.FullSet(d.NumAttrs())); !r.Equal(p) {
+		t.Errorf("restrict to full set changed pattern")
+	}
+	// Restricting to a disjoint set yields the empty pattern.
+	race, _ := lattice.FromNames(d.AttrNames(), "race")
+	if r := p.Restrict(race); !r.Attrs().IsEmpty() {
+		t.Errorf("restrict to disjoint set has attrs %v", r.Attrs())
+	}
+}
+
+func TestPatternMatches(t *testing.T) {
+	d := testutil.Fig2()
+	p, _ := NewPattern(d, map[string]string{"age group": "under 20", "marital status": "single"})
+	want := map[int]bool{0: true, 2: true, 7: true, 9: true, 11: true, 13: true} // rows 1,3,8,10,12,14 (1-based)
+	for r := 0; r < d.NumRows(); r++ {
+		if got := p.Matches(d, r); got != want[r] {
+			t.Errorf("row %d: matches = %v, want %v", r+1, got, want[r])
+		}
+	}
+}
+
+func TestEmptyPattern(t *testing.T) {
+	d := testutil.Fig2()
+	p := Pattern{vals: make([]uint16, d.NumAttrs())}
+	if got := CountPattern(d, p); got != d.NumRows() {
+		t.Errorf("empty pattern count = %d, want %d", got, d.NumRows())
+	}
+}
+
+func TestPatternFromRow(t *testing.T) {
+	d := testutil.Fig2()
+	all := lattice.FullSet(d.NumAttrs())
+	p := PatternFromRow(d, 0, all)
+	if p.Attrs() != all {
+		t.Fatalf("attrs = %v, want full set", p.Attrs())
+	}
+	if got := p.Format(d); got != "{gender = Female, age group = under 20, race = African-American, marital status = single}" {
+		t.Errorf("format = %s", got)
+	}
+	if !p.Matches(d, 0) {
+		t.Error("pattern does not match its source row")
+	}
+}
+
+func TestPatternFromRowSkipsNulls(t *testing.T) {
+	b := dataset.NewBuilder("nulls", "x", "y")
+	b.AppendStrings("a", "")
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PatternFromRow(d, 0, lattice.FullSet(2))
+	if p.Attrs().Has(1) {
+		t.Error("NULL attribute included in pattern")
+	}
+	if !p.Attrs().Has(0) {
+		t.Error("non-NULL attribute missing from pattern")
+	}
+}
+
+func TestPatternFromIDsValidation(t *testing.T) {
+	if _, err := PatternFromIDs(lattice.NewAttrSet(0), []uint16{dataset.Null}); err == nil {
+		t.Error("NULL id accepted for constrained attribute")
+	}
+	if _, err := PatternFromIDs(lattice.NewAttrSet(3), []uint16{1, 1}); err == nil {
+		t.Error("attribute index beyond slice accepted")
+	}
+}

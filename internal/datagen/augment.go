@@ -1,0 +1,59 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"pcbl/internal/dataset"
+)
+
+// Augment returns a new dataset consisting of d's rows followed by extra
+// rows whose attribute values are drawn independently and uniformly from
+// each attribute's active domain — the procedure of the paper's data-size
+// scalability experiment (§IV-C, Fig 7): "we gradually increased the data
+// size by adding randomly generated tuples". As the paper observes, such
+// tuples introduce patterns absent from the original data, which flattens
+// correlations and can shrink the candidate space.
+func Augment(d *dataset.Dataset, extra int, seed uint64) (*dataset.Dataset, error) {
+	if extra < 0 {
+		return nil, fmt.Errorf("datagen: negative augmentation %d", extra)
+	}
+	b := dataset.NewBuilder(d.Name(), d.AttrNames()...)
+	// Re-intern domains in identifier order so ids carry over unchanged.
+	for a := 0; a < d.NumAttrs(); a++ {
+		for _, v := range d.Attr(a).Domain() {
+			if _, err := b.InternValue(a, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	ids := make([]uint16, d.NumAttrs())
+	for r := 0; r < d.NumRows(); r++ {
+		for a := range ids {
+			ids[a] = d.ID(r, a)
+		}
+		b.AppendIDs(ids...)
+	}
+	rng := rand.New(rand.NewPCG(seed, 0xA076_1D64_78BD_642F))
+	for i := 0; i < extra; i++ {
+		for a := 0; a < d.NumAttrs(); a++ {
+			dom := d.Attr(a).DomainSize()
+			if dom == 0 {
+				ids[a] = dataset.Null
+				continue
+			}
+			ids[a] = uint16(1 + rng.IntN(dom))
+		}
+		b.AppendIDs(ids...)
+	}
+	return b.Build()
+}
+
+// Scale returns d augmented to factor × |d| rows (factor ≥ 1), the exact
+// workload grid of Fig 7.
+func Scale(d *dataset.Dataset, factor int, seed uint64) (*dataset.Dataset, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("datagen: scale factor must be ≥ 1, got %d", factor)
+	}
+	return Augment(d, (factor-1)*d.NumRows(), seed)
+}

@@ -1,0 +1,199 @@
+package datagen
+
+import "pcbl/internal/dataset"
+
+// COMPASRows is the row count of the paper's COMPAS dataset.
+const COMPASRows = 60843
+
+// COMPASSpec returns the generation spec for the COMPAS emulator: 17
+// attributes after the paper's preparation (ids, names, dates and
+// out-of-range-cardinality attributes removed; age bucketized into four
+// ranges). Marginals for gender, age, race and marital status follow the
+// published counts of Fig 1. The assessment-related attributes form a
+// cluster of (near-)deterministic correlations — Scale_ID ↔ DisplayText,
+// RecSupervisionLevel ↔ RecSupervisionLevelText, DecileScore → ScoreText —
+// which is exactly the attribute set the paper's optimal label selects for
+// bound 100 (§IV-E).
+func COMPASSpec() Spec {
+	decile := []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10"}
+	recLevels := []string{"1", "2", "3", "4"}
+	return Spec{
+		Name: "compas",
+		Cols: []Col{
+			{
+				Name:    "Gender",
+				Values:  []string{"Male", "Female"},
+				Weights: []float64{0.78, 0.22},
+			},
+			{
+				Name:    "Age",
+				Values:  []string{"under 20", "20-39", "40-59", "over 60"},
+				Weights: []float64{0.03, 0.66, 0.27, 0.04},
+			},
+			{
+				Name:    "Race",
+				Values:  []string{"African-American", "Caucasian", "Hispanic", "Other"},
+				Weights: []float64{0.45, 0.36, 0.14, 0.05},
+			},
+			{
+				Name:    "MaritalStatus",
+				Values:  []string{"Single", "Married", "Divorced", "Separated", "Significant Other", "Widowed", "Unknown"},
+				Weights: []float64{0.75, 0.13, 0.06, 0.03, 0.02, 0.006, 0.004},
+				Parent:  "Age",
+				// Younger defendants are overwhelmingly single; older ones
+				// carry most of the divorced/widowed mass.
+				Fidelity: 0.55,
+				CPT: map[string][]float64{
+					"under 20": {0.97, 0.01, 0.00, 0.00, 0.02, 0.00, 0.00},
+					"20-39":    {0.82, 0.10, 0.04, 0.02, 0.02, 0.00, 0.00},
+					"40-59":    {0.45, 0.25, 0.18, 0.07, 0.02, 0.02, 0.01},
+					"over 60":  {0.25, 0.35, 0.22, 0.05, 0.02, 0.10, 0.01},
+				},
+			},
+			{
+				Name:     "Language",
+				Values:   []string{"English", "Spanish"},
+				Weights:  []float64{0.97, 0.03},
+				Parent:   "Race",
+				Fidelity: 0.80,
+				CPT: map[string][]float64{
+					"African-American": {0.999, 0.001},
+					"Caucasian":        {0.998, 0.002},
+					"Hispanic":         {0.78, 0.22},
+					"Other":            {0.95, 0.05},
+				},
+			},
+			{
+				Name:    "Agency",
+				Values:  []string{"PRETRIAL", "Probation", "DRRD", "Broward County"},
+				Weights: []float64{0.55, 0.35, 0.06, 0.04},
+			},
+			{
+				Name:     "LegalStatus",
+				Values:   []string{"Pretrial", "Post Sentence", "Probation Violator", "Conditional Release", "Other"},
+				Weights:  []float64{0.52, 0.28, 0.12, 0.05, 0.03},
+				Parent:   "Agency",
+				Fidelity: 0.70,
+				CPT: map[string][]float64{
+					"PRETRIAL":       {0.88, 0.05, 0.04, 0.02, 0.01},
+					"Probation":      {0.10, 0.55, 0.25, 0.07, 0.03},
+					"DRRD":           {0.30, 0.40, 0.15, 0.10, 0.05},
+					"Broward County": {0.40, 0.30, 0.15, 0.10, 0.05},
+				},
+			},
+			{
+				Name:     "CustodyStatus",
+				Values:   []string{"Jail Inmate", "Probation", "Pretrial Defendant", "Prison Inmate"},
+				Weights:  []float64{0.35, 0.30, 0.25, 0.10},
+				Parent:   "LegalStatus",
+				Fidelity: 0.75,
+				CPT: map[string][]float64{
+					"Pretrial":            {0.45, 0.02, 0.50, 0.03},
+					"Post Sentence":       {0.30, 0.45, 0.05, 0.20},
+					"Probation Violator":  {0.40, 0.45, 0.05, 0.10},
+					"Conditional Release": {0.15, 0.60, 0.15, 0.10},
+					"Other":               {0.30, 0.30, 0.25, 0.15},
+				},
+			},
+			{
+				Name:    "AssessmentReason",
+				Values:  []string{"Intake", "Review", "Appeal"},
+				Weights: []float64{0.85, 0.12, 0.03},
+			},
+			{
+				Name:    "Scale_ID",
+				Values:  []string{"7", "8", "18"},
+				Weights: []float64{0.34, 0.33, 0.33},
+			},
+			{
+				Name:   "DisplayText",
+				Values: []string{"Risk of Violence", "Risk of Recidivism", "Risk of Failure to Appear"},
+				Parent: "Scale_ID",
+				Map: map[string]string{
+					"7":  "Risk of Violence",
+					"8":  "Risk of Recidivism",
+					"18": "Risk of Failure to Appear",
+				},
+			},
+			{
+				Name:    "DecileScore",
+				Values:  decile,
+				Weights: []float64{0.18, 0.14, 0.12, 0.11, 0.10, 0.09, 0.08, 0.07, 0.06, 0.05},
+				Parent:  "Age",
+				// Younger defendants skew toward higher scores.
+				Fidelity: 0.35,
+				CPT: map[string][]float64{
+					"under 20": {0.06, 0.07, 0.08, 0.09, 0.10, 0.11, 0.12, 0.13, 0.12, 0.12},
+					"20-39":    {0.12, 0.12, 0.11, 0.11, 0.10, 0.10, 0.09, 0.09, 0.08, 0.08},
+					"40-59":    {0.22, 0.17, 0.14, 0.11, 0.09, 0.08, 0.07, 0.05, 0.04, 0.03},
+					"over 60":  {0.34, 0.22, 0.14, 0.09, 0.07, 0.05, 0.04, 0.03, 0.01, 0.01},
+				},
+			},
+			{
+				Name:   "ScoreText",
+				Values: []string{"Low", "Medium", "High"},
+				Parent: "DecileScore",
+				Map: map[string]string{
+					"1": "Low", "2": "Low", "3": "Low", "4": "Low",
+					"5": "Medium", "6": "Medium", "7": "Medium",
+					"8": "High", "9": "High", "10": "High",
+				},
+			},
+			{
+				Name:     "RecSupervisionLevel",
+				Values:   recLevels,
+				Weights:  []float64{0.45, 0.30, 0.15, 0.10},
+				Parent:   "DecileScore",
+				Fidelity: 0.85,
+				CPT: map[string][]float64{
+					"1":  {0.95, 0.05, 0.00, 0.00},
+					"2":  {0.90, 0.09, 0.01, 0.00},
+					"3":  {0.75, 0.22, 0.03, 0.00},
+					"4":  {0.55, 0.38, 0.06, 0.01},
+					"5":  {0.25, 0.55, 0.17, 0.03},
+					"6":  {0.10, 0.55, 0.28, 0.07},
+					"7":  {0.05, 0.40, 0.40, 0.15},
+					"8":  {0.02, 0.18, 0.50, 0.30},
+					"9":  {0.01, 0.09, 0.40, 0.50},
+					"10": {0.00, 0.04, 0.26, 0.70},
+				},
+			},
+			{
+				Name:   "RecSupervisionLevelText",
+				Values: []string{"Low", "Medium", "Medium with Override Consideration", "High"},
+				Parent: "RecSupervisionLevel",
+				Map: map[string]string{
+					"1": "Low",
+					"2": "Medium",
+					"3": "Medium with Override Consideration",
+					"4": "High",
+				},
+			},
+			{
+				Name:     "SupervisionLevel",
+				Values:   []string{"Standard", "Enhanced", "Intensive", "Specialized"},
+				Weights:  []float64{0.50, 0.28, 0.14, 0.08},
+				Parent:   "RecSupervisionLevel",
+				Fidelity: 0.60,
+				CPT: map[string][]float64{
+					"1": {0.80, 0.15, 0.03, 0.02},
+					"2": {0.35, 0.45, 0.13, 0.07},
+					"3": {0.12, 0.35, 0.40, 0.13},
+					"4": {0.05, 0.20, 0.50, 0.25},
+				},
+			},
+			{
+				Name:    "IsCompleted",
+				Values:  []string{"Yes", "No"},
+				Weights: []float64{0.93, 0.07},
+			},
+		},
+	}
+}
+
+// COMPAS generates the COMPAS emulator with the given row count (COMPASRows
+// for the paper-scale dataset).
+func COMPAS(rows int, seed uint64) (*dataset.Dataset, error) {
+	spec := COMPASSpec()
+	return spec.Generate(rows, seed)
+}

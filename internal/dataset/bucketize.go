@@ -1,0 +1,224 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// BinStrategy selects how numeric values are partitioned into buckets.
+type BinStrategy int
+
+const (
+	// EqualWidth splits [min, max] into k intervals of equal width.
+	EqualWidth BinStrategy = iota
+	// EqualFrequency chooses boundaries at quantiles so each bucket holds
+	// (approximately) the same number of non-null tuples.
+	EqualFrequency
+)
+
+// String implements fmt.Stringer.
+func (s BinStrategy) String() string {
+	switch s {
+	case EqualWidth:
+		return "equal-width"
+	case EqualFrequency:
+		return "equal-frequency"
+	default:
+		return fmt.Sprintf("BinStrategy(%d)", int(s))
+	}
+}
+
+// BucketizeOptions configures Bucketize.
+type BucketizeOptions struct {
+	// Bins is the number of buckets; it must be at least 2.
+	Bins int
+	// Strategy selects the boundary placement; EqualWidth when zero.
+	Strategy BinStrategy
+}
+
+// IsNumericAttr reports whether every non-null value of attribute a parses as
+// a float. Attributes with no non-null values are not numeric.
+func IsNumericAttr(d *Dataset, a int) bool {
+	attr := d.Attr(a)
+	if attr.DomainSize() == 0 {
+		return false
+	}
+	for _, v := range attr.Domain() {
+		if _, err := strconv.ParseFloat(v, 64); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Bucketize returns a copy of the dataset in which the named attributes are
+// re-encoded from numeric values into range buckets such as "[20,40)". The
+// paper's Credit Card preparation bucketizes each numeric attribute into 5
+// bins (§IV-A). Attributes whose domain is already at most opts.Bins values
+// are left untouched. Non-numeric attributes among attrNames are an error.
+func Bucketize(d *Dataset, attrNames []string, opts BucketizeOptions) (*Dataset, error) {
+	if opts.Bins < 2 {
+		return nil, fmt.Errorf("dataset: bucketize needs at least 2 bins, got %d", opts.Bins)
+	}
+	target := make(map[int]bool, len(attrNames))
+	for _, n := range attrNames {
+		i, ok := d.AttrIndex(n)
+		if !ok {
+			return nil, fmt.Errorf("dataset: unknown attribute %q", n)
+		}
+		if d.Attr(i).DomainSize() <= opts.Bins {
+			continue // already categorical enough
+		}
+		if !IsNumericAttr(d, i) {
+			return nil, fmt.Errorf("dataset: attribute %q is not numeric", n)
+		}
+		target[i] = true
+	}
+	b := NewBuilder(d.Name(), d.AttrNames()...)
+	// Pre-compute per-attribute bucket label for every domain value.
+	relabel := make(map[int][]string, len(target)) // attr -> id-1 -> label
+	for a := range target {
+		labels, err := bucketLabels(d, a, opts)
+		if err != nil {
+			return nil, err
+		}
+		relabel[a] = labels
+	}
+	row := make([]string, d.NumAttrs())
+	for r := 0; r < d.NumRows(); r++ {
+		for a := 0; a < d.NumAttrs(); a++ {
+			id := d.ID(r, a)
+			if id == Null {
+				row[a] = ""
+				continue
+			}
+			if labels, ok := relabel[a]; ok {
+				row[a] = labels[id-1]
+			} else {
+				row[a] = d.Value(r, a)
+			}
+		}
+		b.AppendStrings(row...)
+	}
+	return b.Build()
+}
+
+// BucketizeAllNumeric bucketizes every numeric attribute of the dataset.
+func BucketizeAllNumeric(d *Dataset, opts BucketizeOptions) (*Dataset, error) {
+	var names []string
+	for i := 0; i < d.NumAttrs(); i++ {
+		if d.Attr(i).DomainSize() > opts.Bins && IsNumericAttr(d, i) {
+			names = append(names, d.Attr(i).Name())
+		}
+	}
+	return Bucketize(d, names, opts)
+}
+
+// bucketLabels maps each current domain value of attribute a to its bucket
+// label under the given options.
+func bucketLabels(d *Dataset, a int, opts BucketizeOptions) ([]string, error) {
+	attr := d.Attr(a)
+	dom := attr.Domain()
+	vals := make([]float64, len(dom))
+	for i, s := range dom {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: attribute %q value %q is not numeric: %w", attr.Name(), s, err)
+		}
+		vals[i] = v
+	}
+	var bounds []float64
+	switch opts.Strategy {
+	case EqualWidth:
+		bounds = equalWidthBounds(vals, opts.Bins)
+	case EqualFrequency:
+		bounds = equalFrequencyBounds(d, a, vals, opts.Bins)
+	default:
+		return nil, fmt.Errorf("dataset: unknown bin strategy %v", opts.Strategy)
+	}
+	labels := make([]string, len(vals))
+	for i, v := range vals {
+		labels[i] = bucketLabel(bounds, v)
+	}
+	return labels, nil
+}
+
+// equalWidthBounds returns k+1 boundaries splitting [min,max] evenly.
+func equalWidthBounds(vals []float64, k int) []float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	bounds := make([]float64, k+1)
+	for i := 0; i <= k; i++ {
+		bounds[i] = lo + (hi-lo)*float64(i)/float64(k)
+	}
+	bounds[k] = hi
+	return bounds
+}
+
+// equalFrequencyBounds returns boundaries at empirical quantiles, weighting
+// each domain value by its tuple count. Duplicate boundaries are collapsed,
+// so fewer than k buckets may result for heavily skewed attributes.
+func equalFrequencyBounds(d *Dataset, a int, vals []float64, k int) []float64 {
+	counts := d.ValueCounts(a)
+	type vc struct {
+		v float64
+		c int
+	}
+	pairs := make([]vc, len(vals))
+	total := 0
+	for i := range vals {
+		pairs[i] = vc{vals[i], counts[i]}
+		total += counts[i]
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+	bounds := []float64{pairs[0].v}
+	cum, next := 0, total/k
+	for _, p := range pairs {
+		cum += p.c
+		if cum >= next && len(bounds) < k {
+			bounds = append(bounds, p.v)
+			next = total * (len(bounds)) / k
+		}
+	}
+	last := pairs[len(pairs)-1].v
+	if bounds[len(bounds)-1] != last {
+		bounds = append(bounds, last)
+	}
+	// Collapse duplicates.
+	out := bounds[:1]
+	for _, b := range bounds[1:] {
+		if b != out[len(out)-1] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// bucketLabel formats the half-open interval containing v. The last bucket
+// is closed on both ends.
+func bucketLabel(bounds []float64, v float64) string {
+	for i := 0; i < len(bounds)-1; i++ {
+		last := i == len(bounds)-2
+		if v < bounds[i+1] || (last && v <= bounds[i+1]) {
+			open, close := "[", ")"
+			if last {
+				close = "]"
+			}
+			return fmt.Sprintf("%s%s,%s%s", open, trimFloat(bounds[i]), trimFloat(bounds[i+1]), close)
+		}
+	}
+	return fmt.Sprintf("[%s,%s]", trimFloat(bounds[len(bounds)-2]), trimFloat(bounds[len(bounds)-1]))
+}
+
+// trimFloat renders a float compactly (integers without a decimal point).
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}

@@ -1,0 +1,181 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func numericDataset(t *testing.T, n int, seed uint64) *Dataset {
+	t.Helper()
+	b := NewBuilder("nums", "v", "tag")
+	rng := rand.New(rand.NewPCG(seed, 1))
+	for i := 0; i < n; i++ {
+		b.AppendStrings(fmt.Sprintf("%.2f", rng.Float64()*100), "t")
+	}
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestIsNumericAttr(t *testing.T) {
+	d := numericDataset(t, 20, 1)
+	if !IsNumericAttr(d, 0) {
+		t.Error("numeric attribute not detected")
+	}
+	if IsNumericAttr(d, 1) {
+		t.Error("string attribute detected as numeric")
+	}
+}
+
+func TestBucketizeEqualWidth(t *testing.T) {
+	d := numericDataset(t, 500, 2)
+	out, err := Bucketize(d, []string{"v"}, BucketizeOptions{Bins: 5, Strategy: EqualWidth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Attr(0).DomainSize(); got > 5 || got < 2 {
+		t.Errorf("bucketized domain = %d, want 2..5", got)
+	}
+	if out.NumRows() != d.NumRows() {
+		t.Error("row count changed")
+	}
+	// Untouched attribute keeps its values.
+	if out.Value(0, 1) != "t" {
+		t.Error("tag attribute modified")
+	}
+}
+
+func TestBucketizeEqualFrequency(t *testing.T) {
+	d := numericDataset(t, 1000, 3)
+	out, err := Bucketize(d, []string{"v"}, BucketizeOptions{Bins: 5, Strategy: EqualFrequency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := out.ValueCounts(0)
+	if len(counts) < 2 {
+		t.Fatalf("only %d buckets", len(counts))
+	}
+	// Each bucket within a loose factor of the ideal share.
+	ideal := 1000 / len(counts)
+	for i, c := range counts {
+		if c < ideal/3 || c > ideal*3 {
+			t.Errorf("bucket %d holds %d, ideal %d", i, c, ideal)
+		}
+	}
+}
+
+func TestBucketizeSkipsSmallDomains(t *testing.T) {
+	b := NewBuilder("small", "x")
+	for _, v := range []string{"1", "2", "3", "1", "2"} {
+		b.AppendStrings(v)
+	}
+	d, _ := b.Build()
+	out, err := Bucketize(d, []string{"x"}, BucketizeOptions{Bins: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Attr(0).DomainSize() != 3 {
+		t.Error("small domain was rebucketized")
+	}
+}
+
+func TestBucketizeErrors(t *testing.T) {
+	d := numericDataset(t, 10, 4)
+	if _, err := Bucketize(d, []string{"v"}, BucketizeOptions{Bins: 1}); err == nil {
+		t.Error("1 bin accepted")
+	}
+	if _, err := Bucketize(d, []string{"nope"}, BucketizeOptions{Bins: 5}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	b := NewBuilder("mixed", "x")
+	for i := 0; i < 10; i++ {
+		b.AppendStrings(fmt.Sprintf("v%d", i))
+	}
+	md, _ := b.Build()
+	if _, err := Bucketize(md, []string{"x"}, BucketizeOptions{Bins: 5}); err == nil {
+		t.Error("non-numeric attribute accepted")
+	}
+}
+
+func TestBucketizeAllNumeric(t *testing.T) {
+	b := NewBuilder("m", "num", "cat")
+	rng := rand.New(rand.NewPCG(5, 5))
+	for i := 0; i < 200; i++ {
+		b.AppendStrings(fmt.Sprintf("%d", rng.IntN(10000)), string(rune('a'+i%4)))
+	}
+	d, _ := b.Build()
+	out, err := BucketizeAllNumeric(d, BucketizeOptions{Bins: 5, Strategy: EqualFrequency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Attr(0).DomainSize() > 5 {
+		t.Error("numeric attribute not bucketized")
+	}
+	if out.Attr(1).DomainSize() != 4 {
+		t.Error("categorical attribute modified")
+	}
+}
+
+// TestBucketizePreservesRowMembership (property): every numeric value lands
+// in a bucket whose printed bounds contain it.
+func TestBucketizePreservesRowMembership(t *testing.T) {
+	prop := func(seed uint64) bool {
+		d := numericDatasetQuick(seed%1000+50, seed)
+		out, err := Bucketize(d, []string{"v"}, BucketizeOptions{Bins: 4, Strategy: EqualWidth})
+		if err != nil {
+			return false
+		}
+		return out.NumRows() == d.NumRows() && out.Attr(0).DomainSize() <= 4
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func numericDatasetQuick(n, seed uint64) *Dataset {
+	b := NewBuilder("nums", "v")
+	rng := rand.New(rand.NewPCG(seed, 9))
+	for i := uint64(0); i < n; i++ {
+		b.AppendStrings(fmt.Sprintf("%.3f", rng.Float64()*1000-500))
+	}
+	d, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func TestNullsSurviveBucketize(t *testing.T) {
+	b := NewBuilder("n", "v")
+	b.AppendStrings("1.5")
+	b.AppendStrings("")
+	b.AppendStrings("2.5")
+	b.AppendStrings("100")
+	b.AppendStrings("50")
+	b.AppendStrings("75")
+	b.AppendStrings("25")
+	d, _ := b.Build()
+	out, err := Bucketize(d, []string{"v"}, BucketizeOptions{Bins: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID(1, 0) != Null {
+		t.Error("NULL lost in bucketization")
+	}
+	if out.NonNullCount(0) != 6 {
+		t.Errorf("non-null = %d, want 6", out.NonNullCount(0))
+	}
+}
+
+func TestBinStrategyString(t *testing.T) {
+	if EqualWidth.String() != "equal-width" || EqualFrequency.String() != "equal-frequency" {
+		t.Error("strategy names wrong")
+	}
+	if BinStrategy(9).String() == "" {
+		t.Error("unknown strategy should still render")
+	}
+}

@@ -1,0 +1,115 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// CSVOptions controls CSV parsing.
+type CSVOptions struct {
+	// Comma is the field delimiter; ',' when zero.
+	Comma rune
+	// NullTokens are the field values treated as NULL in addition to the
+	// empty string. Comparison is case-sensitive.
+	NullTokens []string
+	// Name is the dataset display name.
+	Name string
+	// MaxRows, when positive, stops reading after that many data rows.
+	MaxRows int
+}
+
+// ReadCSV reads a header-bearing CSV stream into a Dataset. The first record
+// names the attributes; subsequent records are tuples. Empty fields and
+// fields equal to one of opts.NullTokens are stored as NULL.
+func ReadCSV(r io.Reader, opts CSVOptions) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	names := make([]string, len(header))
+	for i, h := range header {
+		names[i] = strings.TrimSpace(h)
+	}
+	b := NewBuilder(opts.Name, names...)
+	nulls := make(map[string]bool, len(opts.NullTokens))
+	for _, t := range opts.NullTokens {
+		nulls[t] = true
+	}
+	row := make([]string, len(names))
+	n := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV row %d: %w", n+1, err)
+		}
+		for i, f := range rec {
+			if nulls[f] {
+				f = ""
+			}
+			row[i] = f
+		}
+		b.AppendStrings(row...)
+		n++
+		if opts.MaxRows > 0 && n >= opts.MaxRows {
+			break
+		}
+	}
+	return b.Build()
+}
+
+// ReadCSVFile reads a CSV file from disk via ReadCSV.
+func ReadCSVFile(path string, opts CSVOptions) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if opts.Name == "" {
+		opts.Name = path
+	}
+	return ReadCSV(f, opts)
+}
+
+// WriteCSV writes the dataset, header included, to w. NULLs are written as
+// empty fields.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(d.AttrNames()); err != nil {
+		return err
+	}
+	row := make([]string, d.NumAttrs())
+	for r := 0; r < d.NumRows(); r++ {
+		for a := 0; a < d.NumAttrs(); a++ {
+			row[a] = d.Value(r, a)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the dataset to a file on disk via WriteCSV.
+func WriteCSVFile(path string, d *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,430 @@
+// Package dataset implements the relational substrate the PCBL label model
+// is defined over: an in-memory, column-oriented table of categorical
+// attributes with dictionary-encoded values, optional NULLs, CSV input and
+// output, and bucketization of numeric attributes into categorical ranges
+// (paper §II: "Where attribute values are drawn from a continuous domain, we
+// render them categorical by bucketizing them into ranges").
+//
+// Values of an attribute are dictionary-encoded as dense uint16 identifiers.
+// Identifier 0 is reserved for NULL (a missing value); the active domain
+// Dom(A) of an attribute consists of identifiers 1..DomainSize(A). NULLs
+// never satisfy an equality pattern and are excluded from value counts,
+// which matches the semantics required by the paper's NP-hardness reduction
+// (Appendix A) where reduction tuples deliberately leave attributes unset.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Null is the reserved value identifier for a missing value.
+const Null uint16 = 0
+
+// MaxDomainSize is the largest number of distinct non-null values a single
+// attribute may carry. Identifiers are uint16 with 0 reserved for NULL.
+const MaxDomainSize = 1<<16 - 2
+
+// Attribute describes a single categorical column: its name and the
+// dictionary mapping between external string values and dense identifiers.
+type Attribute struct {
+	name string
+	dom  []string          // dom[i] is the string for identifier i+1
+	ids  map[string]uint16 // inverse mapping; never contains NULL
+}
+
+// NewAttribute returns an attribute with the given name and an empty domain.
+func NewAttribute(name string) *Attribute {
+	return &Attribute{name: name, ids: make(map[string]uint16)}
+}
+
+// Name returns the attribute name.
+func (a *Attribute) Name() string { return a.name }
+
+// DomainSize returns the number of distinct non-null values observed.
+func (a *Attribute) DomainSize() int { return len(a.dom) }
+
+// Domain returns the attribute's active domain as strings, in insertion
+// order (identifier order). The returned slice is a copy.
+func (a *Attribute) Domain() []string {
+	out := make([]string, len(a.dom))
+	copy(out, a.dom)
+	return out
+}
+
+// Value returns the string for a value identifier. It returns "" for Null.
+func (a *Attribute) Value(id uint16) string {
+	if id == Null {
+		return ""
+	}
+	return a.dom[id-1]
+}
+
+// ID returns the identifier for a string value, or (Null, false) when the
+// value is not part of the active domain.
+func (a *Attribute) ID(value string) (uint16, bool) {
+	id, ok := a.ids[value]
+	return id, ok
+}
+
+// intern returns the identifier for value, extending the dictionary if the
+// value has not been seen before.
+func (a *Attribute) intern(value string) (uint16, error) {
+	if id, ok := a.ids[value]; ok {
+		return id, nil
+	}
+	if len(a.dom) >= MaxDomainSize {
+		return Null, fmt.Errorf("dataset: attribute %q exceeds %d distinct values", a.name, MaxDomainSize)
+	}
+	a.dom = append(a.dom, value)
+	id := uint16(len(a.dom))
+	a.ids[value] = id
+	return id, nil
+}
+
+// clone returns a deep copy of the attribute.
+func (a *Attribute) clone() *Attribute {
+	c := &Attribute{name: a.name, dom: append([]string(nil), a.dom...), ids: make(map[string]uint16, len(a.ids))}
+	for v, id := range a.ids {
+		c.ids[v] = id
+	}
+	return c
+}
+
+// Dataset is an immutable-after-build, column-oriented categorical relation.
+// Use a Builder to construct one, or ReadCSV to load one from CSV text.
+type Dataset struct {
+	name  string
+	attrs []*Attribute
+	cols  [][]uint16 // cols[a][row] is the value identifier
+	rows  int
+}
+
+// Name returns the dataset's display name (may be empty).
+func (d *Dataset) Name() string { return d.name }
+
+// NumRows returns the number of tuples.
+func (d *Dataset) NumRows() int { return d.rows }
+
+// NumAttrs returns the number of attributes.
+func (d *Dataset) NumAttrs() int { return len(d.attrs) }
+
+// Attr returns the i-th attribute descriptor.
+func (d *Dataset) Attr(i int) *Attribute { return d.attrs[i] }
+
+// AttrNames returns the attribute names in column order.
+func (d *Dataset) AttrNames() []string {
+	out := make([]string, len(d.attrs))
+	for i, a := range d.attrs {
+		out[i] = a.name
+	}
+	return out
+}
+
+// AttrIndex returns the index of the attribute with the given name, or
+// (-1, false) when absent.
+func (d *Dataset) AttrIndex(name string) (int, bool) {
+	for i, a := range d.attrs {
+		if a.name == name {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// Col returns the raw identifier column for attribute i. The returned slice
+// must not be modified; it aliases the dataset's storage.
+func (d *Dataset) Col(i int) []uint16 { return d.cols[i] }
+
+// ID returns the value identifier at (row, attr).
+func (d *Dataset) ID(row, attr int) uint16 { return d.cols[attr][row] }
+
+// Value returns the string value at (row, attr); "" for NULL.
+func (d *Dataset) Value(row, attr int) string {
+	return d.attrs[attr].Value(d.cols[attr][row])
+}
+
+// Row returns the identifiers of a full tuple as a new slice.
+func (d *Dataset) Row(row int) []uint16 {
+	out := make([]uint16, len(d.attrs))
+	for a := range d.attrs {
+		out[a] = d.cols[a][row]
+	}
+	return out
+}
+
+// ValueCounts returns, for attribute a, the tuple count of each domain value;
+// index i holds the count of identifier i+1. This is the VC entry c_D({A=v}).
+func (d *Dataset) ValueCounts(a int) []int {
+	counts := make([]int, d.attrs[a].DomainSize())
+	for _, id := range d.cols[a] {
+		if id != Null {
+			counts[id-1]++
+		}
+	}
+	return counts
+}
+
+// NonNullCount returns the number of tuples with a non-null value in
+// attribute a, i.e. the denominator Σ_{v∈Dom(A)} c_D({A=v}) of the paper's
+// estimation formula.
+func (d *Dataset) NonNullCount(a int) int {
+	n := 0
+	for _, id := range d.cols[a] {
+		if id != Null {
+			n++
+		}
+	}
+	return n
+}
+
+// Fractions returns, for attribute a, the independence factor of each domain
+// value: c_D({A=v}) / Σ_{u∈Dom(A)} c_D({A=u}). Index i corresponds to value
+// identifier i+1. When the attribute is entirely NULL all fractions are 0.
+func (d *Dataset) Fractions(a int) []float64 {
+	counts := d.ValueCounts(a)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	out := make([]float64, len(counts))
+	if total == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// VCSize returns |VC|: the total number of (attribute, value) pairs stored in
+// the value-count section of any label of this dataset.
+func (d *Dataset) VCSize() int {
+	n := 0
+	for _, a := range d.attrs {
+		n += a.DomainSize()
+	}
+	return n
+}
+
+// Project returns a new dataset containing only the attributes at the given
+// column indices, in the given order. Column storage is shared with the
+// receiver (datasets are immutable after build, so sharing is safe).
+func (d *Dataset) Project(attrIdx []int) (*Dataset, error) {
+	p := &Dataset{name: d.name, rows: d.rows}
+	seen := make(map[int]bool, len(attrIdx))
+	for _, i := range attrIdx {
+		if i < 0 || i >= len(d.attrs) {
+			return nil, fmt.Errorf("dataset: project index %d out of range [0,%d)", i, len(d.attrs))
+		}
+		if seen[i] {
+			return nil, fmt.Errorf("dataset: project index %d repeated", i)
+		}
+		seen[i] = true
+		p.attrs = append(p.attrs, d.attrs[i])
+		p.cols = append(p.cols, d.cols[i])
+	}
+	return p, nil
+}
+
+// ProjectNames is Project with attribute names instead of indices.
+func (d *Dataset) ProjectNames(names ...string) (*Dataset, error) {
+	idx := make([]int, 0, len(names))
+	for _, n := range names {
+		i, ok := d.AttrIndex(n)
+		if !ok {
+			return nil, fmt.Errorf("dataset: unknown attribute %q", n)
+		}
+		idx = append(idx, i)
+	}
+	return d.Project(idx)
+}
+
+// Prefix returns a projection onto the first k attributes. It is used by the
+// scalability experiment that varies the number of attributes (paper Fig 8).
+func (d *Dataset) Prefix(k int) (*Dataset, error) {
+	if k < 0 || k > len(d.attrs) {
+		return nil, fmt.Errorf("dataset: prefix %d out of range [0,%d]", k, len(d.attrs))
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	return d.Project(idx)
+}
+
+// Head returns a dataset holding the first n rows (or all rows when n exceeds
+// NumRows). Column storage is shared via re-slicing.
+func (d *Dataset) Head(n int) *Dataset {
+	if n > d.rows {
+		n = d.rows
+	}
+	if n < 0 {
+		n = 0
+	}
+	h := &Dataset{name: d.name, attrs: d.attrs, rows: n}
+	h.cols = make([][]uint16, len(d.cols))
+	for i, c := range d.cols {
+		h.cols[i] = c[:n]
+	}
+	return h
+}
+
+// String summarizes the dataset shape and domains.
+func (d *Dataset) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Dataset %q: %d rows, %d attributes [", d.name, d.rows, len(d.attrs))
+	for i, a := range d.attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s(%d)", a.name, a.DomainSize())
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// Builder accumulates rows and produces an immutable Dataset.
+type Builder struct {
+	name  string
+	attrs []*Attribute
+	cols  [][]uint16
+	rows  int
+	err   error
+}
+
+// NewBuilder returns a builder for a dataset with the given name and
+// attribute names.
+func NewBuilder(name string, attrNames ...string) *Builder {
+	b := &Builder{name: name}
+	seen := make(map[string]bool, len(attrNames))
+	for _, n := range attrNames {
+		if seen[n] {
+			b.err = fmt.Errorf("dataset: duplicate attribute name %q", n)
+			continue
+		}
+		seen[n] = true
+		b.attrs = append(b.attrs, NewAttribute(n))
+		b.cols = append(b.cols, nil)
+	}
+	return b
+}
+
+// NumAttrs returns the number of attributes configured on the builder.
+func (b *Builder) NumAttrs() int { return len(b.attrs) }
+
+// NumRows returns the number of rows appended so far.
+func (b *Builder) NumRows() int { return b.rows }
+
+// AppendStrings appends one tuple given as string values. Empty strings are
+// stored as NULL. The number of values must equal the attribute count.
+func (b *Builder) AppendStrings(values ...string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(values) != len(b.attrs) {
+		b.err = fmt.Errorf("dataset: row has %d values, want %d", len(values), len(b.attrs))
+		return b
+	}
+	for i, v := range values {
+		var id uint16
+		if v != "" {
+			var err error
+			id, err = b.attrs[i].intern(v)
+			if err != nil {
+				b.err = err
+				return b
+			}
+		}
+		b.cols[i] = append(b.cols[i], id)
+	}
+	b.rows++
+	return b
+}
+
+// AppendIDs appends one tuple given as pre-encoded value identifiers. Each
+// identifier must be Null or within the attribute's current domain.
+func (b *Builder) AppendIDs(ids ...uint16) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(ids) != len(b.attrs) {
+		b.err = fmt.Errorf("dataset: row has %d ids, want %d", len(ids), len(b.attrs))
+		return b
+	}
+	for i, id := range ids {
+		if id != Null && int(id) > b.attrs[i].DomainSize() {
+			b.err = fmt.Errorf("dataset: id %d out of domain for attribute %q", id, b.attrs[i].name)
+			return b
+		}
+		b.cols[i] = append(b.cols[i], id)
+	}
+	b.rows++
+	return b
+}
+
+// InternValue forces the given value into attribute a's domain and returns
+// its identifier. Generators use this to fix domains before appending rows.
+func (b *Builder) InternValue(a int, value string) (uint16, error) {
+	if b.err != nil {
+		return Null, b.err
+	}
+	return b.attrs[a].intern(value)
+}
+
+// Err returns the first error encountered while building, if any.
+func (b *Builder) Err() error { return b.err }
+
+// Build finalizes the builder into a Dataset. The builder must not be used
+// afterwards.
+func (b *Builder) Build() (*Dataset, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.attrs) == 0 {
+		return nil, errors.New("dataset: cannot build a dataset with zero attributes")
+	}
+	d := &Dataset{name: b.name, attrs: b.attrs, cols: b.cols, rows: b.rows}
+	b.attrs, b.cols = nil, nil
+	return d, nil
+}
+
+// Concat returns a new dataset whose rows are d's rows followed by more's
+// rows. The two datasets must have identical attribute names in identical
+// order; domains are merged (identifiers are re-encoded as needed).
+func Concat(d, more *Dataset) (*Dataset, error) {
+	if d.NumAttrs() != more.NumAttrs() {
+		return nil, fmt.Errorf("dataset: concat attribute count mismatch %d vs %d", d.NumAttrs(), more.NumAttrs())
+	}
+	for i := range d.attrs {
+		if d.attrs[i].name != more.attrs[i].name {
+			return nil, fmt.Errorf("dataset: concat attribute %d name mismatch %q vs %q", i, d.attrs[i].name, more.attrs[i].name)
+		}
+	}
+	b := NewBuilder(d.name, d.AttrNames()...)
+	for r := 0; r < d.rows; r++ {
+		vals := make([]string, d.NumAttrs())
+		for a := range d.attrs {
+			vals[a] = d.Value(r, a)
+		}
+		b.AppendStrings(vals...)
+	}
+	for r := 0; r < more.rows; r++ {
+		vals := make([]string, more.NumAttrs())
+		for a := range more.attrs {
+			vals[a] = more.Value(r, a)
+		}
+		b.AppendStrings(vals...)
+	}
+	return b.Build()
+}
+
+// SortedDomain returns the attribute's domain values sorted lexically. It is
+// a convenience for deterministic rendering.
+func SortedDomain(a *Attribute) []string {
+	dom := a.Domain()
+	sort.Strings(dom)
+	return dom
+}

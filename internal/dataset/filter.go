@@ -1,0 +1,49 @@
+package dataset
+
+import "fmt"
+
+// FilterOptions controls attribute pruning, mirroring the paper's COMPAS
+// preparation (§IV-A): "We removed id attributes …, names …, dates and
+// attributes with less than 2 values or over 100 values."
+type FilterOptions struct {
+	// MinDomain drops attributes with fewer distinct values (default 2
+	// when zero: constants carry no count information).
+	MinDomain int
+	// MaxDomain drops attributes with more distinct values (default 100
+	// when zero: id-like attributes make every pattern unique).
+	MaxDomain int
+	// DropNames lists attributes to drop unconditionally.
+	DropNames []string
+}
+
+// FilterAttrs returns a projection of d without the attributes rejected by
+// opts. At least one attribute must survive.
+func FilterAttrs(d *Dataset, opts FilterOptions) (*Dataset, error) {
+	minDom := opts.MinDomain
+	if minDom == 0 {
+		minDom = 2
+	}
+	maxDom := opts.MaxDomain
+	if maxDom == 0 {
+		maxDom = 100
+	}
+	drop := make(map[string]bool, len(opts.DropNames))
+	for _, n := range opts.DropNames {
+		drop[n] = true
+	}
+	var keep []int
+	for i := 0; i < d.NumAttrs(); i++ {
+		a := d.Attr(i)
+		if drop[a.Name()] {
+			continue
+		}
+		if ds := a.DomainSize(); ds < minDom || ds > maxDom {
+			continue
+		}
+		keep = append(keep, i)
+	}
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("dataset: filter would drop all %d attributes", d.NumAttrs())
+	}
+	return d.Project(keep)
+}

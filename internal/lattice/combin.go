@@ -1,0 +1,82 @@
+package lattice
+
+import "math/bits"
+
+// Combinations calls fn for every subset of {0..n-1} with exactly k members,
+// in increasing numeric (bitmask) order. It stops early when fn returns
+// false and reports whether the enumeration ran to completion. The naive
+// label-search algorithm (paper §III) uses this level-wise enumeration.
+func Combinations(n, k int, fn func(AttrSet) bool) bool {
+	if n >= MaxAttrs {
+		panic("lattice: Combinations supports at most 63 attributes")
+	}
+	if k < 0 || k > n {
+		return true
+	}
+	if k == 0 {
+		return fn(0)
+	}
+	// Gosper's hack: iterate bit patterns with exactly k ones.
+	v := uint64(1)<<k - 1
+	limit := uint64(1) << uint(n)
+	for v < limit {
+		if !fn(AttrSet(v)) {
+			return false
+		}
+		c := v & -v
+		r := v + c
+		v = r | (((v ^ r) / c) >> 2)
+	}
+	return true
+}
+
+// CountCombinations returns C(n, k) — the number of k-subsets of an n-set —
+// saturating at the maximum uint64 on overflow.
+func CountCombinations(n, k int) uint64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	var res uint64 = 1
+	for i := 1; i <= k; i++ {
+		hi, lo := bits.Mul64(res, uint64(n-k+i))
+		if hi != 0 {
+			return ^uint64(0)
+		}
+		res = lo / uint64(i)
+	}
+	return res
+}
+
+// AllSubsets calls fn for every subset of {0..n-1} in level order (by size,
+// then numeric order), excluding the empty set. It stops early when fn
+// returns false and reports whether the enumeration ran to completion.
+func AllSubsets(n int, fn func(AttrSet) bool) bool {
+	for k := 1; k <= n; k++ {
+		if !Combinations(n, k, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// BFS walks the lattice from the empty set through the Gen operator in
+// breadth-first order, invoking visit for every generated node. When visit
+// returns false the node's Gen-children are not enqueued (subtree pruning,
+// exactly the pruning Algorithm 1 applies when a label exceeds the size
+// bound). BFS returns the number of nodes generated.
+func BFS(n int, visit func(AttrSet) bool) int {
+	queue := AttrSet(0).Gen(n)
+	generated := 0
+	for len(queue) > 0 {
+		curr := queue[0]
+		queue = queue[1:]
+		generated++
+		if visit(curr) {
+			queue = append(queue, curr.Gen(n)...)
+		}
+	}
+	return generated
+}

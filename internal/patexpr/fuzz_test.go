@@ -1,0 +1,36 @@
+package patexpr
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParse checks that Parse never panics and that accepted inputs
+// round-trip through Format∘Parse.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"", "a=b", "a = b AND c = d", `x = "q,v"`, "a=1,b=2", "a==b",
+		`a="\"escaped\""`, "x = y ∧ z = w", "AND", "= =", `"`, "a=1 AND",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		assign, err := Parse(input)
+		if err != nil {
+			return
+		}
+		// Accepted input must survive a canonical round trip.
+		names := make([]string, 0, len(assign))
+		for n := range assign {
+			names = append(names, n)
+		}
+		expr := Format(names, assign)
+		back, err := Parse(expr)
+		if err != nil {
+			t.Fatalf("Format output %q rejected: %v (from %q)", expr, err, input)
+		}
+		if !reflect.DeepEqual(back, assign) {
+			t.Fatalf("round trip %q -> %q -> %v, want %v", input, expr, back, assign)
+		}
+	})
+}

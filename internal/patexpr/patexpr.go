@@ -1,0 +1,200 @@
+// Package patexpr parses textual pattern expressions such as
+//
+//	gender = Female AND race = "African-American"
+//	age group=under 20, marital status=single
+//
+// into attribute → value assignments. It exists so command-line tools and
+// label consumers can state patterns the way the paper writes them
+// ({gender = Female, race = Hispanic}) rather than in JSON. The grammar:
+//
+//	pattern    := assignment { separator assignment }
+//	assignment := name "=" value
+//	separator  := "," | "AND" | "∧" (case-insensitive AND)
+//	name/value := bare text (trimmed) or a double-quoted string with
+//	              backslash escapes; bare text may contain spaces but not
+//	              separators or '='
+//
+// Duplicate attribute names are rejected: a pattern assigns each attribute
+// at most one value (Definition 2.1).
+package patexpr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse converts a pattern expression into assignments. The empty string
+// parses to the empty pattern (matched by every tuple).
+func Parse(input string) (map[string]string, error) {
+	toks, err := tokenize(input)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string)
+	i := 0
+	for i < len(toks) {
+		// name '=' value
+		if toks[i].kind != tokText {
+			return nil, fmt.Errorf("patexpr: expected attribute name at %d, got %q", toks[i].pos, toks[i].text)
+		}
+		name := toks[i].text
+		i++
+		if i >= len(toks) || toks[i].kind != tokEquals {
+			return nil, fmt.Errorf("patexpr: expected '=' after %q", name)
+		}
+		i++
+		if i >= len(toks) || toks[i].kind != tokText {
+			return nil, fmt.Errorf("patexpr: expected value after %q =", name)
+		}
+		value := toks[i].text
+		i++
+		if name == "" {
+			return nil, fmt.Errorf("patexpr: empty attribute name before %q", value)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("patexpr: attribute %q assigned twice", name)
+		}
+		out[name] = value
+		// Optional separator.
+		if i < len(toks) {
+			if toks[i].kind != tokSep {
+				return nil, fmt.Errorf("patexpr: expected separator before %q", toks[i].text)
+			}
+			i++
+			if i >= len(toks) {
+				return nil, fmt.Errorf("patexpr: dangling separator at end of expression")
+			}
+		}
+	}
+	return out, nil
+}
+
+// Format renders assignments back into a canonical expression, quoting
+// values that contain separators; attribute order follows names.
+func Format(names []string, assign map[string]string) string {
+	var parts []string
+	for _, n := range names {
+		v, ok := assign[n]
+		if !ok {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s = %s", n, quoteIfNeeded(v)))
+	}
+	return strings.Join(parts, " AND ")
+}
+
+func quoteIfNeeded(s string) string {
+	if strings.ContainsAny(s, ",=\"") || strings.Contains(strings.ToUpper(s), " AND ") || s == "" {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}
+
+type tokKind int
+
+const (
+	tokText tokKind = iota
+	tokEquals
+	tokSep
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// tokenize splits the input into text, '=' and separator tokens. Bare text
+// runs are trimmed; "AND" between assignments is a separator only when it
+// stands alone (it can legitimately appear inside quoted values).
+func tokenize(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	flushBare := func(start, end int) {
+		raw := strings.TrimSpace(input[start:end])
+		if raw == "" {
+			return
+		}
+		// Split on standalone AND / ∧ separators within the bare run.
+		for _, piece := range splitBare(raw) {
+			toks = append(toks, piece.withPos(start))
+		}
+	}
+	bareStart := 0
+	for i < len(input) {
+		switch input[i] {
+		case '"':
+			flushBare(bareStart, i)
+			val, next, err := readQuoted(input, i)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{tokText, val, i})
+			i = next
+			bareStart = i
+		case '=':
+			flushBare(bareStart, i)
+			toks = append(toks, token{tokEquals, "=", i})
+			i++
+			bareStart = i
+		case ',':
+			flushBare(bareStart, i)
+			toks = append(toks, token{tokSep, ",", i})
+			i++
+			bareStart = i
+		default:
+			i++
+		}
+	}
+	flushBare(bareStart, len(input))
+	return toks, nil
+}
+
+// splitBare splits a bare text run on standalone AND / ∧ words.
+func splitBare(raw string) []token {
+	fields := strings.Fields(raw)
+	var toks []token
+	var current []string
+	flush := func() {
+		if len(current) > 0 {
+			toks = append(toks, token{tokText, strings.Join(current, " "), 0})
+			current = nil
+		}
+	}
+	for _, f := range fields {
+		if strings.EqualFold(f, "AND") || f == "∧" {
+			flush()
+			toks = append(toks, token{tokSep, f, 0})
+			continue
+		}
+		current = append(current, f)
+	}
+	flush()
+	return toks
+}
+
+func (t token) withPos(p int) token { t.pos = p; return t }
+
+// readQuoted consumes a double-quoted string starting at input[start] == '"'
+// and returns the unescaped contents and the index after the closing quote.
+func readQuoted(input string, start int) (string, int, error) {
+	var b strings.Builder
+	i := start + 1
+	for i < len(input) {
+		c := input[i]
+		switch c {
+		case '\\':
+			if i+1 >= len(input) {
+				return "", 0, fmt.Errorf("patexpr: dangling escape at %d", i)
+			}
+			b.WriteByte(input[i+1])
+			i += 2
+		case '"':
+			return b.String(), i + 1, nil
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return "", 0, fmt.Errorf("patexpr: unterminated quote starting at %d", start)
+}

@@ -1,0 +1,110 @@
+package patexpr
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want map[string]string
+	}{
+		{"", map[string]string{}},
+		{"gender=Female", map[string]string{"gender": "Female"}},
+		{"gender = Female", map[string]string{"gender": "Female"}},
+		{"gender=Female,race=Hispanic", map[string]string{"gender": "Female", "race": "Hispanic"}},
+		{"gender = Female AND race = Hispanic", map[string]string{"gender": "Female", "race": "Hispanic"}},
+		{"gender = Female and race = Hispanic", map[string]string{"gender": "Female", "race": "Hispanic"}},
+		{"gender = Female ∧ race = Hispanic", map[string]string{"gender": "Female", "race": "Hispanic"}},
+		{"age group = under 20", map[string]string{"age group": "under 20"}},
+		{`name = "Smith, Jane"`, map[string]string{"name": "Smith, Jane"}},
+		{`note = "a \"quoted\" word"`, map[string]string{"note": `a "quoted" word`}},
+		{`x = "AND"`, map[string]string{"x": "AND"}},
+		{"marital status = single, age group = 20-39", map[string]string{"marital status": "single", "age group": "20-39"}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"gender",          // no '='
+		"gender=",         // no value
+		"=Female",         // no name
+		"a=1,,b=2",        // empty assignment
+		"a=1,",            // dangling separator
+		"a=1 AND",         // dangling AND
+		"a=1 b=2",         // missing separator
+		`a="unterminated`, // open quote
+		`a="dangling\`,    // dangling escape
+		"a=1,a=2",         // duplicate attribute
+		"a = b = c",       // double equals
+	}
+	for _, in := range bad {
+		if got, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) accepted: %v", in, got)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	names := []string{"gender", "age group", "race", "note"}
+	assign := map[string]string{
+		"gender":    "Female",
+		"age group": "under 20",
+		"note":      "a, b",
+	}
+	expr := Format(names, assign)
+	back, err := Parse(expr)
+	if err != nil {
+		t.Fatalf("Parse(Format()): %v (expr %q)", err, expr)
+	}
+	if !reflect.DeepEqual(back, assign) {
+		t.Errorf("round trip %q -> %v, want %v", expr, back, assign)
+	}
+}
+
+// TestFormatParseProperty (property): Format ∘ Parse is the identity for
+// random simple assignments.
+func TestFormatParseProperty(t *testing.T) {
+	names := []string{"alpha", "beta", "gamma"}
+	prop := func(vals [3]uint8, mask uint8) bool {
+		assign := map[string]string{}
+		for i, n := range names {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			assign[n] = string(rune('a' + vals[i]%26))
+		}
+		expr := Format(names, assign)
+		back, err := Parse(expr)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(back, assign)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatQuoting(t *testing.T) {
+	got := Format([]string{"x"}, map[string]string{"x": "a,b"})
+	if got != `x = "a,b"` {
+		t.Errorf("Format = %q", got)
+	}
+	got = Format([]string{"x"}, map[string]string{"x": ""})
+	if got != `x = ""` {
+		t.Errorf("Format empty = %q", got)
+	}
+}

@@ -1,0 +1,238 @@
+// Package pgstats reimplements the PostgreSQL row-count estimator the paper
+// uses as its DBMS baseline (§IV-A "PostgreSQL"): ANALYZE-style uniform row
+// sampling, per-attribute most-common-value (MCV) lists and n_distinct
+// estimation stored pg_statistic-style, the var_eq_const selectivity rule
+// for a single equality clause, and independence multiplication across the
+// clauses of a conjunctive pattern. Like PostgreSQL's 1-D statistics, the
+// estimator captures marginal distributions well and cross-attribute
+// correlation not at all — which is exactly the behaviour the paper's gray
+// baseline lines exhibit.
+package pgstats
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"pcbl/internal/core"
+	"pcbl/internal/dataset"
+	"pcbl/internal/lattice"
+)
+
+// Options configures Analyze.
+type Options struct {
+	// StatisticsTarget mirrors default_statistics_target: the maximum MCV
+	// list length per attribute. Default 100.
+	StatisticsTarget int
+	// SampleRows is the ANALYZE sample size; PostgreSQL uses
+	// 300 × statistics target. Default 300 × StatisticsTarget.
+	SampleRows int
+	// Seed makes the ANALYZE sample deterministic.
+	Seed uint64
+}
+
+// attrStats is one pg_statistic row: the per-attribute statistics ANALYZE
+// would store.
+type attrStats struct {
+	nullFrac  float64   // fraction of sampled rows that are NULL
+	nDistinct float64   // estimated number of distinct non-null values
+	mcvFreq   []float64 // mcvFreq[id-1] = MCV frequency, 0 when not an MCV
+	numMCV    int
+	sumMCV    float64
+}
+
+// Stats is the collected statistics for a dataset; it implements
+// core.Estimator.
+type Stats struct {
+	d         *dataset.Dataset
+	totalRows int
+	attrs     []attrStats
+	target    int
+}
+
+// Analyze samples the dataset and builds per-attribute statistics.
+func Analyze(d *dataset.Dataset, opts Options) (*Stats, error) {
+	target := opts.StatisticsTarget
+	if target <= 0 {
+		target = 100
+	}
+	sampleRows := opts.SampleRows
+	if sampleRows <= 0 {
+		sampleRows = 300 * target
+	}
+	n := d.NumRows()
+	if n == 0 {
+		return nil, fmt.Errorf("pgstats: cannot analyze an empty dataset")
+	}
+	// Uniform sample of row indices (with replacement is fine at ANALYZE
+	// scale; PostgreSQL uses two-stage Vitter sampling, whose estimates
+	// this approximates).
+	rng := rand.New(rand.NewPCG(opts.Seed, 0x853C49E6748FEA9B))
+	rows := make([]int, 0, sampleRows)
+	if sampleRows >= n {
+		for r := 0; r < n; r++ {
+			rows = append(rows, r)
+		}
+	} else {
+		for i := 0; i < sampleRows; i++ {
+			rows = append(rows, rng.IntN(n))
+		}
+	}
+	s := &Stats{d: d, totalRows: n, target: target, attrs: make([]attrStats, d.NumAttrs())}
+	for a := 0; a < d.NumAttrs(); a++ {
+		s.attrs[a] = analyzeAttr(d, a, rows, target)
+	}
+	return s, nil
+}
+
+// analyzeAttr computes one attribute's statistics from the sampled rows.
+func analyzeAttr(d *dataset.Dataset, a int, rows []int, target int) attrStats {
+	domain := d.Attr(a).DomainSize()
+	counts := make([]int, domain)
+	nulls := 0
+	for _, r := range rows {
+		id := d.ID(r, a)
+		if id == dataset.Null {
+			nulls++
+			continue
+		}
+		counts[id-1]++
+	}
+	sampleN := len(rows)
+	nonNull := sampleN - nulls
+	st := attrStats{mcvFreq: make([]float64, domain)}
+	if sampleN > 0 {
+		st.nullFrac = float64(nulls) / float64(sampleN)
+	}
+	if nonNull == 0 {
+		st.nDistinct = 0
+		return st
+	}
+
+	// Distinct estimation (PostgreSQL's std_typanalyze logic): if every
+	// sampled value appeared more than once, assume the sample saw the
+	// whole domain; otherwise apply the Haas–Stokes Duj1 estimator.
+	dDistinct, f1 := 0, 0
+	for _, c := range counts {
+		if c > 0 {
+			dDistinct++
+			if c == 1 {
+				f1++
+			}
+		}
+	}
+	if f1 == 0 {
+		st.nDistinct = float64(dDistinct)
+	} else {
+		totalRows := float64(d.NumRows())
+		nf := float64(nonNull)
+		denom := nf - float64(f1) + float64(f1)*nf/totalRows
+		if denom <= 0 {
+			denom = 1
+		}
+		est := nf * float64(dDistinct) / denom
+		if est < float64(dDistinct) {
+			est = float64(dDistinct)
+		}
+		if est > totalRows {
+			est = totalRows
+		}
+		st.nDistinct = est
+	}
+
+	// MCV list: the up-to-target most common sampled values. PostgreSQL
+	// keeps a value only when it appears more than once in the sample.
+	type vc struct {
+		id uint16
+		c  int
+	}
+	var cand []vc
+	for i, c := range counts {
+		if c > 1 || (c == 1 && dDistinct <= target) {
+			cand = append(cand, vc{uint16(i + 1), c})
+		}
+	}
+	sort.Slice(cand, func(x, y int) bool {
+		if cand[x].c != cand[y].c {
+			return cand[x].c > cand[y].c
+		}
+		return cand[x].id < cand[y].id
+	})
+	if len(cand) > target {
+		cand = cand[:target]
+	}
+	for _, e := range cand {
+		f := float64(e.c) / float64(sampleN)
+		st.mcvFreq[e.id-1] = f
+		st.sumMCV += f
+		st.numMCV++
+	}
+	return st
+}
+
+// TotalRows returns |D| as known to the estimator.
+func (s *Stats) TotalRows() int { return s.totalRows }
+
+// StatisticRows returns the number of pg_statistic rows the statistics
+// occupy (one per attribute), for size reporting à la §IV-B.
+func (s *Stats) StatisticRows() int { return len(s.attrs) }
+
+// MCVEntries returns the total number of (value, frequency) pairs stored
+// across all MCV lists — the estimator's actual space consumption.
+func (s *Stats) MCVEntries() int {
+	n := 0
+	for _, a := range s.attrs {
+		n += a.numMCV
+	}
+	return n
+}
+
+// EqSel returns the selectivity of the clause A_a = id, following
+// PostgreSQL's var_eq_const: the MCV frequency when the value is an MCV,
+// otherwise the remaining probability mass spread evenly over the distinct
+// values not in the MCV list.
+func (s *Stats) EqSel(a int, id uint16) float64 {
+	st := &s.attrs[a]
+	if id == dataset.Null || int(id) > len(st.mcvFreq) {
+		return 0
+	}
+	if f := st.mcvFreq[id-1]; f > 0 {
+		return f
+	}
+	other := st.nDistinct - float64(st.numMCV)
+	if other < 1 {
+		// The MCV list is believed to cover the whole domain; a value
+		// outside it is (nearly) nonexistent.
+		return 0
+	}
+	sel := (1 - st.sumMCV - st.nullFrac) / other
+	if sel < 0 {
+		sel = 0
+	}
+	// PostgreSQL clamps so a non-MCV value is never deemed more likely
+	// than the least common MCV.
+	for _, f := range st.mcvFreq {
+		if f > 0 && sel > f {
+			sel = f
+		}
+	}
+	return sel
+}
+
+// EstimateRow implements core.Estimator: |D| × Π EqSel(clause), the
+// clauselist_selectivity independence product.
+func (s *Stats) EstimateRow(vals []uint16, attrs lattice.AttrSet) float64 {
+	sel := 1.0
+	for _, a := range attrs.Members() {
+		sel *= s.EqSel(a, vals[a])
+		if sel == 0 {
+			return 0
+		}
+	}
+	return sel * float64(s.totalRows)
+}
+
+// Estimate estimates the count of an explicit pattern.
+func (s *Stats) Estimate(p core.Pattern) float64 {
+	return s.EstimateRow(p.Values(), p.Attrs())
+}

@@ -1,0 +1,263 @@
+package pgstats
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"pcbl/internal/core"
+	"pcbl/internal/datagen"
+	"pcbl/internal/dataset"
+	"pcbl/internal/lattice"
+	"pcbl/internal/testutil"
+)
+
+var _ core.Estimator = (*Stats)(nil)
+
+func TestAnalyzeBasics(t *testing.T) {
+	d := testutil.Fig2()
+	s, err := Analyze(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalRows() != 18 {
+		t.Errorf("total rows = %d", s.TotalRows())
+	}
+	if s.StatisticRows() != 4 {
+		t.Errorf("statistic rows = %d, want 4 (one per attribute)", s.StatisticRows())
+	}
+	if s.MCVEntries() == 0 {
+		t.Error("no MCV entries collected")
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	b := dataset.NewBuilder("e", "x")
+	d, _ := b.Build()
+	if _, err := Analyze(d, Options{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+// TestMarginalsExactWithFullSample: when the ANALYZE sample covers the whole
+// table, single-attribute estimates are exact.
+func TestMarginalsExactWithFullSample(t *testing.T) {
+	d := testutil.Fig2()
+	s, err := Analyze(d, Options{SampleRows: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < d.NumAttrs(); a++ {
+		counts := d.ValueCounts(a)
+		for i, c := range counts {
+			p, _ := core.PatternFromIDs(lattice.NewAttrSet(a), denseVal(d.NumAttrs(), a, uint16(i+1)))
+			if got := s.Estimate(p); math.Abs(got-float64(c)) > 1e-9 {
+				t.Errorf("attr %d value %d: estimate %v, want %d", a, i+1, got, c)
+			}
+		}
+	}
+}
+
+func denseVal(n, attr int, id uint16) []uint16 {
+	v := make([]uint16, n)
+	v[attr] = id
+	return v
+}
+
+// TestIndependenceMultiplication: the conjunctive estimate is exactly the
+// product of the per-clause selectivities times |D|.
+func TestIndependenceMultiplication(t *testing.T) {
+	d := testutil.Fig2()
+	s, err := Analyze(d, Options{SampleRows: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi, _ := d.AttrIndex("gender")
+	ri, _ := d.AttrIndex("race")
+	gID, _ := d.Attr(gi).ID("Female")
+	rID, _ := d.Attr(ri).ID("Hispanic")
+	vals := make([]uint16, d.NumAttrs())
+	vals[gi], vals[ri] = gID, rID
+	got := s.EstimateRow(vals, lattice.NewAttrSet(gi, ri))
+	want := s.EqSel(gi, gID) * s.EqSel(ri, rID) * 18
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("estimate %v != product %v", got, want)
+	}
+	// Fig 2: 9/18 Female × 6/18 Hispanic × 18 = 3.
+	if math.Abs(got-3) > 1e-9 {
+		t.Errorf("estimate %v, want 3", got)
+	}
+}
+
+// TestCannotSeeCorrelation: on the Example 2.7 correlated data, the
+// PostgreSQL-style estimator keeps the independence answer while the true
+// count is twice it — the failure the PCBL label fixes.
+func TestCannotSeeCorrelation(t *testing.T) {
+	d := testutil.BinaryCorrelated(6)
+	s, err := Analyze(d, Options{SampleRows: d.NumRows()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := core.NewPattern(d, map[string]string{"A1": "0", "A2": "0", "A3": "0"})
+	got := s.Estimate(p)
+	indep := float64(d.NumRows()) / 8 // (1/2)^3
+	if math.Abs(got-indep) > 1e-9 {
+		t.Errorf("estimate %v, want independence %v", got, indep)
+	}
+	if trueCount := core.CountPattern(d, p); float64(trueCount) <= got {
+		t.Errorf("true count %d should exceed independence estimate %v", trueCount, got)
+	}
+}
+
+func TestEqSelUnknownValue(t *testing.T) {
+	d := testutil.Fig2()
+	s, err := Analyze(d, Options{SampleRows: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.EqSel(0, dataset.Null); got != 0 {
+		t.Errorf("EqSel(NULL) = %v", got)
+	}
+	if got := s.EqSel(0, 200); got != 0 {
+		t.Errorf("EqSel(out of domain) = %v", got)
+	}
+}
+
+// TestNDistinctEstimation: with a small sample of a large skewed domain the
+// Haas–Stokes estimate lands between the sampled distinct count and |D|.
+func TestNDistinctEstimation(t *testing.T) {
+	d, err := datagen.BlueNile(20000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Analyze(d, Options{StatisticsTarget: 2, SampleRows: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < d.NumAttrs(); a++ {
+		nd := s.attrs[a].nDistinct
+		if nd < 1 || nd > float64(d.NumRows()) {
+			t.Errorf("attr %d: n_distinct = %v out of range", a, nd)
+		}
+	}
+}
+
+// TestBoundIndependence: the estimator's accuracy is a property of the
+// statistics target, not of any label bound — the flat gray line of Fig 4.
+func TestBoundIndependence(t *testing.T) {
+	d, err := datagen.COMPAS(5000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := core.DistinctTuples(d)
+	s, err := Analyze(d, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := core.Evaluate(s, ps, core.EvalOptions{})
+	r2 := core.Evaluate(s, ps, core.EvalOptions{})
+	if r1.MaxAbs != r2.MaxAbs || r1.MeanQ != r2.MeanQ {
+		t.Error("estimator not deterministic across evaluations")
+	}
+}
+
+func TestNullFraction(t *testing.T) {
+	b := dataset.NewBuilder("n", "x")
+	for i := 0; i < 50; i++ {
+		if i%2 == 0 {
+			b.AppendStrings("")
+		} else {
+			b.AppendStrings("v")
+		}
+	}
+	d, _ := b.Build()
+	s, err := Analyze(d, Options{SampleRows: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.attrs[0].nullFrac-0.5) > 1e-9 {
+		t.Errorf("null fraction = %v, want 0.5", s.attrs[0].nullFrac)
+	}
+	// The value "v" occurs in half the rows.
+	id, _ := d.Attr(0).ID("v")
+	if got := s.EqSel(0, id); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("EqSel = %v, want 0.5", got)
+	}
+}
+
+// TestEqSelNonMCVPath: with a tight statistics target and a small sample of
+// a larger domain, non-MCV values take the remaining-mass path, clamped by
+// the least common MCV frequency.
+func TestEqSelNonMCVPath(t *testing.T) {
+	b := dataset.NewBuilder("skew", "x")
+	// A heavy hitter plus a long tail of rare values.
+	for i := 0; i < 600; i++ {
+		b.AppendStrings("hot")
+	}
+	for i := 0; i < 60; i++ {
+		b.AppendStrings(fmt.Sprintf("cold-%d", i%30))
+	}
+	d, _ := b.Build()
+	s, err := Analyze(d, Options{StatisticsTarget: 1, SampleRows: 200, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotID, _ := d.Attr(0).ID("hot")
+	coldID, _ := d.Attr(0).ID("cold-0")
+	hot, cold := s.EqSel(0, hotID), s.EqSel(0, coldID)
+	if hot <= 0 {
+		t.Fatal("heavy hitter has zero selectivity")
+	}
+	if cold < 0 || cold > hot {
+		t.Errorf("non-MCV selectivity %v outside [0, mcv=%v]", cold, hot)
+	}
+	// Conjunction estimate is still well-formed.
+	vals := []uint16{coldID}
+	if est := s.EstimateRow(vals, lattice.NewAttrSet(0)); est < 0 || est > float64(d.NumRows()) {
+		t.Errorf("estimate %v out of range", est)
+	}
+}
+
+// TestEqSelCoveredDomain: when the sample convinces ANALYZE the MCV list
+// covers the whole domain, an unseen value gets selectivity 0.
+func TestEqSelCoveredDomain(t *testing.T) {
+	b := dataset.NewBuilder("cov", "x")
+	for i := 0; i < 100; i++ {
+		b.AppendStrings(fmt.Sprintf("v%d", i%3))
+	}
+	b.AppendStrings("rare") // in the domain, likely outside a tiny sample
+	d, _ := b.Build()
+	s, err := Analyze(d, Options{StatisticsTarget: 10, SampleRows: 101, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full sample: everything is an MCV, f1 handling exercised via "rare".
+	rareID, _ := d.Attr(0).ID("rare")
+	if got := s.EqSel(0, rareID); got <= 0 {
+		// With a full sample rare IS sampled once; with dDistinct ≤ target
+		// it stays in the MCV list, so selectivity must be positive.
+		t.Errorf("rare value selectivity = %v, want > 0", got)
+	}
+}
+
+// TestAnalyzeAllNullColumn: a column of only NULLs yields zero estimates
+// but no panic.
+func TestAnalyzeAllNullColumn(t *testing.T) {
+	b := dataset.NewBuilder("nullcol", "x", "y")
+	for i := 0; i < 20; i++ {
+		b.AppendStrings("", "v")
+	}
+	d, _ := b.Build()
+	s, err := Analyze(d, Options{SampleRows: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.EqSel(0, 1); got != 0 {
+		t.Errorf("all-NULL column selectivity = %v", got)
+	}
+	vals := make([]uint16, 2)
+	vals[1], _ = d.Attr(1).ID("v")
+	if est := s.EstimateRow(vals, lattice.NewAttrSet(1)); est != 20 {
+		t.Errorf("estimate = %v, want 20", est)
+	}
+}

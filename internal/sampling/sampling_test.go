@@ -1,0 +1,193 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pcbl/internal/core"
+	"pcbl/internal/datagen"
+	"pcbl/internal/lattice"
+	"pcbl/internal/testutil"
+)
+
+func TestSampleSizeAndScale(t *testing.T) {
+	d := testutil.Fig2()
+	e, err := New(d, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Size() != 6 {
+		t.Errorf("size = %d, want 6", e.Size())
+	}
+	if got := e.Scale(); got != 3 {
+		t.Errorf("scale = %v, want 3", got)
+	}
+	if _, err := New(d, 0, 1); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	d := testutil.Fig2()
+	e, err := New(d, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for _, r := range e.rows {
+		if r < 0 || r >= d.NumRows() {
+			t.Fatalf("row index %d out of range", r)
+		}
+		if seen[r] {
+			t.Fatalf("row %d sampled twice", r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestFullSample(t *testing.T) {
+	d := testutil.Fig2()
+	e, err := New(d, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Size() != d.NumRows() || e.Scale() != 1 {
+		t.Errorf("full sample: size %d scale %v", e.Size(), e.Scale())
+	}
+	// With the whole dataset sampled, estimates are exact.
+	ps := core.DistinctTuples(d)
+	res := core.Evaluate(e, ps, core.EvalOptions{})
+	if res.MaxAbs != 0 {
+		t.Errorf("full-sample max err = %v, want 0", res.MaxAbs)
+	}
+}
+
+// TestScaleUpFormula: an estimate is always count-in-sample × |D| / |S|.
+func TestScaleUpFormula(t *testing.T) {
+	d := testutil.Fig2()
+	e, err := New(d, 9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gIdx, _ := d.AttrIndex("gender")
+	fID, _ := d.Attr(gIdx).ID("Female")
+	inSample := 0
+	for _, r := range e.rows {
+		if d.ID(r, gIdx) == fID {
+			inSample++
+		}
+	}
+	p, _ := core.NewPattern(d, map[string]string{"gender": "Female"})
+	want := float64(inSample) * 2 // scale = 18/9
+	if got := e.Estimate(p); got != want {
+		t.Errorf("estimate = %v, want %v", got, want)
+	}
+}
+
+// TestDeterministicSeeds (property): same seed → same estimates; the
+// estimator is deterministic by construction.
+func TestDeterministicSeeds(t *testing.T) {
+	d, err := datagen.BlueNile(2000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := core.DistinctTuples(d)
+	prop := func(seed uint64) bool {
+		a, err := New(d, 50, seed)
+		if err != nil {
+			return false
+		}
+		b, err := New(d, 50, seed)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < min(20, ps.Len()); i++ {
+			if a.EstimateRow(ps.Row(i), ps.Attrs(i)) != b.EstimateRow(ps.Row(i), ps.Attrs(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnbiasedOnMarginals: averaged over many seeds, the scale-up estimate
+// of a single-attribute pattern approaches its true count.
+func TestUnbiasedOnMarginals(t *testing.T) {
+	d, err := datagen.BlueNile(5000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewPattern(d, map[string]string{"cut": "Ideal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueCount := float64(core.CountPattern(d, p))
+	sum := 0.0
+	const trials = 200
+	for s := 0; s < trials; s++ {
+		e, err := New(d, 100, uint64(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += e.Estimate(p)
+	}
+	mean := sum / trials
+	if math.Abs(mean-trueCount)/trueCount > 0.08 {
+		t.Errorf("mean estimate %v vs true %v — bias too large", mean, trueCount)
+	}
+}
+
+func TestSampleSizeFor(t *testing.T) {
+	d := testutil.Fig2()
+	// |VC| = 2 + 2 + 3 + 3 = 10.
+	if got := SampleSizeFor(d, 30); got != 40 {
+		t.Errorf("SampleSizeFor = %d, want 40", got)
+	}
+}
+
+func TestAverageEval(t *testing.T) {
+	d, err := datagen.BlueNile(2000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := core.DistinctTuples(d)
+	mean, runs, err := AverageEval(d, ps, 60, 5, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 5 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	var sum float64
+	for _, r := range runs {
+		sum += r.MaxAbs
+	}
+	if math.Abs(mean.MaxAbs-sum/5) > 1e-9 {
+		t.Errorf("mean MaxAbs %v != %v", mean.MaxAbs, sum/5)
+	}
+	if _, _, err := AverageEval(d, ps, 60, 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+// TestEstimatorInterface: the estimator can stand in wherever a label can.
+var _ core.Estimator = (*Estimator)(nil)
+
+// TestEstimateSubPattern: patterns over attribute subsets work through the
+// lazy index path.
+func TestEstimateSubPattern(t *testing.T) {
+	d := testutil.Fig2()
+	e, err := New(d, 18, 1) // full sample ⇒ exact
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := core.NewPattern(d, map[string]string{"race": "Hispanic", "marital status": "divorced"})
+	if got, want := e.Estimate(p), float64(core.CountPattern(d, p)); got != want {
+		t.Errorf("estimate = %v, want %v", got, want)
+	}
+	_ = lattice.AttrSet(0)
+}

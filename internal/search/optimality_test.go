@@ -1,0 +1,133 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"pcbl/internal/core"
+	"pcbl/internal/datagen"
+	"pcbl/internal/lattice"
+	"pcbl/internal/testutil"
+)
+
+// bruteForceOptimum evaluates every attribute subset of size ≥ 2 whose
+// label fits the bound and returns the minimum achievable max error — the
+// ground truth both algorithms are judged against.
+func bruteForceOptimum(t *testing.T, d interface {
+	NumAttrs() int
+}, bound int, eval func(lattice.AttrSet) (float64, bool)) float64 {
+	t.Helper()
+	best := math.Inf(1)
+	n := d.NumAttrs()
+	for k := 2; k <= n; k++ {
+		lattice.Combinations(n, k, func(s lattice.AttrSet) bool {
+			if err, ok := eval(s); ok && err < best {
+				best = err
+			}
+			return true
+		})
+	}
+	return best
+}
+
+// TestNaiveIsOptimal: the naive algorithm's result equals the brute-force
+// optimum over all in-bound subsets of size ≥ 2.
+func TestNaiveIsOptimal(t *testing.T) {
+	d := testutil.Fig2()
+	ps := core.DistinctTuples(d)
+	for _, bound := range []int{4, 6, 9, 50} {
+		best := bruteForceOptimum(t, d, bound, func(s lattice.AttrSet) (float64, bool) {
+			if _, within := core.LabelSize(d, s, bound); !within {
+				return 0, false
+			}
+			l := core.BuildLabel(d, s)
+			maxErr, _ := core.MaxAbsError(l, ps, core.MaxErrOptions{Workers: 1})
+			return maxErr, true
+		})
+		res, err := Naive(d, ps, Options{Bound: bound, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsInf(best, 1) {
+			continue // nothing in bound; fallback semantics apply
+		}
+		if math.Abs(res.MaxErr-best) > 1e-9 {
+			t.Errorf("bound %d: naive err %v != brute force optimum %v", bound, res.MaxErr, best)
+		}
+	}
+}
+
+// TestTopDownNearOptimal: the heuristic's error matches the brute-force
+// optimum on the correlated COMPAS emulator projection — the empirical
+// basis (§IV-B: similar errors for both algorithms) of the whole approach.
+func TestTopDownNearOptimal(t *testing.T) {
+	full, err := datagen.COMPAS(4000, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := full.Prefix(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := core.DistinctTuples(d)
+	for _, bound := range []int{20, 60} {
+		naive, err := Naive(d, ps, Options{Bound: bound, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		top, err := TopDown(d, ps, Options{Bound: bound, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The heuristic may in principle lose to the optimum when a
+		// non-maximal set beats all its in-bound supersets; on these
+		// workloads it should not.
+		if top.MaxErr > naive.MaxErr+1e-9 {
+			t.Errorf("bound %d: topdown err %v > naive optimum %v (attrs %v vs %v)",
+				bound, top.MaxErr, naive.MaxErr,
+				top.Attrs.Format(d.AttrNames()), naive.Attrs.Format(d.AttrNames()))
+		}
+	}
+}
+
+// TestSortedEvalAgreesInSearch: FastEval on/off choose labels with equal
+// error (the §IV-C optimization must not change results on these data).
+func TestSortedEvalAgreesInSearch(t *testing.T) {
+	d, err := datagen.BlueNile(3000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := core.DistinctTuples(d)
+	for _, bound := range []int{10, 40} {
+		slow, err := TopDown(d, ps, Options{Bound: bound, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := TopDown(d, ps, Options{Bound: bound, FastEval: true, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(slow.MaxErr-fast.MaxErr) > 1e-9 {
+			t.Errorf("bound %d: fast-eval changed the result: %v vs %v", bound, fast.MaxErr, slow.MaxErr)
+		}
+	}
+}
+
+// TestDeterministicResults: repeated runs pick the same attribute set.
+func TestDeterministicResults(t *testing.T) {
+	d := testutil.Fig2()
+	ps := core.DistinctTuples(d)
+	first, err := TopDown(d, ps, Options{Bound: 6, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := TopDown(d, ps, Options{Bound: 6, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Attrs != first.Attrs {
+			t.Fatalf("run %d chose %v, first chose %v", i, again.Attrs, first.Attrs)
+		}
+	}
+}

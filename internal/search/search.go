@@ -1,0 +1,312 @@
+// Package search implements the optimal-label computation of paper §III:
+// the naive level-wise algorithm and the optimized top-down heuristic
+// (Algorithm 1) that traverses the label lattice through the gen operator,
+// keeps only maximal in-bound candidates (justified by Proposition 3.2), and
+// prunes every subtree rooted at a set whose label already exceeds the size
+// bound (sound because label size is monotone in the attribute set).
+package search
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"pcbl/internal/core"
+	"pcbl/internal/dataset"
+	"pcbl/internal/lattice"
+)
+
+// Options configures a label search.
+type Options struct {
+	// Bound is B_s, the maximum admissible label size |P_S|. Required.
+	Bound int
+	// FastEval enables the paper's sorted early-termination max-error scan
+	// (§IV-C). The pattern set is sorted by count once and reused.
+	FastEval bool
+	// BranchAndBound aborts a candidate's evaluation as soon as its
+	// running max error exceeds the best error found so far. This is an
+	// optimization beyond the paper; it never changes the result.
+	BranchAndBound bool
+	// Workers bounds evaluation parallelism; runtime.NumCPU() when 0,
+	// 1 for fully sequential (paper-faithful timing).
+	//
+	// When no attribute set of size ≥ 2 yields an in-bound label, both
+	// algorithms fall back to in-bound singletons, and failing that to
+	// the empty set (pure independence estimation) — the paper leaves
+	// this degenerate case unspecified.
+	Workers int
+}
+
+// Stats reports the work a search performed; Fig 6–9 of the paper are
+// plotted from these counters and timings.
+type Stats struct {
+	// SizeComputed is the number of attribute sets whose label size was
+	// computed (every set the algorithm "examined").
+	SizeComputed int
+	// InBound is the number of examined sets whose label fit the bound
+	// ("# cands generated" for the optimized heuristic in Fig 9).
+	InBound int
+	// Evaluated is the number of candidate labels whose error was
+	// computed in the final phase.
+	Evaluated int
+	// PatternsScanned is the total number of (label, pattern) estimate
+	// evaluations across the final phase; early termination keeps it far
+	// below Evaluated × |P|.
+	PatternsScanned int64
+	// SearchTime covers candidate enumeration (label-size computation).
+	SearchTime time.Duration
+	// EvalTime covers the find-best-candidate phase (paper §IV-C reports
+	// its share of total runtime).
+	EvalTime time.Duration
+}
+
+// Total returns the end-to-end search duration.
+func (s Stats) Total() time.Duration { return s.SearchTime + s.EvalTime }
+
+// Result is the outcome of a label search.
+type Result struct {
+	// Attrs is the chosen attribute set S.
+	Attrs lattice.AttrSet
+	// Label is L_S(D).
+	Label *core.Label
+	// MaxErr is Err(L_S(D), P).
+	MaxErr float64
+	// Size is |P_S|.
+	Size int
+	// Stats describes the work performed.
+	Stats Stats
+}
+
+// Naive finds the optimal label by level-wise enumeration (paper §III):
+// subsets of size 2, 3, … are generated with their label sizes; every
+// in-bound subset's label error is evaluated; enumeration stops at the first
+// level where no subset fits the bound (label sizes are monotone, so deeper
+// levels cannot fit either).
+func Naive(d *dataset.Dataset, ps *core.PatternSet, opts Options) (*Result, error) {
+	if err := checkOptions(d, opts); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	n := d.NumAttrs()
+	var stats Stats
+	var cands []lattice.AttrSet
+	for k := 2; k <= n; k++ {
+		levelHit := false
+		lattice.Combinations(n, k, func(s lattice.AttrSet) bool {
+			stats.SizeComputed++
+			if _, within := core.LabelSize(d, s, opts.Bound); within {
+				levelHit = true
+				stats.InBound++
+				cands = append(cands, s)
+			}
+			return true
+		})
+		if !levelHit {
+			break
+		}
+	}
+	stats.SearchTime = time.Since(start)
+	return finish(d, ps, cands, opts, stats)
+}
+
+// TopDown is Algorithm 1: a breadth-first traversal of the label lattice
+// through the gen operator. Children of in-bound sets are generated exactly
+// once; sets whose label exceeds the bound are pruned together with their
+// entire gen-subtree; the candidate list keeps only maximal in-bound sets
+// (adding a child evicts its direct parents), since by Proposition 3.2 a
+// superset's label is expected to estimate at least as well.
+func TopDown(d *dataset.Dataset, ps *core.PatternSet, opts Options) (*Result, error) {
+	if err := checkOptions(d, opts); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	n := d.NumAttrs()
+	var stats Stats
+	queue := lattice.AttrSet(0).Gen(n) // the attribute singletons
+	cands := make(map[lattice.AttrSet]struct{})
+	for len(queue) > 0 {
+		curr := queue[0]
+		queue = queue[1:]
+		for _, c := range curr.Gen(n) {
+			stats.SizeComputed++
+			if _, within := core.LabelSize(d, c, opts.Bound); !within {
+				continue
+			}
+			stats.InBound++
+			queue = append(queue, c)
+			// removeParents(cands, c): keep the candidate list an
+			// antichain of maximal in-bound sets.
+			for _, p := range c.Parents() {
+				delete(cands, p)
+			}
+			cands[c] = struct{}{}
+		}
+	}
+	stats.SearchTime = time.Since(start)
+	list := make([]lattice.AttrSet, 0, len(cands))
+	for s := range cands {
+		list = append(list, s)
+	}
+	return finish(d, ps, list, opts, stats)
+}
+
+func checkOptions(d *dataset.Dataset, opts Options) error {
+	if opts.Bound <= 0 {
+		return fmt.Errorf("search: bound must be positive, got %d", opts.Bound)
+	}
+	if d.NumAttrs() > lattice.MaxAttrs {
+		return fmt.Errorf("search: dataset has %d attributes, max %d", d.NumAttrs(), lattice.MaxAttrs)
+	}
+	return nil
+}
+
+// finish evaluates every candidate set and returns the best label. When no
+// candidate of size ≥ 2 exists it falls back to in-bound singletons, then to
+// the empty set (pure independence estimation).
+func finish(d *dataset.Dataset, ps *core.PatternSet, cands []lattice.AttrSet, opts Options, stats Stats) (*Result, error) {
+	if len(cands) == 0 {
+		for i := 0; i < d.NumAttrs(); i++ {
+			s := lattice.NewAttrSet(i)
+			stats.SizeComputed++
+			if _, within := core.LabelSize(d, s, opts.Bound); within {
+				stats.InBound++
+				cands = append(cands, s)
+			}
+		}
+		if len(cands) == 0 {
+			cands = append(cands, lattice.AttrSet(0))
+		}
+	}
+	lattice.SortAttrSets(cands)
+	if opts.FastEval {
+		ps.SortByCountDesc()
+	}
+
+	evalStart := time.Now()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+
+	type scored struct {
+		idx     int
+		attrs   lattice.AttrSet
+		label   *core.Label
+		maxErr  float64
+		scanned int
+		exact   bool // false when branch-and-bound cut the scan short
+	}
+	results := make([]scored, len(cands))
+
+	var best struct {
+		sync.Mutex
+		err float64
+		ok  bool
+	}
+	cutoff := func() float64 {
+		if !opts.BranchAndBound {
+			return 0
+		}
+		best.Lock()
+		defer best.Unlock()
+		if !best.ok {
+			return 0
+		}
+		return best.err
+	}
+	offer := func(e float64) {
+		best.Lock()
+		if !best.ok || e < best.err {
+			best.err, best.ok = e, true
+		}
+		best.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				s := cands[i]
+				l := core.BuildLabel(d, s)
+				mo := core.MaxErrOptions{
+					Sorted:    opts.FastEval,
+					StopAbove: cutoff(),
+					Workers:   1,
+				}
+				maxErr, scanned := core.MaxAbsError(l, ps, mo)
+				exact := mo.StopAbove <= 0 || maxErr <= mo.StopAbove
+				if exact {
+					offer(maxErr)
+				}
+				results[i] = scored{i, s, l, maxErr, scanned, exact}
+			}
+		}()
+	}
+	for i := range cands {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	bestIdx := -1
+	for i, r := range results {
+		stats.Evaluated++
+		stats.PatternsScanned += int64(r.scanned)
+		if !r.exact {
+			continue // provably worse than the best exact candidate
+		}
+		if bestIdx < 0 || r.maxErr < results[bestIdx].maxErr {
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 { // all cut off: re-evaluate the first exactly
+		l := core.BuildLabel(d, cands[0])
+		maxErr, scanned := core.MaxAbsError(l, ps, core.MaxErrOptions{Sorted: opts.FastEval, Workers: 1})
+		results[0] = scored{0, cands[0], l, maxErr, scanned, true}
+		stats.PatternsScanned += int64(scanned)
+		bestIdx = 0
+	}
+	stats.EvalTime = time.Since(evalStart)
+
+	r := results[bestIdx]
+	return &Result{
+		Attrs:  r.attrs,
+		Label:  r.label,
+		MaxErr: r.maxErr,
+		Size:   r.label.Size(),
+		Stats:  stats,
+	}, nil
+}
+
+// EvaluateSets scores an explicit list of attribute sets and returns them
+// ordered as given, with their label sizes and max errors. Fig 10 (optimal
+// label vs drop-one sub-labels) is produced from this helper.
+func EvaluateSets(d *dataset.Dataset, ps *core.PatternSet, sets []lattice.AttrSet, opts Options) []Result {
+	if opts.FastEval {
+		ps.SortByCountDesc()
+	}
+	out := make([]Result, len(sets))
+	for i, s := range sets {
+		l := core.BuildLabel(d, s)
+		maxErr, scanned := core.MaxAbsError(l, ps, core.MaxErrOptions{Sorted: opts.FastEval, Workers: opts.Workers})
+		out[i] = Result{
+			Attrs:  s,
+			Label:  l,
+			MaxErr: maxErr,
+			Size:   l.Size(),
+			Stats:  Stats{Evaluated: 1, PatternsScanned: int64(scanned)},
+		}
+	}
+	return out
+}
+
+// SortSets sorts attribute sets deterministically (by size then value); it
+// re-exports the lattice helper for callers assembling Fig 10 style reports.
+func SortSets(sets []lattice.AttrSet) { lattice.SortAttrSets(sets) }

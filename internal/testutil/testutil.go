@@ -1,0 +1,107 @@
+// Package testutil provides shared fixtures for the PCBL test suites, most
+// importantly the 18-tuple simplified COMPAS fragment of the paper's
+// Figure 2, on which the paper works all of its §II and §III examples.
+package testutil
+
+import (
+	"fmt"
+
+	"pcbl/internal/dataset"
+)
+
+// Fig2AttrOrder is the attribute order of the Figure 2 fixture: gender (g),
+// age group (a), race (r), marital status (m) — matching the lattice diagram
+// of Figure 3.
+var Fig2AttrOrder = []string{"gender", "age group", "race", "marital status"}
+
+// Fig2 builds the sample database of the paper's Figure 2: 18 tuples over
+// {gender, age group, race, marital status}.
+func Fig2() *dataset.Dataset {
+	rows := [][4]string{
+		{"Female", "under 20", "African-American", "single"},
+		{"Male", "20-39", "African-American", "divorced"},
+		{"Male", "under 20", "Hispanic", "single"},
+		{"Male", "20-39", "Caucasian", "married"},
+		{"Female", "20-39", "African-American", "divorced"},
+		{"Male", "20-39", "Caucasian", "divorced"},
+		{"Female", "20-39", "African-American", "married"},
+		{"Male", "under 20", "African-American", "single"},
+		{"Female", "20-39", "Caucasian", "divorced"},
+		{"Male", "under 20", "Caucasian", "single"},
+		{"Male", "20-39", "Hispanic", "divorced"},
+		{"Female", "under 20", "Hispanic", "single"},
+		{"Female", "20-39", "Hispanic", "married"},
+		{"Female", "under 20", "Caucasian", "single"},
+		{"Female", "20-39", "Caucasian", "married"},
+		{"Male", "20-39", "Hispanic", "married"},
+		{"Male", "20-39", "African-American", "married"},
+		{"Female", "20-39", "Hispanic", "divorced"},
+	}
+	b := dataset.NewBuilder("compas-fig2", Fig2AttrOrder...)
+	for _, r := range rows {
+		b.AppendStrings(r[0], r[1], r[2], r[3])
+	}
+	d, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// BinaryIndependent builds the database of Example 2.5: n binary attributes
+// where every of the 2^n value combinations appears exactly once. Attribute
+// names are A1..An and values are "0"/"1".
+func BinaryIndependent(n int) *dataset.Dataset {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = attrName(i)
+	}
+	b := dataset.NewBuilder("binary-independent", names...)
+	vals := make([]string, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				vals[i] = "1"
+			} else {
+				vals[i] = "0"
+			}
+		}
+		b.AppendStrings(vals...)
+	}
+	d, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// BinaryCorrelated builds the database of Example 2.7: as BinaryIndependent,
+// except A1 is forced equal to A2 in every tuple.
+func BinaryCorrelated(n int) *dataset.Dataset {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = attrName(i)
+	}
+	b := dataset.NewBuilder("binary-correlated", names...)
+	vals := make([]string, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				vals[i] = "1"
+			} else {
+				vals[i] = "0"
+			}
+		}
+		vals[0] = vals[1] // A1 copies A2
+		b.AppendStrings(vals...)
+	}
+	d, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func attrName(i int) string {
+	return fmt.Sprintf("A%d", i+1)
+}

@@ -1,0 +1,136 @@
+// Package textplot renders small ASCII line charts for the experiment
+// harness, so each regenerated figure can be eyeballed in a terminal the
+// way the paper's plots are eyeballed on the page.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker byte
+}
+
+// Plot is a configurable ASCII chart.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns; default 60
+	Height int // plot area rows; default 16
+	LogY   bool
+	series []Series
+}
+
+// Add appends a series; markers default to '*', 'o', '+', 'x', '#' in turn.
+func (p *Plot) Add(s Series) {
+	if s.Marker == 0 {
+		markers := []byte{'*', 'o', '+', 'x', '#', '@'}
+		s.Marker = markers[len(p.series)%len(markers)]
+	}
+	p.series = append(p.series, s)
+}
+
+// Render draws the chart.
+func (p *Plot) Render() string {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 16
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range p.series {
+		for i := range s.X {
+			y := s.Y[i]
+			if p.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			any = true
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	if !any {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range p.series {
+		for i := range s.X {
+			y := s.Y[i]
+			if p.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			col := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			row := height - 1 - int(math.Round((y-minY)/(maxY-minY)*float64(height-1)))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = s.Marker
+			}
+		}
+	}
+	yTop, yBot := maxY, minY
+	if p.LogY {
+		yTop, yBot = math.Pow(10, maxY), math.Pow(10, minY)
+	}
+	for r, line := range grid {
+		label := "          "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%9.3g ", yTop)
+		case height - 1:
+			label = fmt.Sprintf("%9.3g ", yBot)
+		}
+		fmt.Fprintf(&b, "%s|%s|\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s+%s+\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s%-*.4g%*.4g\n", strings.Repeat(" ", 11), width/2, minX, width-width/2, maxX)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "%sx: %s  y: %s%s\n", strings.Repeat(" ", 11), p.XLabel, p.YLabel, logNote(p.LogY))
+	}
+	// Legend, sorted for determinism.
+	legend := make([]string, 0, len(p.series))
+	for _, s := range p.series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.Marker, s.Name))
+	}
+	sort.Strings(legend)
+	fmt.Fprintf(&b, "%s%s\n", strings.Repeat(" ", 11), strings.Join(legend, "  "))
+	return b.String()
+}
+
+func logNote(log bool) string {
+	if log {
+		return " (log scale)"
+	}
+	return ""
+}

@@ -1,0 +1,79 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	p := Plot{Title: "demo", XLabel: "x", YLabel: "y", Width: 30, Height: 8}
+	p.Add(Series{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}})
+	p.Add(Series{Name: "down", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}})
+	out := p.Render()
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*=up") || !strings.Contains(out, "o=down") {
+		t.Errorf("missing legend: %s", out)
+	}
+	if !strings.Contains(out, "x: x  y: y") {
+		t.Error("missing axis labels")
+	}
+	lines := strings.Split(out, "\n")
+	// 8 plot rows + title + axis + x labels + label line + legend.
+	if len(lines) < 12 {
+		t.Errorf("too few lines: %d", len(lines))
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	p := Plot{Title: "empty"}
+	if out := p.Render(); !strings.Contains(out, "(no data)") {
+		t.Errorf("empty plot rendered %q", out)
+	}
+}
+
+func TestRenderLogY(t *testing.T) {
+	p := Plot{LogY: true, Width: 20, Height: 6, YLabel: "v"}
+	p.Add(Series{Name: "s", X: []float64{1, 2, 3}, Y: []float64{1, 100, 10000}})
+	out := p.Render()
+	if !strings.Contains(out, "log scale") {
+		t.Error("log scale note missing")
+	}
+	// Non-positive values are skipped rather than crashing.
+	p2 := Plot{LogY: true}
+	p2.Add(Series{Name: "z", X: []float64{1, 2}, Y: []float64{0, -5}})
+	if out := p2.Render(); !strings.Contains(out, "(no data)") {
+		t.Error("all-nonpositive log plot should be empty")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	p := Plot{Width: 10, Height: 4}
+	p.Add(Series{Name: "c", X: []float64{5, 5}, Y: []float64{2, 2}})
+	out := p.Render()
+	if out == "" || strings.Contains(out, "NaN") {
+		t.Errorf("constant series rendered %q", out)
+	}
+}
+
+func TestMarkerCycle(t *testing.T) {
+	p := Plot{Width: 10, Height: 4}
+	for i := 0; i < 7; i++ {
+		p.Add(Series{Name: string(rune('a' + i)), X: []float64{0}, Y: []float64{float64(i)}})
+	}
+	if p.series[0].Marker == p.series[1].Marker {
+		t.Error("markers did not cycle")
+	}
+	if p.series[0].Marker != p.series[6].Marker {
+		t.Error("marker cycle should wrap at 6")
+	}
+}
+
+func TestExplicitMarker(t *testing.T) {
+	p := Plot{}
+	p.Add(Series{Name: "m", X: []float64{0}, Y: []float64{1}, Marker: '%'})
+	if !strings.Contains(p.Render(), "%=m") {
+		t.Error("explicit marker ignored")
+	}
+}

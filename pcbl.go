@@ -1,0 +1,223 @@
+package pcbl
+
+import (
+	"fmt"
+	"io"
+
+	"pcbl/internal/core"
+	"pcbl/internal/dataset"
+	"pcbl/internal/htmlreport"
+	"pcbl/internal/lattice"
+	"pcbl/internal/patexpr"
+	"pcbl/internal/search"
+)
+
+// Re-exported types. The implementation lives in the internal packages; the
+// aliases give external callers stable names on the public surface.
+type (
+	// Dataset is an immutable columnar table of categorical attributes.
+	Dataset = dataset.Dataset
+	// Attribute describes one column and its dictionary-encoded domain.
+	Attribute = dataset.Attribute
+	// CSVOptions controls CSV parsing.
+	CSVOptions = dataset.CSVOptions
+	// BucketizeOptions controls numeric bucketization.
+	BucketizeOptions = dataset.BucketizeOptions
+	// FilterOptions controls attribute pruning.
+	FilterOptions = dataset.FilterOptions
+	// Pattern is a set of attribute = value assignments (Definition 2.1).
+	Pattern = core.Pattern
+	// Label is a pattern count–based label L_S(D) (Definition 2.9).
+	Label = core.Label
+	// PortableLabel is a self-contained serializable label.
+	PortableLabel = core.PortableLabel
+	// PatternSet is an evaluation workload of patterns with true counts.
+	PatternSet = core.PatternSet
+	// EvalResult aggregates estimation error over a pattern set.
+	EvalResult = core.EvalResult
+	// AttrSet is a set of attribute indices.
+	AttrSet = lattice.AttrSet
+	// SearchResult is the outcome of an optimal-label search.
+	SearchResult = search.Result
+	// SearchStats describes the work a search performed.
+	SearchStats = search.Stats
+)
+
+// Bin strategies for Bucketize.
+const (
+	EqualWidth     = dataset.EqualWidth
+	EqualFrequency = dataset.EqualFrequency
+)
+
+// ReadCSV loads a dataset from header-bearing CSV text.
+func ReadCSV(r io.Reader, opts CSVOptions) (*Dataset, error) { return dataset.ReadCSV(r, opts) }
+
+// ReadCSVFile loads a dataset from a CSV file.
+func ReadCSVFile(path string, opts CSVOptions) (*Dataset, error) {
+	return dataset.ReadCSVFile(path, opts)
+}
+
+// WriteCSV writes a dataset as CSV.
+func WriteCSV(w io.Writer, d *Dataset) error { return dataset.WriteCSV(w, d) }
+
+// Bucketize re-encodes numeric attributes into range buckets (paper §II:
+// continuous domains are bucketized before labeling).
+func Bucketize(d *Dataset, attrNames []string, opts BucketizeOptions) (*Dataset, error) {
+	return dataset.Bucketize(d, attrNames, opts)
+}
+
+// BucketizeAllNumeric bucketizes every numeric attribute.
+func BucketizeAllNumeric(d *Dataset, opts BucketizeOptions) (*Dataset, error) {
+	return dataset.BucketizeAllNumeric(d, opts)
+}
+
+// FilterAttrs drops id-like and constant attributes (the paper's COMPAS
+// preparation).
+func FilterAttrs(d *Dataset, opts FilterOptions) (*Dataset, error) {
+	return dataset.FilterAttrs(d, opts)
+}
+
+// NewPattern builds a pattern from attribute-name → value assignments.
+func NewPattern(d *Dataset, assign map[string]string) (Pattern, error) {
+	return core.NewPattern(d, assign)
+}
+
+// Count computes c_D(p), the number of tuples satisfying the pattern.
+func Count(d *Dataset, p Pattern) int { return core.CountPattern(d, p) }
+
+// AttrSetOf resolves attribute names to an AttrSet for the given dataset.
+func AttrSetOf(d *Dataset, names ...string) (AttrSet, error) {
+	return lattice.FromNames(d.AttrNames(), names...)
+}
+
+// BuildLabel computes L_S(D) for an explicit attribute set given by name.
+func BuildLabel(d *Dataset, attrNames ...string) (*Label, error) {
+	s, err := AttrSetOf(d, attrNames...)
+	if err != nil {
+		return nil, err
+	}
+	return core.BuildLabel(d, s), nil
+}
+
+// PartialLabel is the partial-pattern label extension (paper §II-C future
+// work): tuples NULL in part of S still contribute their partial pattern,
+// and restriction counts are exact even on NULL-bearing data.
+type PartialLabel = core.PartialLabel
+
+// BuildPartialLabel computes the partial-pattern label over the named
+// attributes.
+func BuildPartialLabel(d *Dataset, attrNames ...string) (*PartialLabel, error) {
+	s, err := AttrSetOf(d, attrNames...)
+	if err != nil {
+		return nil, err
+	}
+	return core.BuildPartialLabel(d, s), nil
+}
+
+// ParsePattern builds a pattern from a textual expression such as
+// "gender = Female AND race = Hispanic" (see internal/patexpr for the
+// grammar).
+func ParsePattern(d *Dataset, expr string) (Pattern, error) {
+	assign, err := patexpr.Parse(expr)
+	if err != nil {
+		return Pattern{}, err
+	}
+	return core.NewPattern(d, assign)
+}
+
+// PatternsOver builds the workload P_S: every positive-count pattern over
+// the named attributes — the "sensitive attributes only" workload of
+// Definition 2.15.
+func PatternsOver(d *Dataset, attrNames ...string) (*PatternSet, error) {
+	s, err := AttrSetOf(d, attrNames...)
+	if err != nil {
+		return nil, err
+	}
+	return core.PatternsOver(d, s), nil
+}
+
+// WriteHTMLReport renders a self-contained HTML page for a label (the
+// paper's "simple user interface" presentation). A nil eval omits the
+// estimation-quality block.
+func WriteHTMLReport(w io.Writer, l *Label, eval *EvalResult) error {
+	return htmlreport.Write(w, l.Portable(), htmlreport.Options{Eval: eval})
+}
+
+// Algorithm selects the label search strategy.
+type Algorithm string
+
+const (
+	// TopDown is Algorithm 1, the paper's optimized heuristic (default).
+	TopDown Algorithm = "topdown"
+	// Naive is the level-wise baseline algorithm of §III.
+	Naive Algorithm = "naive"
+)
+
+// GenerateOptions configures GenerateLabel.
+type GenerateOptions struct {
+	// Bound is B_s, the maximum label size |P_S|. Required.
+	Bound int
+	// Algorithm selects the search strategy; TopDown when empty.
+	Algorithm Algorithm
+	// Patterns is the workload to optimize against; P_A (every distinct
+	// full tuple, as in the paper's experiments) when nil.
+	Patterns *PatternSet
+	// FastEval enables the paper's sorted early-termination evaluation.
+	FastEval bool
+	// BranchAndBound enables the beyond-paper evaluation cutoff (never
+	// changes the result).
+	BranchAndBound bool
+	// Workers bounds parallelism (0 = NumCPU).
+	Workers int
+}
+
+// GenerateLabel finds an (approximately) optimal label within the size
+// bound: the attribute subset whose label minimizes the maximum count-
+// estimation error over the workload (Definition 2.15), searched with the
+// selected algorithm.
+func GenerateLabel(d *Dataset, opts GenerateOptions) (*SearchResult, error) {
+	ps := opts.Patterns
+	if ps == nil {
+		ps = core.DistinctTuples(d)
+	}
+	so := search.Options{
+		Bound:          opts.Bound,
+		FastEval:       opts.FastEval,
+		BranchAndBound: opts.BranchAndBound,
+		Workers:        opts.Workers,
+	}
+	switch opts.Algorithm {
+	case "", TopDown:
+		return search.TopDown(d, ps, so)
+	case Naive:
+		return search.Naive(d, ps, so)
+	default:
+		return nil, fmt.Errorf("pcbl: unknown algorithm %q", opts.Algorithm)
+	}
+}
+
+// DistinctTuples returns P_A: every distinct NULL-free tuple with its
+// multiplicity — the paper's evaluation pattern set.
+func DistinctTuples(d *Dataset) *PatternSet { return core.DistinctTuples(d) }
+
+// Evaluate scores a label against a workload (all error metrics of §IV-B).
+// A nil workload means P_A.
+func Evaluate(l *Label, ps *PatternSet) EvalResult {
+	if ps == nil {
+		ps = core.DistinctTuples(l.Dataset())
+	}
+	return core.Evaluate(l, ps, core.EvalOptions{})
+}
+
+// RenderLabel renders the human-readable nutrition label of Fig 1. Pass a
+// non-nil eval to append the error summary block.
+func RenderLabel(l *Label, eval *EvalResult) string {
+	return core.Render(l, core.RenderOptions{Eval: eval})
+}
+
+// EncodeLabel serializes a label into its self-contained JSON form.
+func EncodeLabel(l *Label) ([]byte, error) { return l.Portable().Encode() }
+
+// DecodeLabel parses a label previously produced by EncodeLabel. The result
+// can estimate pattern counts without access to the original dataset.
+func DecodeLabel(data []byte) (*PortableLabel, error) { return core.DecodePortableLabel(data) }
