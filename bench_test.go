@@ -8,6 +8,7 @@ package pcbl
 //	go test -bench=. -benchmem
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -321,6 +322,86 @@ func BenchmarkCore_DistinctTuples(b *testing.B) {
 	benchSetup(b)
 	for i := 0; i < b.N; i++ {
 		_ = core.DistinctTuples(benchData.bluenile)
+	}
+}
+
+// --- Counting engine: sharded group-by and fused frontier scans ----------
+//
+// Recorded baselines live in BENCH_pr1.json (note the environment block:
+// wall-clock speedup requires more than one CPU; single-core runs measure
+// only the sharding overhead).
+
+var paperScaleOnce sync.Once
+var paperScaleBlueNile *dataset.Dataset
+
+// benchPaperScale returns the paper-scale synthetic dataset: Blue Nile at
+// its §IV-A row count (116,300 rows).
+func benchPaperScale(b *testing.B) *dataset.Dataset {
+	b.Helper()
+	paperScaleOnce.Do(func() {
+		d, err := datagen.BlueNile(116300, 1)
+		if err != nil {
+			panic(err)
+		}
+		paperScaleBlueNile = d
+	})
+	return paperScaleBlueNile
+}
+
+// benchFrontier is the kind of level the search's enumeration phase sizes
+// in one fused scan: every 2-subset of the dataset's attributes.
+func benchFrontier(d *dataset.Dataset) []lattice.AttrSet {
+	var sets []lattice.AttrSet
+	lattice.Combinations(d.NumAttrs(), 2, func(s lattice.AttrSet) bool {
+		sets = append(sets, s)
+		return true
+	})
+	return sets
+}
+
+func BenchmarkBuildPCSequential(b *testing.B) {
+	d := benchPaperScale(b)
+	full := lattice.FullSet(d.NumAttrs())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.BuildPC(d, full)
+	}
+}
+
+func BenchmarkBuildPCParallel(b *testing.B) {
+	d := benchPaperScale(b)
+	full := lattice.FullSet(d.NumAttrs())
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = core.BuildPCParallel(d, full, core.CountOptions{Workers: workers})
+			}
+		})
+	}
+}
+
+// BenchmarkLabelSizePerSet is the pre-engine enumeration cost: one full
+// dataset scan per frontier set.
+func BenchmarkLabelSizePerSet(b *testing.B) {
+	d := benchPaperScale(b)
+	sets := benchFrontier(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range sets {
+			_, _ = core.LabelSize(d, s, 50)
+		}
+	}
+}
+
+func BenchmarkLabelSizeFused(b *testing.B) {
+	d := benchPaperScale(b)
+	sets := benchFrontier(d)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _ = core.LabelSizesFused(d, sets, 50, core.CountOptions{Workers: workers})
+			}
+		})
 	}
 }
 

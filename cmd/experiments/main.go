@@ -26,7 +26,7 @@ func main() {
 	scale := flag.String("scale", "small", "dataset scale: tiny, small or paper")
 	dsFlag := flag.String("dataset", "all", "dataset: all, bluenile, compas or creditcard")
 	seed := flag.Uint64("seed", 1, "generation seed")
-	workers := flag.Int("workers", 0, "evaluation parallelism (0 = NumCPU)")
+	workers := flag.Int("workers", 0, "search parallelism: enumeration scans and candidate evaluation (0 = NumCPU)")
 	trials := flag.Int("trials", 5, "sampling baseline trials per point")
 	naiveBudget := flag.Duration("naive-budget", 5*time.Minute, "skip naive runs after one exceeds this (0 = no budget)")
 	maxFactor := flag.Int("max-factor", 10, "Fig 7 data-size factor sweep upper end")

@@ -9,10 +9,12 @@
 //
 // The package is a thin facade over the implementation packages:
 //
-//   - internal/core     — patterns, labels, estimation, error metrics
+//   - internal/core     — patterns, labels, estimation, error metrics,
+//     and the sharded parallel counting engine (fused frontier scans)
 //   - internal/search   — optimal-label search (naive and Algorithm 1)
 //   - internal/dataset  — categorical columnar tables, CSV, bucketization
 //   - internal/sampling, internal/pgstats — the paper's baselines
+//   - internal/workpool — chunked work-pool primitives shared by the above
 //   - internal/datagen  — emulators of the paper's evaluation datasets
 //   - internal/experiments — regeneration of every evaluation figure
 //

@@ -1,0 +1,3 @@
+module pcbl
+
+go 1.24

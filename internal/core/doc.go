@@ -12,4 +12,16 @@
 // early abort, distinct-tuple enumeration (the evaluation pattern set P_A of
 // §IV-A), and parallel label evaluation with the paper's sorted
 // early-termination optimization (§IV-C).
+//
+// Dataset scans go through the sharded counting engine (parallel.go): the
+// row range is split into contiguous per-worker chunks (CountOptions
+// bounds the worker count), each worker fills private maps with the shared
+// read-only Keyer, and the shards are merged — BuildPCParallel and
+// LabelSizeParallel are the drop-in parallel forms of BuildPC and
+// LabelSize. LabelSizesFused additionally evaluates the label sizes of a
+// whole frontier of candidate attribute sets in one blocked pass over the
+// rows with per-set cap abort; it is the scan behind package search's
+// enumeration phase. Every parallel entry point returns results
+// bit-identical to its sequential counterpart for all worker counts
+// (differentially tested in parallel_test.go).
 package core

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"pcbl/internal/dataset"
+	"pcbl/internal/lattice"
+	"pcbl/internal/workpool"
+)
+
+// The counting engine: sharded parallel group-by and fused multi-set
+// scanning. A dataset scan is split into contiguous row chunks, one per
+// worker; each worker fills private maps with the shared read-only Keyer
+// and the shards are merged afterwards, so the hot row loops run without
+// any synchronization. All parallel entry points are differentially tested
+// against the sequential implementations in count.go (parallel_test.go):
+// they produce bit-identical results for every worker count, including the
+// cap-abort behaviour of label sizing.
+
+// defaultMinRowsPerWorker is the smallest per-worker chunk worth a
+// goroutine: below it, map-merge and scheduling overhead exceeds the scan
+// itself and the engine falls back to the sequential path.
+const defaultMinRowsPerWorker = 2048
+
+// CountOptions configures the sharded counting engine.
+type CountOptions struct {
+	// Workers bounds scan parallelism: 0 means runtime.NumCPU(), 1 forces
+	// the sequential path. The engine additionally clamps the worker count
+	// so each worker scans at least a few thousand rows; tiny datasets are
+	// always counted sequentially.
+	Workers int
+
+	// minRowsPerWorker overrides the sequential-fallback threshold. Only
+	// tests set it (to force the sharded paths on small datasets); zero
+	// means defaultMinRowsPerWorker.
+	minRowsPerWorker int
+}
+
+// scanWorkers resolves the effective worker count for an n-row scan.
+func (o CountOptions) scanWorkers(rows int) int {
+	min := o.minRowsPerWorker
+	if min <= 0 {
+		min = defaultMinRowsPerWorker
+	}
+	return workpool.Resolve(o.Workers, rows/min)
+}
+
+// BuildPCParallel is BuildPC with a sharded scan: each worker groups its
+// row chunk into a private map and the shards are merged. The result is
+// identical to BuildPC for every worker count.
+func BuildPCParallel(d *dataset.Dataset, s lattice.AttrSet, opts CountOptions) *PC {
+	rows := d.NumRows()
+	workers := opts.scanWorkers(rows)
+	if workers <= 1 {
+		return BuildPC(d, s)
+	}
+	k := NewKeyer(d, s)
+	cols := datasetCols(d)
+	pc := &PC{keyer: k}
+	if k.Fits() {
+		shards := make([]map[uint64]int, workers)
+		workpool.RunChunks(rows, workers, func(w, lo, hi int) {
+			m := make(map[uint64]int)
+			for r := lo; r < hi; r++ {
+				if key, ok := k.KeyRow(cols, r); ok {
+					m[key]++
+				}
+			}
+			shards[w] = m
+		})
+		pc.u = shards[0]
+		for _, m := range shards[1:] {
+			for key, c := range m {
+				pc.u[key] += c
+			}
+		}
+		return pc
+	}
+	shards := make([]map[string]int, workers)
+	workpool.RunChunks(rows, workers, func(w, lo, hi int) {
+		m := make(map[string]int)
+		var buf []byte
+		for r := lo; r < hi; r++ {
+			b, ok := k.AppendBytesRow(buf[:0], cols, r)
+			buf = b
+			if ok {
+				m[string(b)]++
+			}
+		}
+		shards[w] = m
+	})
+	pc.s = shards[0]
+	for _, m := range shards[1:] {
+		for key, c := range m {
+			pc.s[key] += c
+		}
+	}
+	return pc
+}
+
+// LabelSizeParallel is LabelSize with a sharded scan. Cap-abort semantics
+// are preserved exactly: the result is (cap+1, false) precisely when the
+// true distinct count exceeds cap, regardless of worker count or
+// scheduling.
+func LabelSizeParallel(d *dataset.Dataset, s lattice.AttrSet, cap int, opts CountOptions) (size int, within bool) {
+	if opts.scanWorkers(d.NumRows()) <= 1 {
+		return LabelSize(d, s, cap)
+	}
+	sizes, within2 := LabelSizesFused(d, []lattice.AttrSet{s}, cap, opts)
+	return sizes[0], within2[0]
+}
+
+// fusedSet is the per-attribute-set state of one fused scan worker.
+type fusedSet struct {
+	keyer *Keyer
+	seenU map[uint64]struct{}
+	seenS map[string]struct{}
+}
+
+// LabelSizesFused evaluates the label sizes of a whole frontier of
+// candidate attribute sets in a single pass over the rows: one Keyer per
+// set, shared column access, and per-set early abort once a set's distinct
+// count exceeds cap. Row chunks are additionally sharded across workers
+// (CountOptions). For each set i the returned pair (sizes[i], within[i])
+// is exactly what LabelSize(d, sets[i], cap) returns.
+//
+// With cap >= 0 the per-worker memory is bounded by len(sets) × (cap+1)
+// entries: a set stops accumulating the moment it is proven out of bound.
+// Callers with very large frontiers should batch (package search uses
+// batches of a few hundred sets).
+func LabelSizesFused(d *dataset.Dataset, sets []lattice.AttrSet, cap int, opts CountOptions) (sizes []int, within []bool) {
+	sizes = make([]int, len(sets))
+	within = make([]bool, len(sets))
+	if len(sets) == 0 {
+		return sizes, within
+	}
+	rows := d.NumRows()
+	cols := datasetCols(d)
+	keyers := make([]*Keyer, len(sets))
+	for i, s := range sets {
+		keyers[i] = NewKeyer(d, s)
+	}
+
+	workers := opts.scanWorkers(rows)
+	if workers <= 1 {
+		st := newFusedStates(keyers)
+		scanFused(st, cols, 0, rows, cap, nil)
+		for i := range st {
+			sizes[i], within[i] = st[i].result(cap)
+		}
+		return sizes, within
+	}
+
+	// exceeded[i] fires when any worker's local distinct count for set i
+	// passes cap — a lower bound on the global count, so the set is
+	// globally out of bound. Other workers then stop tracking it; this
+	// only ever skips work whose outcome is already decided.
+	exceeded := make([]atomic.Bool, len(sets))
+	shards := make([][]fusedSet, workers)
+	workpool.RunChunks(rows, workers, func(w, lo, hi int) {
+		st := newFusedStates(keyers)
+		scanFused(st, cols, lo, hi, cap, exceeded)
+		shards[w] = st
+	})
+
+	for i := range sets {
+		if cap >= 0 && exceeded[i].Load() {
+			sizes[i], within[i] = cap+1, false
+			continue
+		}
+		sizes[i], within[i] = mergeFused(shards, i, cap)
+	}
+	return sizes, within
+}
+
+// newFusedStates allocates per-set scan state for one worker.
+func newFusedStates(keyers []*Keyer) []fusedSet {
+	st := make([]fusedSet, len(keyers))
+	for i, k := range keyers {
+		st[i].keyer = k
+		if k.Fits() {
+			st[i].seenU = make(map[uint64]struct{})
+		} else {
+			st[i].seenS = make(map[string]struct{})
+		}
+	}
+	return st
+}
+
+// fusedBlockRows is the row-block granularity of the fused scan. Within a
+// block each set runs its own tight row loop (the keyer fields stay in
+// registers, as in the sequential LabelSize loop) while successive sets
+// re-read the same cache-resident column block, so one effective pass over
+// memory serves the whole frontier.
+const fusedBlockRows = 4096
+
+// scanFused runs the fused distinct-count loop over rows [lo, hi). A nil
+// exceeded slice means single-worker mode (no shared flags to consult or
+// publish). Finished sets are swap-removed from the active list so later
+// blocks skip them; the scan stops once no set remains active.
+func scanFused(st []fusedSet, cols [][]uint16, lo, hi, cap int, exceeded []atomic.Bool) {
+	active := make([]int, len(st))
+	for i := range active {
+		active[i] = i
+	}
+	for blockLo := lo; blockLo < hi && len(active) > 0; blockLo += fusedBlockRows {
+		blockHi := blockLo + fusedBlockRows
+		if blockHi > hi {
+			blockHi = hi
+		}
+		for a := 0; a < len(active); a++ {
+			i := active[a]
+			done := false
+			if exceeded != nil && cap >= 0 && exceeded[i].Load() {
+				done = true
+			} else if st[i].scanBlock(cols, blockLo, blockHi, cap) {
+				done = true
+				if exceeded != nil {
+					exceeded[i].Store(true)
+				}
+			}
+			if done {
+				active[a] = active[len(active)-1]
+				active = active[:len(active)-1]
+				a--
+			}
+		}
+	}
+}
+
+// scanBlock feeds rows [lo, hi) into the set's seen map and reports whether
+// the distinct count passed the cap (the set is finished).
+func (s *fusedSet) scanBlock(cols [][]uint16, lo, hi, cap int) (done bool) {
+	k := s.keyer
+	if seen := s.seenU; seen != nil {
+		for r := lo; r < hi; r++ {
+			key, ok := k.KeyRow(cols, r)
+			if !ok {
+				continue
+			}
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			if cap >= 0 && len(seen) > cap {
+				return true
+			}
+		}
+		return false
+	}
+	seen := s.seenS
+	var buf []byte
+	for r := lo; r < hi; r++ {
+		b, ok := k.AppendBytesRow(buf[:0], cols, r)
+		buf = b
+		if !ok {
+			continue
+		}
+		if _, dup := seen[string(b)]; dup {
+			continue
+		}
+		seen[string(b)] = struct{}{}
+		if cap >= 0 && len(seen) > cap {
+			return true
+		}
+	}
+	return false
+}
+
+// result reads a single-worker state into LabelSize's contract.
+func (s *fusedSet) result(cap int) (size int, within bool) {
+	n := len(s.seenU) + len(s.seenS)
+	if cap >= 0 && n > cap {
+		return cap + 1, false
+	}
+	return n, true
+}
+
+// mergeFused unions the per-worker seen sets for frontier index i,
+// aborting at the cap exactly as the sequential scan would.
+func mergeFused(shards [][]fusedSet, i, cap int) (size int, within bool) {
+	if shards[0][i].seenU != nil {
+		merged := shards[0][i].seenU
+		for _, st := range shards[1:] {
+			for key := range st[i].seenU {
+				merged[key] = struct{}{}
+				if cap >= 0 && len(merged) > cap {
+					return cap + 1, false
+				}
+			}
+		}
+		return len(merged), true
+	}
+	merged := shards[0][i].seenS
+	for _, st := range shards[1:] {
+		for key := range st[i].seenS {
+			merged[key] = struct{}{}
+			if cap >= 0 && len(merged) > cap {
+				return cap + 1, false
+			}
+		}
+	}
+	return len(merged), true
+}

@@ -42,7 +42,8 @@ type Config struct {
 	Scale Scale
 	// Seed drives all synthetic generation and sampling.
 	Seed uint64
-	// Workers bounds evaluation parallelism (0 = NumCPU, 1 = sequential).
+	// Workers bounds search parallelism — sharded enumeration scans and
+	// concurrent candidate evaluation (0 = NumCPU, 1 = sequential).
 	Workers int
 	// SamplingTrials is the number of independent samples averaged per
 	// point; the paper uses 5.

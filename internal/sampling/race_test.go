@@ -1,0 +1,108 @@
+package sampling
+
+// Concurrency coverage for the estimator's lazily built, mutex-guarded
+// per-attribute-set indexes: run under `go test -race` to exercise
+// concurrent first-touch builds, Prewarm, and mixed lookups, and to prove
+// concurrent results equal sequential ones.
+
+import (
+	"sync"
+	"testing"
+
+	"pcbl/internal/datagen"
+	"pcbl/internal/lattice"
+)
+
+func TestConcurrentEstimateMatchesSequential(t *testing.T) {
+	d, err := datagen.COMPAS(4000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(d, 500, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.NumAttrs()
+	var sets []lattice.AttrSet
+	for i := 0; i < n; i++ {
+		sets = append(sets, lattice.NewAttrSet(i))
+		sets = append(sets, lattice.NewAttrSet(i, (i+1)%n))
+		sets = append(sets, lattice.NewAttrSet(i, (i+2)%n, (i+4)%n))
+	}
+	rows := make([][]uint16, 64)
+	for r := range rows {
+		rows[r] = d.Row(r * (d.NumRows() / len(rows)))
+	}
+
+	// Sequential ground truth from a fresh estimator with the same seed.
+	ref, err := New(d, 500, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]float64, len(sets))
+	for si, s := range sets {
+		want[si] = make([]float64, len(rows))
+		for ri, row := range rows {
+			want[si][ri] = ref.EstimateRow(row, s)
+		}
+	}
+
+	// Hammer the shared estimator: every goroutine walks all (set, row)
+	// pairs, so every index is built under contention and then read
+	// concurrently.
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < len(sets)*len(rows); k++ {
+				si := (k + g) % len(sets)
+				ri := (k + 3*g) % len(rows)
+				if got := e.EstimateRow(rows[ri], sets[si]); got != want[si][ri] {
+					select {
+					case errs <- "concurrent estimate diverged from sequential":
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+}
+
+func TestPrewarmMatchesLazyBuild(t *testing.T) {
+	d, err := datagen.BlueNile(3000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := New(d, 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := New(d, 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.NumAttrs()
+	var sets []lattice.AttrSet
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sets = append(sets, lattice.NewAttrSet(i, j))
+		}
+	}
+	warm.Prewarm(sets, 8)
+	for _, s := range sets {
+		for r := 0; r < 32; r++ {
+			row := d.Row(r * 7 % d.NumRows())
+			if got, want := warm.EstimateRow(row, s), lazy.EstimateRow(row, s); got != want {
+				t.Fatalf("set %v row %d: prewarmed %v, lazy %v", s, r, got, want)
+			}
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"pcbl/internal/core"
 	"pcbl/internal/dataset"
 	"pcbl/internal/lattice"
+	"pcbl/internal/workpool"
 )
 
 // Estimator estimates pattern counts from a uniform random sample of the
@@ -98,14 +99,55 @@ func (e *Estimator) key(vals []uint16, attrs lattice.AttrSet) string {
 	return string(b)
 }
 
+// Prewarm builds the per-attribute-set indexes for the given sets
+// concurrently (workers as in search.Options: 0 means NumCPU), so later
+// EstimateRow calls — e.g. a parallel evaluation sweep — find every index
+// ready instead of serializing on first use. AverageEval prewarms the
+// workload's distinct attribute sets before each trial's evaluation.
+func (e *Estimator) Prewarm(sets []lattice.AttrSet, workers int) {
+	workpool.Do(len(sets), workers, func(i int) { e.index(sets[i]) })
+}
+
+// distinctAttrSets collects the unique attribute sets of a workload, in
+// first-appearance order.
+func distinctAttrSets(ps *core.PatternSet) []lattice.AttrSet {
+	seen := make(map[lattice.AttrSet]struct{})
+	var sets []lattice.AttrSet
+	for i := 0; i < ps.Len(); i++ {
+		s := ps.Attrs(i)
+		if _, dup := seen[s]; dup {
+			continue
+		}
+		seen[s] = struct{}{}
+		sets = append(sets, s)
+	}
+	return sets
+}
+
 // index returns the sample's group-by on attrs, building it on first use.
-// Samples are tiny (bound + |VC|), so these indexes are cheap.
+// Samples are tiny (bound + |VC|), so these indexes are cheap. The build
+// runs outside the mutex (double-checked) so concurrent lookups of
+// different attribute sets do not serialize; a lost race costs one
+// discarded duplicate build of identical content.
 func (e *Estimator) index(attrs lattice.AttrSet) map[string]int {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if idx, ok := e.indexes[attrs]; ok {
+	idx, ok := e.indexes[attrs]
+	e.mu.Unlock()
+	if ok {
 		return idx
 	}
+	idx = e.buildIndex(attrs)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if existing, ok := e.indexes[attrs]; ok {
+		return existing
+	}
+	e.indexes[attrs] = idx
+	return idx
+}
+
+// buildIndex computes the sample's group-by on attrs.
+func (e *Estimator) buildIndex(attrs lattice.AttrSet) map[string]int {
 	idx := make(map[string]int, len(e.rows))
 	members := attrs.Members()
 	vals := make([]uint16, e.d.NumAttrs())
@@ -124,7 +166,6 @@ func (e *Estimator) index(attrs lattice.AttrSet) map[string]int {
 		}
 		idx[e.key(vals, attrs)]++
 	}
-	e.indexes[attrs] = idx
 	return idx
 }
 
@@ -135,12 +176,17 @@ func AverageEval(d *dataset.Dataset, ps *core.PatternSet, size, trials int, seed
 	if trials <= 0 {
 		return core.EvalResult{}, nil, fmt.Errorf("sampling: trials must be positive, got %d", trials)
 	}
+	// One index per distinct attribute set in the workload; prewarming
+	// them in parallel keeps the concurrent Evaluate workers from
+	// serializing on first-touch builds.
+	attrSets := distinctAttrSets(ps)
 	runs = make([]core.EvalResult, trials)
 	for t := 0; t < trials; t++ {
 		est, err := New(d, size, seed+uint64(t)*0x1000193)
 		if err != nil {
 			return core.EvalResult{}, nil, err
 		}
+		est.Prewarm(attrSets, 0)
 		runs[t] = core.Evaluate(est, ps, core.EvalOptions{})
 	}
 	mean = runs[0]

@@ -1,0 +1,141 @@
+package search
+
+// Concurrency coverage for the search pipeline: run these under
+// `go test -race` to exercise the shared work pool in both phases — the
+// sharded fused label-size scans of the enumeration phase and the
+// concurrent candidate evaluation of the final phase — and to prove the
+// parallel runs return exactly the sequential result.
+
+import (
+	"testing"
+
+	"pcbl/internal/core"
+	"pcbl/internal/datagen"
+	"pcbl/internal/dataset"
+	"pcbl/internal/lattice"
+)
+
+// raceDataset is large enough (≥ 2 × the engine's per-worker row minimum)
+// that Workers > 1 actually shards the enumeration scans instead of
+// falling back to the sequential path.
+func raceDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d, err := datagen.BlueNile(6000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.Prefix(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// sameResult asserts two search results agree on everything deterministic:
+// the chosen set, its label size and error, and the enumeration counters.
+// (Timings differ by construction; PatternsScanned can differ when
+// BranchAndBound is on.)
+func sameResult(t *testing.T, name string, seq, par *Result) {
+	t.Helper()
+	if par.Attrs != seq.Attrs {
+		t.Errorf("%s: attrs %v, sequential chose %v", name, par.Attrs, seq.Attrs)
+	}
+	if par.Size != seq.Size {
+		t.Errorf("%s: size %d, sequential %d", name, par.Size, seq.Size)
+	}
+	if par.MaxErr != seq.MaxErr {
+		t.Errorf("%s: maxErr %v, sequential %v", name, par.MaxErr, seq.MaxErr)
+	}
+	if par.Stats.SizeComputed != seq.Stats.SizeComputed {
+		t.Errorf("%s: SizeComputed %d, sequential %d", name, par.Stats.SizeComputed, seq.Stats.SizeComputed)
+	}
+	if par.Stats.InBound != seq.Stats.InBound {
+		t.Errorf("%s: InBound %d, sequential %d", name, par.Stats.InBound, seq.Stats.InBound)
+	}
+	if par.Stats.Evaluated != seq.Stats.Evaluated {
+		t.Errorf("%s: Evaluated %d, sequential %d", name, par.Stats.Evaluated, seq.Stats.Evaluated)
+	}
+}
+
+func TestParallelSearchMatchesSequential(t *testing.T) {
+	d := raceDataset(t)
+	ps := core.DistinctTuples(d)
+	for _, bound := range []int{20, 100} {
+		seqTop, err := TopDown(d, ps, Options{Bound: bound, FastEval: true, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqNaive, err := Naive(d, ps, Options{Bound: bound, FastEval: true, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			parTop, err := TopDown(d, ps, Options{Bound: bound, FastEval: true, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, "topdown", seqTop, parTop)
+			parNaive, err := Naive(d, ps, Options{Bound: bound, FastEval: true, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, "naive", seqNaive, parNaive)
+		}
+	}
+}
+
+// TestParallelSearchBranchAndBound exercises the evaluation pool's shared
+// best-error cutoff under concurrency. Branch-and-bound never changes the
+// chosen label, only how much scanning it takes.
+func TestParallelSearchBranchAndBound(t *testing.T) {
+	d := raceDataset(t)
+	ps := core.DistinctTuples(d)
+	seq, err := TopDown(d, ps, Options{Bound: 100, FastEval: true, BranchAndBound: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := TopDown(d, ps, Options{Bound: 100, FastEval: true, BranchAndBound: true, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Attrs != seq.Attrs || par.MaxErr != seq.MaxErr || par.Size != seq.Size {
+		t.Errorf("branch-and-bound parallel result (%v, %v, %d) differs from sequential (%v, %v, %d)",
+			par.Attrs, par.MaxErr, par.Size, seq.Attrs, seq.MaxErr, seq.Size)
+	}
+}
+
+// TestFusedFrontierMatchesPerSetScan pins the enumeration rewiring at the
+// search level: the fused frontier sizes must agree with one-scan-per-set
+// sequential LabelSize over the exact frontiers TopDown visits.
+func TestFusedFrontierMatchesPerSetScan(t *testing.T) {
+	d := raceDataset(t)
+	n := d.NumAttrs()
+	bound := 50
+	frontier := lattice.AttrSet(0).Gen(n)
+	for len(frontier) > 0 {
+		var children []lattice.AttrSet
+		for _, s := range frontier {
+			children = append(children, s.Gen(n)...)
+		}
+		var stats Stats
+		var next []lattice.AttrSet
+		i := 0
+		sizeFrontier(d, children, Options{Bound: bound, Workers: 4}, &stats, func(s lattice.AttrSet, within bool) {
+			if s != children[i] {
+				t.Fatalf("visit order diverged at %d: got %v, want %v", i, s, children[i])
+			}
+			_, want := core.LabelSize(d, s, bound)
+			if within != want {
+				t.Fatalf("set %v: fused within=%v, sequential %v", s, within, want)
+			}
+			if within {
+				next = append(next, s)
+			}
+			i++
+		})
+		if stats.SizeComputed != len(children) {
+			t.Fatalf("SizeComputed %d, want %d", stats.SizeComputed, len(children))
+		}
+		frontier = next
+	}
+}

@@ -8,13 +8,13 @@ package search
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
 	"pcbl/internal/core"
 	"pcbl/internal/dataset"
 	"pcbl/internal/lattice"
+	"pcbl/internal/workpool"
 )
 
 // Options configures a label search.
@@ -28,8 +28,14 @@ type Options struct {
 	// running max error exceeds the best error found so far. This is an
 	// optimization beyond the paper; it never changes the result.
 	BranchAndBound bool
-	// Workers bounds evaluation parallelism; runtime.NumCPU() when 0,
-	// 1 for fully sequential (paper-faithful timing).
+	// Workers bounds parallelism in both phases: the enumeration phase
+	// shards its fused label-size scans across this many workers (see
+	// core.LabelSizesFused), and the final evaluation phase scores this
+	// many candidates concurrently. runtime.NumCPU() when 0, 1 for a
+	// single-threaded run. Note that enumeration always sizes frontiers
+	// through the fused batch scan (a beyond-paper optimization, result-
+	// identical to per-set scanning), so Workers=1 timings are not
+	// comparable to the paper's one-scan-per-set cost model.
 	//
 	// When no attribute set of size ≥ 2 yields an in-bound label, both
 	// algorithms fall back to in-bound singletons, and failing that to
@@ -37,6 +43,11 @@ type Options struct {
 	// this degenerate case unspecified.
 	Workers int
 }
+
+// fusedBatch bounds how many candidate sets one fused scan tracks at once,
+// keeping per-worker frontier memory at fusedBatch × (Bound+1) set entries
+// while still amortizing column access across the whole batch.
+const fusedBatch = 256
 
 // Stats reports the work a search performed; Fig 6–9 of the paper are
 // plotted from these counters and timings.
@@ -78,11 +89,35 @@ type Result struct {
 	Stats Stats
 }
 
+// sizeFrontier computes the label sizes of a frontier of candidate sets
+// with the fused multi-set scanner (batched to bound memory) and invokes
+// visit for each set with its in-bound verdict, updating the examined/
+// in-bound counters. One call scans the dataset ⌈len(sets)/fusedBatch⌉
+// times instead of len(sets) times.
+func sizeFrontier(d *dataset.Dataset, sets []lattice.AttrSet, opts Options, stats *Stats, visit func(s lattice.AttrSet, within bool)) {
+	co := core.CountOptions{Workers: opts.Workers}
+	for lo := 0; lo < len(sets); lo += fusedBatch {
+		hi := lo + fusedBatch
+		if hi > len(sets) {
+			hi = len(sets)
+		}
+		_, within := core.LabelSizesFused(d, sets[lo:hi], opts.Bound, co)
+		for j, ok := range within {
+			stats.SizeComputed++
+			if ok {
+				stats.InBound++
+			}
+			visit(sets[lo+j], ok)
+		}
+	}
+}
+
 // Naive finds the optimal label by level-wise enumeration (paper §III):
 // subsets of size 2, 3, … are generated with their label sizes; every
 // in-bound subset's label error is evaluated; enumeration stops at the first
 // level where no subset fits the bound (label sizes are monotone, so deeper
-// levels cannot fit either).
+// levels cannot fit either). Each level is sized with fused batch scans
+// rather than one dataset scan per subset.
 func Naive(d *dataset.Dataset, ps *core.PatternSet, opts Options) (*Result, error) {
 	if err := checkOptions(d, opts); err != nil {
 		return nil, err
@@ -91,17 +126,26 @@ func Naive(d *dataset.Dataset, ps *core.PatternSet, opts Options) (*Result, erro
 	n := d.NumAttrs()
 	var stats Stats
 	var cands []lattice.AttrSet
+	batch := make([]lattice.AttrSet, 0, fusedBatch)
 	for k := 2; k <= n; k++ {
 		levelHit := false
+		flush := func() {
+			sizeFrontier(d, batch, opts, &stats, func(s lattice.AttrSet, within bool) {
+				if within {
+					levelHit = true
+					cands = append(cands, s)
+				}
+			})
+			batch = batch[:0]
+		}
 		lattice.Combinations(n, k, func(s lattice.AttrSet) bool {
-			stats.SizeComputed++
-			if _, within := core.LabelSize(d, s, opts.Bound); within {
-				levelHit = true
-				stats.InBound++
-				cands = append(cands, s)
+			batch = append(batch, s)
+			if len(batch) == fusedBatch {
+				flush()
 			}
 			return true
 		})
+		flush()
 		if !levelHit {
 			break
 		}
@@ -123,25 +167,31 @@ func TopDown(d *dataset.Dataset, ps *core.PatternSet, opts Options) (*Result, er
 	start := time.Now()
 	n := d.NumAttrs()
 	var stats Stats
-	queue := lattice.AttrSet(0).Gen(n) // the attribute singletons
+	// The BFS queue is processed one lattice level at a time so the whole
+	// frontier's children can be sized in fused batch scans. Gen generates
+	// each lattice node exactly once across the traversal (Proposition
+	// 3.8), so the concatenated child lists never repeat a set and the
+	// level-wise order visits exactly the sets the per-node BFS visited.
+	frontier := lattice.AttrSet(0).Gen(n) // the attribute singletons
 	cands := make(map[lattice.AttrSet]struct{})
-	for len(queue) > 0 {
-		curr := queue[0]
-		queue = queue[1:]
-		for _, c := range curr.Gen(n) {
-			stats.SizeComputed++
-			if _, within := core.LabelSize(d, c, opts.Bound); !within {
-				continue
+	for len(frontier) > 0 {
+		var children []lattice.AttrSet
+		for _, s := range frontier {
+			children = append(children, s.Gen(n)...)
+		}
+		frontier = frontier[:0]
+		sizeFrontier(d, children, opts, &stats, func(c lattice.AttrSet, within bool) {
+			if !within {
+				return // prune c's entire gen-subtree
 			}
-			stats.InBound++
-			queue = append(queue, c)
+			frontier = append(frontier, c)
 			// removeParents(cands, c): keep the candidate list an
 			// antichain of maximal in-bound sets.
 			for _, p := range c.Parents() {
 				delete(cands, p)
 			}
 			cands[c] = struct{}{}
-		}
+		})
 	}
 	stats.SearchTime = time.Since(start)
 	list := make([]lattice.AttrSet, 0, len(cands))
@@ -184,13 +234,6 @@ func finish(d *dataset.Dataset, ps *core.PatternSet, cands []lattice.AttrSet, op
 	}
 
 	evalStart := time.Now()
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > len(cands) {
-		workers = len(cands)
-	}
 
 	type scored struct {
 		idx     int
@@ -226,34 +269,21 @@ func finish(d *dataset.Dataset, ps *core.PatternSet, cands []lattice.AttrSet, op
 		best.Unlock()
 	}
 
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				s := cands[i]
-				l := core.BuildLabel(d, s)
-				mo := core.MaxErrOptions{
-					Sorted:    opts.FastEval,
-					StopAbove: cutoff(),
-					Workers:   1,
-				}
-				maxErr, scanned := core.MaxAbsError(l, ps, mo)
-				exact := mo.StopAbove <= 0 || maxErr <= mo.StopAbove
-				if exact {
-					offer(maxErr)
-				}
-				results[i] = scored{i, s, l, maxErr, scanned, exact}
-			}
-		}()
-	}
-	for i := range cands {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	workpool.Do(len(cands), opts.Workers, func(i int) {
+		s := cands[i]
+		l := core.BuildLabel(d, s)
+		mo := core.MaxErrOptions{
+			Sorted:    opts.FastEval,
+			StopAbove: cutoff(),
+			Workers:   1,
+		}
+		maxErr, scanned := core.MaxAbsError(l, ps, mo)
+		exact := mo.StopAbove <= 0 || maxErr <= mo.StopAbove
+		if exact {
+			offer(maxErr)
+		}
+		results[i] = scored{i, s, l, maxErr, scanned, exact}
+	})
 
 	bestIdx := -1
 	for i, r := range results {

@@ -1,0 +1,121 @@
+package workpool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	cases := []struct{ requested, n, min, max int }{
+		{1, 100, 1, 1},
+		{8, 100, 8, 8},
+		{8, 3, 3, 3},
+		{0, 0, 1, 1},  // clamped up even with no work
+		{-1, 5, 1, 5}, // NumCPU-dependent but within [1, n]
+		{0, 1000, 1, 1000},
+	}
+	for _, c := range cases {
+		got := Resolve(c.requested, c.n)
+		if got < c.min || got > c.max {
+			t.Errorf("Resolve(%d, %d) = %d, want in [%d, %d]", c.requested, c.n, got, c.min, c.max)
+		}
+	}
+}
+
+func TestChunksCoverExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1001} {
+		for _, parts := range []int{1, 2, 3, 8, 64} {
+			chunks := Chunks(n, parts)
+			if n == 0 {
+				if chunks != nil {
+					t.Fatalf("Chunks(0, %d) = %v, want nil", parts, chunks)
+				}
+				continue
+			}
+			want := parts
+			if want > n {
+				want = n
+			}
+			if len(chunks) != want {
+				t.Fatalf("Chunks(%d, %d): %d chunks, want %d", n, parts, len(chunks), want)
+			}
+			lo := 0
+			for _, c := range chunks {
+				if c.Lo != lo || c.Hi <= c.Lo {
+					t.Fatalf("Chunks(%d, %d): bad chunk %v after offset %d", n, parts, c, lo)
+				}
+				lo = c.Hi
+			}
+			if lo != n {
+				t.Fatalf("Chunks(%d, %d): covers [0, %d), want [0, %d)", n, parts, lo, n)
+			}
+		}
+	}
+}
+
+func TestChunksBalanced(t *testing.T) {
+	chunks := Chunks(10, 3)
+	min, max := 10, 0
+	for _, c := range chunks {
+		size := c.Hi - c.Lo
+		if size < min {
+			min = size
+		}
+		if size > max {
+			max = size
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("Chunks(10, 3) sizes differ by %d, want ≤ 1: %v", max-min, chunks)
+	}
+}
+
+// TestRunChunksCoversAllRows writes to a disjoint slice region per worker —
+// the counting engine's sharding pattern — and checks every index is
+// touched exactly once. Run under -race this also proves the chunk ranges
+// never overlap.
+func TestRunChunksCoversAllRows(t *testing.T) {
+	const n = 10000
+	for _, workers := range []int{1, 2, 8} {
+		touched := make([]int32, n)
+		RunChunks(n, workers, func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				touched[i]++
+			}
+		})
+		for i, c := range touched {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d touched %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunChunksEmpty(t *testing.T) {
+	called := false
+	RunChunks(0, 4, func(w, lo, hi int) { called = true })
+	if called {
+		t.Error("RunChunks(0, ...) invoked fn")
+	}
+}
+
+// TestDoRunsEveryItem dispatches through the atomic counter from many
+// goroutines; under -race this exercises the pool for unsynchronized
+// access.
+func TestDoRunsEveryItem(t *testing.T) {
+	const n = 5000
+	for _, workers := range []int{1, 2, 8} {
+		var counts [n]atomic.Int32
+		Do(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestDoEmpty(t *testing.T) {
+	Do(0, 4, func(i int) { t.Error("Do(0, ...) invoked fn") })
+	Do(-3, 4, func(i int) { t.Error("Do(-3, ...) invoked fn") })
+}

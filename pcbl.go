@@ -125,6 +125,29 @@ func ParsePattern(d *Dataset, expr string) (Pattern, error) {
 	return core.NewPattern(d, assign)
 }
 
+// LabelSize computes |P_S| — the size a label built on the named attribute
+// set would have — with the sharded parallel counting engine (all available
+// CPUs). When bound >= 0 and the size exceeds it, counting aborts early and
+// LabelSize reports (bound+1, false); pass bound -1 for the exact size.
+func LabelSize(d *Dataset, bound int, attrNames ...string) (size int, within bool, err error) {
+	s, err := AttrSetOf(d, attrNames...)
+	if err != nil {
+		return 0, false, err
+	}
+	size, within = core.LabelSizeParallel(d, s, bound, core.CountOptions{})
+	return size, within, nil
+}
+
+// LabelSizes computes |P_S| for a whole frontier of attribute sets in one
+// fused pass over the dataset (one group-by keyer per set, shared column
+// access, per-set early abort at the bound), sharded across workers
+// (0 = NumCPU). For each set i the pair (sizes[i], within[i]) matches what
+// LabelSize would report. This is the scan the label search's enumeration
+// phase runs level by level.
+func LabelSizes(d *Dataset, sets []AttrSet, bound, workers int) (sizes []int, within []bool) {
+	return core.LabelSizesFused(d, sets, bound, core.CountOptions{Workers: workers})
+}
+
 // PatternsOver builds the workload P_S: every positive-count pattern over
 // the named attributes — the "sensitive attributes only" workload of
 // Definition 2.15.
@@ -167,7 +190,10 @@ type GenerateOptions struct {
 	// BranchAndBound enables the beyond-paper evaluation cutoff (never
 	// changes the result).
 	BranchAndBound bool
-	// Workers bounds parallelism (0 = NumCPU).
+	// Workers bounds parallelism in both search phases (0 = NumCPU):
+	// candidate enumeration shards its fused label-size scans across
+	// workers, and the evaluation phase scores candidates concurrently.
+	// Parallel runs return exactly the sequential result.
 	Workers int
 }
 

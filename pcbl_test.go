@@ -156,3 +156,43 @@ func TestFacadeExtensions(t *testing.T) {
 		t.Error("HTML report malformed")
 	}
 }
+
+func TestFacadeLabelSize(t *testing.T) {
+	d := testutil.Fig2()
+	// Example 2.10: |P_{age group, marital status}| = 3.
+	size, within, err := LabelSize(d, -1, "age group", "marital status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 3 || !within {
+		t.Errorf("LabelSize = (%d, %v), want (3, true)", size, within)
+	}
+	// Bound-abort contract: a bound below the true size reports bound+1.
+	size, within, err = LabelSize(d, 2, "age group", "marital status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 3 || within {
+		t.Errorf("capped LabelSize = (%d, %v), want (3, false)", size, within)
+	}
+	if _, _, err := LabelSize(d, -1, "no such attribute"); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+
+	// The fused frontier scan agrees with the per-set path.
+	s1, err := AttrSetOf(d, "age group", "marital status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := AttrSetOf(d, "gender")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes, withins := LabelSizes(d, []AttrSet{s1, s2}, 5, 2)
+	if sizes[0] != 3 || !withins[0] {
+		t.Errorf("LabelSizes[0] = (%d, %v), want (3, true)", sizes[0], withins[0])
+	}
+	if sizes[1] != 2 || !withins[1] {
+		t.Errorf("LabelSizes[1] = (%d, %v), want (2, true)", sizes[1], withins[1])
+	}
+}
