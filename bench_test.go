@@ -405,6 +405,71 @@ func BenchmarkLabelSizeFused(b *testing.B) {
 	}
 }
 
+// smallDomainDataset builds the frontier-sizing workload: many attributes
+// with tiny domains, so the search enumerates several lattice levels and
+// every candidate's key space is dense-countable.
+func smallDomainDataset(rows, attrs, domain int) *dataset.Dataset {
+	names := make([]string, attrs)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	bld := dataset.NewBuilder("smalldomain", names...)
+	v := uint64(2463534242)
+	row := make([]string, attrs)
+	for r := 0; r < rows; r++ {
+		for i := range row {
+			v ^= v << 13
+			v ^= v >> 7
+			v ^= v << 17
+			row[i] = string(rune('A' + int(v%uint64(domain))))
+		}
+		bld.AppendStrings(row...)
+	}
+	d, err := bld.Build()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+var frontierOnce sync.Once
+var frontierData *dataset.Dataset
+
+// BenchmarkFrontierSizing measures the enumeration phase (search.Enumerate:
+// frontier sizing across every lattice level, no evaluation) on a
+// small-domain multi-level workload, comparing the PR 1 fused-scan path
+// against the dense kernel alone and the full dense + parent-reuse
+// scheduler. Recorded in BENCH_pr2.json; the acceptance bar is scheduler
+// ≥ 2× faster than pr1-fused.
+func BenchmarkFrontierSizing(b *testing.B) {
+	frontierOnce.Do(func() {
+		frontierData = smallDomainDataset(120000, 12, 3)
+	})
+	d := frontierData
+	bound := 200
+	variants := []struct {
+		name string
+		opts search.Options
+	}{
+		{"pr1-fused", search.Options{Bound: bound, Workers: 1, DisableRefine: true, DenseLimit: -1}},
+		{"dense-only", search.Options{Bound: bound, Workers: 1, DisableRefine: true}},
+		{"scheduler", search.Options{Bound: bound, Workers: 1}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cands, stats, err := search.Enumerate(d, v.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(cands) == 0 || stats.SizeComputed == 0 {
+					b.Fatal("empty enumeration")
+				}
+			}
+		})
+	}
+}
+
 // --- Ablations (design choices called out in DESIGN.md) -------------------
 
 // Sorted early-termination evaluation (§IV-C) vs exact scan.

@@ -8,38 +8,40 @@ import (
 // PC is a pattern-count index: the set P_S of all patterns over an attribute
 // set S with positive count, together with their counts (the PC section of a
 // label, Definition 2.9). It is the group-by of the dataset on S.
+//
+// Three storage representations share the PC interface; the kernel
+// selection rules in dense.go pick one deterministically from the key
+// space and the row count: a flat dense count array for small-domain sets,
+// a uint64 hash map for larger mixed-radix key spaces, and a byte-string
+// map when the key overflows uint64.
 type PC struct {
-	keyer *Keyer
-	u     map[uint64]int // fast path (mixed-radix keys)
-	s     map[string]int // fallback (byte-string keys)
+	keyer    *Keyer
+	dz       []int32        // dense path (flat counts indexed by key)
+	distinct int            // nonzero slots in dz
+	u        map[uint64]int // map path (mixed-radix keys)
+	s        map[string]int // fallback (byte-string keys)
 }
 
 // BuildPC groups dataset d by attribute set s and returns the pattern-count
 // index. Rows with NULL in any attribute of s belong to no pattern over s
-// and are skipped.
+// and are skipped. Small-domain sets are counted with the dense kernel
+// (see dense.go); BuildPCParallel additionally shards the scan.
 func BuildPC(d *dataset.Dataset, s lattice.AttrSet) *PC {
+	return buildPC(d, s, CountOptions{Workers: 1}, 1)
+}
+
+// buildPC routes a group-by to the kernel the selection rules pick.
+func buildPC(d *dataset.Dataset, s lattice.AttrSet, opts CountOptions, workers int) *PC {
 	k := NewKeyer(d, s)
-	pc := &PC{keyer: k}
 	cols := datasetCols(d)
+	rows := d.NumRows()
+	if radix, ok := denseRadix(k, rows, opts.denseLimit()); ok {
+		return buildPCDense(k, cols, rows, radix, workers)
+	}
 	if k.Fits() {
-		pc.u = make(map[uint64]int)
-		for r := 0; r < d.NumRows(); r++ {
-			if key, ok := k.KeyRow(cols, r); ok {
-				pc.u[key]++
-			}
-		}
-		return pc
+		return buildPCMap(k, cols, rows, workers)
 	}
-	pc.s = make(map[string]int)
-	var buf []byte
-	for r := 0; r < d.NumRows(); r++ {
-		b, ok := k.AppendBytesRow(buf[:0], cols, r)
-		buf = b
-		if ok {
-			pc.s[string(b)]++
-		}
-	}
-	return pc
+	return buildPCBytes(k, cols, rows, workers)
 }
 
 // Attrs returns the attribute set S the index covers.
@@ -48,6 +50,9 @@ func (pc *PC) Attrs() lattice.AttrSet { return pc.keyer.Attrs() }
 // Size returns |P_S| — the number of positive-count patterns over S. This is
 // the label size the bound B_s of the optimal-label problem constrains.
 func (pc *PC) Size() int {
+	if pc.dz != nil {
+		return pc.distinct
+	}
 	if pc.u != nil {
 		return len(pc.u)
 	}
@@ -58,6 +63,13 @@ func (pc *PC) Size() int {
 // the dense identifier slice vals; 0 when the pattern is absent (count 0) or
 // any member slot is NULL.
 func (pc *PC) LookupVals(vals []uint16) int {
+	if pc.dz != nil {
+		key, ok := pc.keyer.KeyVals(vals)
+		if !ok {
+			return 0
+		}
+		return int(pc.dz[key])
+	}
 	if pc.u != nil {
 		key, ok := pc.keyer.KeyVals(vals)
 		if !ok {
@@ -83,6 +95,18 @@ func (pc *PC) Lookup(p Pattern) int { return pc.LookupVals(p.vals) }
 // Iteration stops early when fn returns false. Order is unspecified.
 func (pc *PC) Each(n int, fn func(vals []uint16, count int) bool) {
 	vals := make([]uint16, n)
+	if pc.dz != nil {
+		for key, c := range pc.dz {
+			if c == 0 {
+				continue
+			}
+			pc.keyer.Decode(uint64(key), vals)
+			if !fn(vals, int(c)) {
+				return
+			}
+		}
+		return
+	}
 	if pc.u != nil {
 		for key, c := range pc.u {
 			pc.keyer.Decode(key, vals)
@@ -109,6 +133,21 @@ func (pc *PC) Marginalize(d *dataset.Dataset, sub lattice.AttrSet) *PC {
 	k := NewKeyer(d, sub)
 	out := &PC{keyer: k}
 	n := d.NumAttrs()
+	if radix, ok := denseRadix(k, d.NumRows(), DefaultDenseLimit); ok {
+		counts := make([]int32, radix)
+		distinct := 0
+		pc.Each(n, func(vals []uint16, c int) bool {
+			if key, ok := k.KeyVals(vals); ok {
+				if counts[key] == 0 {
+					distinct++
+				}
+				counts[key] += int32(c)
+			}
+			return true
+		})
+		out.dz, out.distinct = counts, distinct
+		return out
+	}
 	if k.Fits() {
 		out.u = make(map[uint64]int)
 		pc.Each(n, func(vals []uint16, c int) bool {

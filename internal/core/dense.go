@@ -1,0 +1,229 @@
+package core
+
+import (
+	"math"
+
+	"pcbl/internal/workpool"
+)
+
+// Dense-domain counting kernel. When an attribute set's mixed-radix key
+// space is small — the product of the member domain sizes stays below a
+// threshold and is not vastly larger than the row count — group-by counting
+// runs against a flat []int32 indexed directly by key instead of a hash
+// map: increments are a single indexed add, shard merge is vector addition,
+// and cap-abort tracks the nonzero-slot count. The kernel is fed by
+// columnar key vectors (Keyer.KeyBlock): a row block is decoded into a
+// per-set key vector before the count phase, so the decode loop streams one
+// column at a time and the count loop is branch-light.
+//
+// Path selection (shared by BuildPC, BuildPCParallel, LabelSizesFused,
+// PC.Marginalize and RefinablePC materialization, so every entry point
+// picks the same representation for the same inputs):
+//
+//   - radix ≤ denseLimit AND radix ≤ denseRowFactor × rows (+64)  →  dense
+//   - key fits in uint64 otherwise                                →  uint64 map
+//   - key overflows uint64                                        →  byte-string map
+//
+// The row-factor guard keeps the kernel off sparse key spaces where zeroing
+// and walking the flat array would dominate the scan itself.
+
+// DefaultDenseLimit is the largest mixed-radix key space the dense kernel
+// will allocate a flat count array for: 1<<22 slots = 16 MiB of int32 per
+// worker. CountOptions.DenseLimit overrides it.
+const DefaultDenseLimit = 1 << 22
+
+// denseRowFactor bounds how sparse a dense array may be relative to the
+// scan: the key space may exceed the row count by at most this factor
+// (plus a small absolute floor so tiny datasets still take the fast path).
+const denseRowFactor = 16
+
+// fusedDenseSlotBudget caps the total dense slots one fused frontier scan
+// allocates per worker (int32 slots; 1<<23 = 32 MiB). Sets beyond the
+// budget fall back to the map path; the assignment is made in frontier
+// order before the scan starts, so it is deterministic.
+const fusedDenseSlotBudget = 1 << 23
+
+// denseLimit resolves the effective dense threshold: 0 means
+// DefaultDenseLimit, negative disables the dense kernel entirely.
+func (o CountOptions) denseLimit() int {
+	if o.DenseLimit == 0 {
+		return DefaultDenseLimit
+	}
+	if o.DenseLimit < 0 {
+		return 0
+	}
+	return o.DenseLimit
+}
+
+// denseRadix reports whether the dense kernel applies to a keyer over a
+// rows-sized scan under the given slot limit, and if so the flat array
+// length.
+func denseRadix(k *Keyer, rows, limit int) (radix int, ok bool) {
+	r, fits := k.Radix()
+	if !fits || limit <= 0 || rows > math.MaxInt32 {
+		return 0, false
+	}
+	if r > uint64(limit) || r > uint64(rows)*denseRowFactor+64 {
+		return 0, false
+	}
+	return int(r), true
+}
+
+// keyBlockRows is the row-block granularity of the columnar key-vector
+// decode: small enough that the block's key vector and column slices stay
+// cache-resident, large enough to amortize the per-block bookkeeping.
+const keyBlockRows = 4096
+
+// addKeysDense counts a key vector into a flat array, returning the updated
+// nonzero-slot count. InvalidKey entries (NULL rows) are skipped.
+func addKeysDense(counts []int32, keys []uint64, distinct int) int {
+	for _, key := range keys {
+		if key == InvalidKey {
+			continue
+		}
+		if counts[key] == 0 {
+			distinct++
+		}
+		counts[key]++
+	}
+	return distinct
+}
+
+// addKeysMap counts a key vector into a hash map.
+func addKeysMap(m map[uint64]int, keys []uint64) {
+	for _, key := range keys {
+		if key != InvalidKey {
+			m[key]++
+		}
+	}
+}
+
+// buildPCDense is the dense BuildPC kernel: each worker counts its row
+// chunk into a private flat array via columnar key vectors, and shards are
+// merged by vector addition.
+func buildPCDense(k *Keyer, cols [][]uint16, rows, radix, workers int) *PC {
+	pc := &PC{keyer: k}
+	if workers <= 1 {
+		counts := make([]int32, radix)
+		keys := make([]uint64, keyBlockRows)
+		distinct := 0
+		for lo := 0; lo < rows; lo += keyBlockRows {
+			hi := min(lo+keyBlockRows, rows)
+			k.KeyBlock(cols, lo, hi, keys)
+			distinct = addKeysDense(counts, keys[:hi-lo], distinct)
+		}
+		pc.dz, pc.distinct = counts, distinct
+		return pc
+	}
+	shards := make([][]int32, workers)
+	workpool.RunChunks(rows, workers, func(w, lo, hi int) {
+		counts := make([]int32, radix)
+		keys := make([]uint64, keyBlockRows)
+		for blo := lo; blo < hi; blo += keyBlockRows {
+			bhi := min(blo+keyBlockRows, hi)
+			k.KeyBlock(cols, blo, bhi, keys)
+			addKeysDense(counts, keys[:bhi-blo], 0)
+		}
+		shards[w] = counts
+	})
+	merged := shards[0]
+	for _, shard := range shards[1:] {
+		for i, c := range shard {
+			merged[i] += c
+		}
+	}
+	distinct := 0
+	for _, c := range merged {
+		if c != 0 {
+			distinct++
+		}
+	}
+	pc.dz, pc.distinct = merged, distinct
+	return pc
+}
+
+// buildPCMap is the hash-map BuildPC kernel for uint64 keys, fed by the
+// same columnar key vectors as the dense kernel.
+func buildPCMap(k *Keyer, cols [][]uint16, rows, workers int) *PC {
+	pc := &PC{keyer: k}
+	if workers <= 1 {
+		m := make(map[uint64]int)
+		keys := make([]uint64, keyBlockRows)
+		for lo := 0; lo < rows; lo += keyBlockRows {
+			hi := min(lo+keyBlockRows, rows)
+			k.KeyBlock(cols, lo, hi, keys)
+			addKeysMap(m, keys[:hi-lo])
+		}
+		pc.u = m
+		return pc
+	}
+	shards := make([]map[uint64]int, workers)
+	workpool.RunChunks(rows, workers, func(w, lo, hi int) {
+		m := make(map[uint64]int)
+		keys := make([]uint64, keyBlockRows)
+		for blo := lo; blo < hi; blo += keyBlockRows {
+			bhi := min(blo+keyBlockRows, hi)
+			k.KeyBlock(cols, blo, bhi, keys)
+			addKeysMap(m, keys[:bhi-blo])
+		}
+		shards[w] = m
+	})
+	pc.u = shards[0]
+	for _, m := range shards[1:] {
+		for key, c := range m {
+			pc.u[key] += c
+		}
+	}
+	return pc
+}
+
+// buildPCBytes is the byte-string-key BuildPC kernel for attribute sets
+// whose mixed-radix key overflows uint64.
+func buildPCBytes(k *Keyer, cols [][]uint16, rows, workers int) *PC {
+	pc := &PC{keyer: k}
+	if workers <= 1 {
+		m := make(map[string]int)
+		var buf []byte
+		for r := 0; r < rows; r++ {
+			b, ok := k.AppendBytesRow(buf[:0], cols, r)
+			buf = b
+			if ok {
+				m[string(b)]++
+			}
+		}
+		pc.s = m
+		return pc
+	}
+	shards := make([]map[string]int, workers)
+	workpool.RunChunks(rows, workers, func(w, lo, hi int) {
+		m := make(map[string]int)
+		var buf []byte
+		for r := lo; r < hi; r++ {
+			b, ok := k.AppendBytesRow(buf[:0], cols, r)
+			buf = b
+			if ok {
+				m[string(b)]++
+			}
+		}
+		shards[w] = m
+	})
+	pc.s = shards[0]
+	for _, m := range shards[1:] {
+		for key, c := range m {
+			pc.s[key] += c
+		}
+	}
+	return pc
+}
+
+// ScanStats accumulates which kernel the engine picked per attribute set.
+// Attach one via CountOptions.Stats to observe path selection; counters are
+// updated during single-threaded scan planning, never from workers.
+type ScanStats struct {
+	// Dense counts sets served by the flat-array kernel.
+	Dense int
+	// Map counts sets served by the uint64 hash-map kernel.
+	Map int
+	// Bytes counts sets on the byte-string fallback (key overflows uint64).
+	Bytes int
+}

@@ -15,13 +15,42 @@
 //
 // Dataset scans go through the sharded counting engine (parallel.go): the
 // row range is split into contiguous per-worker chunks (CountOptions
-// bounds the worker count), each worker fills private maps with the shared
-// read-only Keyer, and the shards are merged — BuildPCParallel and
+// bounds the worker count), each worker fills private state with the
+// shared read-only Keyer, and the shards are merged — BuildPCParallel and
 // LabelSizeParallel are the drop-in parallel forms of BuildPC and
 // LabelSize. LabelSizesFused additionally evaluates the label sizes of a
 // whole frontier of candidate attribute sets in one blocked pass over the
 // rows with per-set cap abort; it is the scan behind package search's
-// enumeration phase. Every parallel entry point returns results
+// enumeration phase.
+//
+// Group-by counting picks one of three kernels per attribute set,
+// deterministically from the key space and the row count (dense.go):
+//
+//   - dense: when the mixed-radix product is at most DefaultDenseLimit
+//     (2^22 slots) and not vastly sparser than the scan (at most 16× the
+//     row count), counts go into a flat []int32 indexed by key — shard
+//     merge is vector addition, cap-abort is a nonzero-slot counter, and
+//     per-worker memory is the key space itself. CountOptions.DenseLimit
+//     overrides the threshold (negative disables the kernel).
+//   - map: larger key spaces that still fit in uint64 count into hash
+//     maps. Both uint64 kernels are fed by columnar key vectors
+//     (Keyer.KeyBlock decodes a row block one member column at a time).
+//   - bytes: key spaces overflowing uint64 fall back to byte-string keys
+//     with the original per-row loop.
+//
+// Orthogonally, pccache.go reuses work across lattice levels: a
+// RefinablePC retains the row→group assignment of its group-by, so the
+// index (or just the label size) of S ∪ {a} follows from a two-column
+// pass — parent groups joined with a's column — counted in the compact
+// (group, value) space, which is bounded by |P_S| × dom(a) rather than by
+// the full mixed-radix product. RefineFrom materializes such a child
+// bit-identically to BuildPC; PCCache holds one lattice level of parents
+// within a memory budget for package search's frontier scheduler, which
+// picks per candidate set between cached-parent refinement and the fused
+// raw scan.
+//
+// Every parallel, dense and refinement entry point returns results
 // bit-identical to its sequential counterpart for all worker counts
-// (differentially tested in parallel_test.go).
+// (differentially tested in parallel_test.go, dense_test.go and
+// pccache_test.go).
 package core

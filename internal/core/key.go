@@ -17,6 +17,7 @@ type Keyer struct {
 	members []int    // ascending attribute indices
 	mult    []uint64 // mixed-radix multipliers, aligned with members
 	dims    []uint64 // domain sizes, aligned with members
+	radix   uint64   // product of dims; key space is [0, radix) when fits
 	fits    bool
 }
 
@@ -47,6 +48,9 @@ func NewKeyer(d *dataset.Dataset, s lattice.AttrSet) *Keyer {
 			}
 		}
 	}
+	if k.fits {
+		k.radix = prod
+	}
 	return k
 }
 
@@ -55,6 +59,40 @@ func (k *Keyer) Attrs() lattice.AttrSet { return k.attrs }
 
 // Fits reports whether the fast mixed-radix uint64 encoding is in use.
 func (k *Keyer) Fits() bool { return k.fits }
+
+// Radix returns the size of the mixed-radix key space — every key produced
+// by the keyer lies in [0, radix) — and whether the encoding fits in uint64
+// at all. The dense counting kernel uses it to size its flat count arrays.
+func (k *Keyer) Radix() (radix uint64, ok bool) { return k.radix, k.fits }
+
+// InvalidKey marks a row with NULL in a member attribute inside a key
+// vector produced by KeyBlock. Valid keys are < 2^63 (NewKeyer caps the
+// radix at MaxInt64), so the sentinel can never collide with one.
+const InvalidKey = ^uint64(0)
+
+// KeyBlock encodes rows [lo, hi) of the given columns into the key vector
+// out (len hi-lo), writing InvalidKey for rows with NULL in any member
+// attribute. The loop is columnar — one pass per member attribute over the
+// block — so successive reads stay within a single column's cache lines;
+// this is the batched form of KeyRow that feeds both the dense and the map
+// counting kernels. The keyer must fit (see Fits).
+func (k *Keyer) KeyBlock(cols [][]uint16, lo, hi int, out []uint64) {
+	out = out[:hi-lo]
+	for i := range out {
+		out[i] = 0
+	}
+	for j, a := range k.members {
+		col := cols[a][lo:hi]
+		mult := k.mult[j]
+		for i, id := range col {
+			if id == dataset.Null {
+				out[i] = InvalidKey
+			} else if out[i] != InvalidKey {
+				out[i] += uint64(id-1) * mult
+			}
+		}
+	}
+}
 
 // KeyVals encodes a dense value slice (one identifier per dataset attribute)
 // into a uint64 key. ok is false when any member attribute is NULL or the

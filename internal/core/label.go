@@ -20,6 +20,7 @@ type Label struct {
 	d     *dataset.Dataset
 	attrs lattice.AttrSet
 	pc    *PC
+	copts CountOptions // engine options shared by lazy marginal builds
 
 	// VC-derived tables, precomputed for estimation speed.
 	fracs [][]float64 // fracs[a][id-1] = c_D({A=v}) / Σ_u c_D({A=u})
@@ -29,12 +30,21 @@ type Label struct {
 	marginals map[lattice.AttrSet]*PC // lazy indexes for S' ⊂ S lookups
 }
 
-// BuildLabel computes L_S(D).
+// BuildLabel computes L_S(D) with a single-threaded scan. Callers already
+// running one build per worker (package search's evaluation phase) use
+// this form; use BuildLabelOpts to shard the group-by itself.
 func BuildLabel(d *dataset.Dataset, s lattice.AttrSet) *Label {
+	return BuildLabelOpts(d, s, CountOptions{Workers: 1})
+}
+
+// BuildLabelOpts computes L_S(D) through the sharded counting engine: the
+// PC group-by and every lazily built marginal index use the given options.
+func BuildLabelOpts(d *dataset.Dataset, s lattice.AttrSet, opts CountOptions) *Label {
 	l := &Label{
 		d:         d,
 		attrs:     s,
-		pc:        BuildPC(d, s),
+		pc:        BuildPCParallel(d, s, opts),
+		copts:     opts,
 		fracs:     make([][]float64, d.NumAttrs()),
 		vc:        make([][]int, d.NumAttrs()),
 		marginals: make(map[lattice.AttrSet]*PC),
@@ -132,7 +142,7 @@ func (l *Label) marginal(sub lattice.AttrSet) *PC {
 	if pc, ok := l.marginals[sub]; ok {
 		return pc
 	}
-	pc := BuildPC(l.d, sub)
+	pc := BuildPCParallel(l.d, sub, l.copts)
 	l.marginals[sub] = pc
 	return pc
 }

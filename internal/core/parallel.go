@@ -30,6 +30,21 @@ type CountOptions struct {
 	// always counted sequentially.
 	Workers int
 
+	// DenseLimit overrides the dense kernel's key-space threshold for
+	// scan group-bys (see dense.go): 0 means DefaultDenseLimit, a
+	// negative value disables the dense kernel entirely — every scanned
+	// set counts through hash maps, the pre-dense engine behaviour,
+	// useful as a differential-testing oracle and an ablation baseline.
+	// RefinablePC's compact-space counting is internal to the refinement
+	// path and not governed by this knob.
+	DenseLimit int
+
+	// Stats, when non-nil, accumulates which kernel each scanned set was
+	// routed to. Counters are bumped during single-threaded planning, so a
+	// shared ScanStats needs no synchronization across scans issued from
+	// the same goroutine.
+	Stats *ScanStats
+
 	// minRowsPerWorker overrides the sequential-fallback threshold. Only
 	// tests set it (to force the sharded paths on small datasets); zero
 	// means defaultMinRowsPerWorker.
@@ -46,56 +61,12 @@ func (o CountOptions) scanWorkers(rows int) int {
 }
 
 // BuildPCParallel is BuildPC with a sharded scan: each worker groups its
-// row chunk into a private map and the shards are merged. The result is
-// identical to BuildPC for every worker count.
+// row chunk into private state (a flat dense array or a map, per the
+// kernel selection rules in dense.go) and the shards are merged — vector
+// addition for dense shards, map union otherwise. The result is identical
+// to BuildPC for every worker count.
 func BuildPCParallel(d *dataset.Dataset, s lattice.AttrSet, opts CountOptions) *PC {
-	rows := d.NumRows()
-	workers := opts.scanWorkers(rows)
-	if workers <= 1 {
-		return BuildPC(d, s)
-	}
-	k := NewKeyer(d, s)
-	cols := datasetCols(d)
-	pc := &PC{keyer: k}
-	if k.Fits() {
-		shards := make([]map[uint64]int, workers)
-		workpool.RunChunks(rows, workers, func(w, lo, hi int) {
-			m := make(map[uint64]int)
-			for r := lo; r < hi; r++ {
-				if key, ok := k.KeyRow(cols, r); ok {
-					m[key]++
-				}
-			}
-			shards[w] = m
-		})
-		pc.u = shards[0]
-		for _, m := range shards[1:] {
-			for key, c := range m {
-				pc.u[key] += c
-			}
-		}
-		return pc
-	}
-	shards := make([]map[string]int, workers)
-	workpool.RunChunks(rows, workers, func(w, lo, hi int) {
-		m := make(map[string]int)
-		var buf []byte
-		for r := lo; r < hi; r++ {
-			b, ok := k.AppendBytesRow(buf[:0], cols, r)
-			buf = b
-			if ok {
-				m[string(b)]++
-			}
-		}
-		shards[w] = m
-	})
-	pc.s = shards[0]
-	for _, m := range shards[1:] {
-		for key, c := range m {
-			pc.s[key] += c
-		}
-	}
-	return pc
+	return buildPC(d, s, opts, opts.scanWorkers(d.NumRows()))
 }
 
 // LabelSizeParallel is LabelSize with a sharded scan. Cap-abort semantics
@@ -110,11 +81,15 @@ func LabelSizeParallel(d *dataset.Dataset, s lattice.AttrSet, cap int, opts Coun
 	return sizes[0], within2[0]
 }
 
-// fusedSet is the per-attribute-set state of one fused scan worker.
+// fusedSet is the per-attribute-set state of one fused scan worker. Exactly
+// one of seenD/seenU/seenS is active, matching the kernel the planning pass
+// assigned to the set.
 type fusedSet struct {
-	keyer *Keyer
-	seenU map[uint64]struct{}
-	seenS map[string]struct{}
+	keyer    *Keyer
+	seenD    []int32 // dense path: flat counts; distinct tracks nonzero slots
+	distinct int
+	seenU    map[uint64]struct{}
+	seenS    map[string]struct{}
 }
 
 // LabelSizesFused evaluates the label sizes of a whole frontier of
@@ -137,13 +112,32 @@ func LabelSizesFused(d *dataset.Dataset, sets []lattice.AttrSet, cap int, opts C
 	rows := d.NumRows()
 	cols := datasetCols(d)
 	keyers := make([]*Keyer, len(sets))
+	// Plan the kernel per set up front (deterministically, in frontier
+	// order): dense flat arrays while the per-worker slot budget lasts,
+	// hash maps afterwards and for large or overflowing key spaces.
+	radixes := make([]int, len(sets))
+	budget := fusedDenseSlotBudget
 	for i, s := range sets {
-		keyers[i] = NewKeyer(d, s)
+		k := NewKeyer(d, s)
+		keyers[i] = k
+		if radix, ok := denseRadix(k, rows, opts.denseLimit()); ok && radix <= budget {
+			radixes[i] = radix
+			budget -= radix
+			if opts.Stats != nil {
+				opts.Stats.Dense++
+			}
+		} else if opts.Stats != nil {
+			if k.Fits() {
+				opts.Stats.Map++
+			} else {
+				opts.Stats.Bytes++
+			}
+		}
 	}
 
 	workers := opts.scanWorkers(rows)
 	if workers <= 1 {
-		st := newFusedStates(keyers)
+		st := newFusedStates(keyers, radixes)
 		scanFused(st, cols, 0, rows, cap, nil)
 		for i := range st {
 			sizes[i], within[i] = st[i].result(cap)
@@ -158,7 +152,7 @@ func LabelSizesFused(d *dataset.Dataset, sets []lattice.AttrSet, cap int, opts C
 	exceeded := make([]atomic.Bool, len(sets))
 	shards := make([][]fusedSet, workers)
 	workpool.RunChunks(rows, workers, func(w, lo, hi int) {
-		st := newFusedStates(keyers)
+		st := newFusedStates(keyers, radixes)
 		scanFused(st, cols, lo, hi, cap, exceeded)
 		shards[w] = st
 	})
@@ -173,14 +167,18 @@ func LabelSizesFused(d *dataset.Dataset, sets []lattice.AttrSet, cap int, opts C
 	return sizes, within
 }
 
-// newFusedStates allocates per-set scan state for one worker.
-func newFusedStates(keyers []*Keyer) []fusedSet {
+// newFusedStates allocates per-set scan state for one worker, following
+// the kernel plan (radixes[i] > 0 means the dense path).
+func newFusedStates(keyers []*Keyer, radixes []int) []fusedSet {
 	st := make([]fusedSet, len(keyers))
 	for i, k := range keyers {
 		st[i].keyer = k
-		if k.Fits() {
+		switch {
+		case radixes[i] > 0:
+			st[i].seenD = make([]int32, radixes[i])
+		case k.Fits():
 			st[i].seenU = make(map[uint64]struct{})
-		} else {
+		default:
 			st[i].seenS = make(map[string]struct{})
 		}
 	}
@@ -197,12 +195,15 @@ const fusedBlockRows = 4096
 // scanFused runs the fused distinct-count loop over rows [lo, hi). A nil
 // exceeded slice means single-worker mode (no shared flags to consult or
 // publish). Finished sets are swap-removed from the active list so later
-// blocks skip them; the scan stops once no set remains active.
+// blocks skip them; the scan stops once no set remains active. Sets on the
+// uint64 paths decode each block into a shared key vector before counting
+// (columnar batching); byte-string sets keep the per-row loop.
 func scanFused(st []fusedSet, cols [][]uint16, lo, hi, cap int, exceeded []atomic.Bool) {
 	active := make([]int, len(st))
 	for i := range active {
 		active[i] = i
 	}
+	var keys []uint64 // lazily allocated: byte-only frontiers never need it
 	for blockLo := lo; blockLo < hi && len(active) > 0; blockLo += fusedBlockRows {
 		blockHi := blockLo + fusedBlockRows
 		if blockHi > hi {
@@ -213,10 +214,15 @@ func scanFused(st []fusedSet, cols [][]uint16, lo, hi, cap int, exceeded []atomi
 			done := false
 			if exceeded != nil && cap >= 0 && exceeded[i].Load() {
 				done = true
-			} else if st[i].scanBlock(cols, blockLo, blockHi, cap) {
-				done = true
-				if exceeded != nil {
-					exceeded[i].Store(true)
+			} else {
+				if keys == nil && st[i].keyer.Fits() {
+					keys = make([]uint64, fusedBlockRows)
+				}
+				if st[i].scanBlock(cols, keys, blockLo, blockHi, cap) {
+					done = true
+					if exceeded != nil {
+						exceeded[i].Store(true)
+					}
 				}
 			}
 			if done {
@@ -228,14 +234,33 @@ func scanFused(st []fusedSet, cols [][]uint16, lo, hi, cap int, exceeded []atomi
 	}
 }
 
-// scanBlock feeds rows [lo, hi) into the set's seen map and reports whether
-// the distinct count passed the cap (the set is finished).
-func (s *fusedSet) scanBlock(cols [][]uint16, lo, hi, cap int) (done bool) {
+// scanBlock feeds rows [lo, hi) into the set's seen state and reports
+// whether the distinct count passed the cap (the set is finished). keys is
+// a shared per-worker scratch vector for the columnar key decode.
+func (s *fusedSet) scanBlock(cols [][]uint16, keys []uint64, lo, hi, cap int) (done bool) {
 	k := s.keyer
+	if s.seenD != nil {
+		k.KeyBlock(cols, lo, hi, keys)
+		seen := s.seenD
+		for _, key := range keys[:hi-lo] {
+			if key == InvalidKey {
+				continue
+			}
+			if seen[key] == 0 {
+				s.distinct++
+				if cap >= 0 && s.distinct > cap {
+					seen[key]++
+					return true
+				}
+			}
+			seen[key]++
+		}
+		return false
+	}
 	if seen := s.seenU; seen != nil {
-		for r := lo; r < hi; r++ {
-			key, ok := k.KeyRow(cols, r)
-			if !ok {
+		k.KeyBlock(cols, lo, hi, keys)
+		for _, key := range keys[:hi-lo] {
+			if key == InvalidKey {
 				continue
 			}
 			if _, dup := seen[key]; dup {
@@ -269,16 +294,35 @@ func (s *fusedSet) scanBlock(cols [][]uint16, lo, hi, cap int) (done bool) {
 
 // result reads a single-worker state into LabelSize's contract.
 func (s *fusedSet) result(cap int) (size int, within bool) {
-	n := len(s.seenU) + len(s.seenS)
+	n := s.distinct + len(s.seenU) + len(s.seenS)
 	if cap >= 0 && n > cap {
 		return cap + 1, false
 	}
 	return n, true
 }
 
-// mergeFused unions the per-worker seen sets for frontier index i,
-// aborting at the cap exactly as the sequential scan would.
+// mergeFused unions the per-worker seen states for frontier index i,
+// aborting at the cap exactly as the sequential scan would. Dense shards
+// merge by vector addition with a nonzero-slot counter.
 func mergeFused(shards [][]fusedSet, i, cap int) (size int, within bool) {
+	if merged := shards[0][i].seenD; merged != nil {
+		distinct := shards[0][i].distinct
+		for _, st := range shards[1:] {
+			for slot, c := range st[i].seenD {
+				if c == 0 {
+					continue
+				}
+				if merged[slot] == 0 {
+					distinct++
+					if cap >= 0 && distinct > cap {
+						return cap + 1, false
+					}
+				}
+				merged[slot] += c
+			}
+		}
+		return distinct, true
+	}
 	if shards[0][i].seenU != nil {
 		merged := shards[0][i].seenU
 		for _, st := range shards[1:] {

@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 	"math/rand/v2"
+	"strings"
 	"testing"
 
 	"pcbl/internal/dataset"
@@ -109,30 +110,48 @@ func testCountOptions(workers int) CountOptions {
 	return CountOptions{Workers: workers, minRowsPerWorker: 1}
 }
 
+// pcRepr names the storage representation a PC landed on.
+func pcRepr(pc *PC) string {
+	switch {
+	case pc.dz != nil:
+		return "dense"
+	case pc.u != nil:
+		return "map"
+	default:
+		return "bytes"
+	}
+}
+
+// pcDump flattens a PC into pattern→count form via Each, independent of
+// the storage representation.
+func pcDump(pc *PC) map[string]int {
+	out := make(map[string]int)
+	pc.Each(lattice.MaxAttrs, func(vals []uint16, c int) bool {
+		var key strings.Builder
+		for _, a := range pc.Attrs().Members() {
+			fmt.Fprintf(&key, "%d=%d;", a, vals[a])
+		}
+		out[key.String()] = c
+		return true
+	})
+	return out
+}
+
 // pcEqual asserts two pattern-count indexes hold identical contents on the
-// same key path.
+// same storage representation (the kernel selection rules are
+// deterministic, so sequential and parallel builds must agree on it).
 func pcEqual(t *testing.T, want, got *PC) {
 	t.Helper()
-	if (want.u == nil) != (got.u == nil) {
-		t.Fatalf("key-path mismatch: sequential fits=%v, parallel fits=%v", want.u != nil, got.u != nil)
+	if wr, gr := pcRepr(want), pcRepr(got); wr != gr {
+		t.Fatalf("representation mismatch: sequential %s, parallel %s", wr, gr)
 	}
-	if want.u != nil {
-		if len(want.u) != len(got.u) {
-			t.Fatalf("pattern count mismatch: sequential %d, parallel %d", len(want.u), len(got.u))
-		}
-		for key, c := range want.u {
-			if got.u[key] != c {
-				t.Fatalf("key %d: sequential count %d, parallel %d", key, c, got.u[key])
-			}
-		}
-		return
+	wd, gd := pcDump(want), pcDump(got)
+	if len(wd) != len(gd) {
+		t.Fatalf("pattern count mismatch: sequential %d, parallel %d", len(wd), len(gd))
 	}
-	if len(want.s) != len(got.s) {
-		t.Fatalf("pattern count mismatch: sequential %d, parallel %d", len(want.s), len(got.s))
-	}
-	for key, c := range want.s {
-		if got.s[key] != c {
-			t.Fatalf("key %q: sequential count %d, parallel %d", key, c, got.s[key])
+	for key, c := range wd {
+		if gd[key] != c {
+			t.Fatalf("pattern %q: sequential count %d, parallel %d", key, c, gd[key])
 		}
 	}
 }

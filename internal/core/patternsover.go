@@ -11,7 +11,13 @@ import (
 // restricted workloads — "patterns that include only sensitive attributes" —
 // instead of the default P_A.
 func PatternsOver(d *dataset.Dataset, s lattice.AttrSet) *PatternSet {
-	pc := BuildPC(d, s)
+	return PatternsOverOpts(d, s, CountOptions{Workers: 1})
+}
+
+// PatternsOverOpts is PatternsOver with the underlying group-by routed
+// through the sharded counting engine.
+func PatternsOverOpts(d *dataset.Dataset, s lattice.AttrSet, opts CountOptions) *PatternSet {
+	pc := BuildPCParallel(d, s, opts)
 	n := d.NumAttrs()
 	ps := &PatternSet{stride: n}
 	pc.Each(n, func(vals []uint16, c int) bool {

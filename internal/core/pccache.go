@@ -1,0 +1,580 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"pcbl/internal/dataset"
+	"pcbl/internal/lattice"
+)
+
+// Parent-PC reuse across lattice levels. A child set's group-by refines its
+// parent's: every child group is a (parent group, added-attribute value)
+// pair. A RefinablePC therefore retains, next to the per-group counts, the
+// row→group assignment that produced them; refining by one attribute then
+// costs a two-column pass — the group vector and the added attribute's
+// column — counted in the compact (group, value) space of at most
+// groups × domain slots, instead of a full re-key of every member
+// attribute against a key space the size of the whole mixed-radix product.
+// Package search schedules frontier sizing through these refinements,
+// holding the previous level's RefinablePCs in a bounded-memory PCCache
+// and falling back to raw fused scans when a parent is missing.
+//
+// Refinement is exact: the child's distinct-group count equals LabelSize
+// of the child set, and materializing the child PC yields bit-identical
+// contents to BuildPC (differentially tested in pccache_test.go). NULL
+// semantics carry over — rows NULL in any parent attribute are already
+// excluded from the group vector, and rows NULL in the added attribute are
+// excluded during the refinement pass.
+
+// RefinablePC is a pattern-count index that remembers which group every
+// row belongs to, making one-attribute refinements cheap. Build one with
+// BuildRefinable, or derive one from a parent with Refine.
+//
+// Group ids live in [0, gspace). A refinement with a small compact space
+// keeps slot ids as group ids without renumbering (gspace > gcount, dead
+// slots have count 0), fusing the child build into the counting pass; a
+// large compact space is renumbered densely (gspace == gcount). Consumers
+// must treat counts[g] == 0 as "no such group".
+type RefinablePC struct {
+	attrs     lattice.AttrSet
+	members   []int    // ascending attribute indices
+	rows      int      // dataset rows the group vector covers
+	groups    []int32  // per-row group id; -1 = NULL in a member attribute
+	gcount    int      // number of live groups = PC size
+	gspace    int      // group id space; len(counts) == gspace
+	groupVals []uint16 // gspace × len(members): each group's value ids
+	counts    []int32  // per-group row count; 0 = dead slot
+}
+
+// uncompactedGroupSpace is the largest compact child space a refinement
+// keeps in slot form instead of renumbering: below it the child index is
+// built inside the counting pass itself (no second pass over the rows),
+// and the wasted dead-slot storage is at most a few hundred KiB.
+const uncompactedGroupSpace = 1 << 16
+
+// BuildRefinable groups dataset d by attribute set s, retaining the
+// row→group assignment. Group ids follow first appearance in row order.
+// It returns nil when the dataset is too large for the int32 group vector
+// (callers fall back to plain BuildPC).
+func BuildRefinable(d *dataset.Dataset, s lattice.AttrSet) *RefinablePC {
+	rows := d.NumRows()
+	if rows > math.MaxInt32 {
+		return nil
+	}
+	k := NewKeyer(d, s)
+	cols := datasetCols(d)
+	r := &RefinablePC{
+		attrs:   s,
+		members: k.members,
+		rows:    rows,
+		groups:  make([]int32, rows),
+	}
+	addGroup := func(vals []uint16) int32 {
+		gid := int32(r.gcount)
+		r.gcount++
+		r.gspace++
+		for _, a := range r.members {
+			r.groupVals = append(r.groupVals, vals[a])
+		}
+		r.counts = append(r.counts, 0)
+		return gid
+	}
+	vals := make([]uint16, d.NumAttrs())
+	if radix, ok := denseRadix(k, rows, DefaultDenseLimit); ok {
+		gidOf := make([]int32, radix)
+		for i := range gidOf {
+			gidOf[i] = -1
+		}
+		keys := make([]uint64, keyBlockRows)
+		for lo := 0; lo < rows; lo += keyBlockRows {
+			hi := min(lo+keyBlockRows, rows)
+			k.KeyBlock(cols, lo, hi, keys)
+			for i, key := range keys[:hi-lo] {
+				if key == InvalidKey {
+					r.groups[lo+i] = -1
+					continue
+				}
+				gid := gidOf[key]
+				if gid < 0 {
+					k.Decode(key, vals)
+					gid = addGroup(vals)
+					gidOf[key] = gid
+				}
+				r.groups[lo+i] = gid
+				r.counts[gid]++
+			}
+		}
+		return r
+	}
+	if k.Fits() {
+		gidOf := make(map[uint64]int32)
+		keys := make([]uint64, keyBlockRows)
+		for lo := 0; lo < rows; lo += keyBlockRows {
+			hi := min(lo+keyBlockRows, rows)
+			k.KeyBlock(cols, lo, hi, keys)
+			for i, key := range keys[:hi-lo] {
+				if key == InvalidKey {
+					r.groups[lo+i] = -1
+					continue
+				}
+				gid, seen := gidOf[key]
+				if !seen {
+					k.Decode(key, vals)
+					gid = addGroup(vals)
+					gidOf[key] = gid
+				}
+				r.groups[lo+i] = gid
+				r.counts[gid]++
+			}
+		}
+		return r
+	}
+	gidOf := make(map[string]int32)
+	var buf []byte
+	for row := 0; row < rows; row++ {
+		b, ok := k.AppendBytesRow(buf[:0], cols, row)
+		buf = b
+		if !ok {
+			r.groups[row] = -1
+			continue
+		}
+		gid, seen := gidOf[string(b)]
+		if !seen {
+			k.DecodeBytes(string(b), vals)
+			gid = addGroup(vals)
+			gidOf[string(b)] = gid
+		}
+		r.groups[row] = gid
+		r.counts[gid]++
+	}
+	return r
+}
+
+// Attrs returns the attribute set S the index covers.
+func (r *RefinablePC) Attrs() lattice.AttrSet { return r.attrs }
+
+// Groups returns the number of groups, which equals the label size |P_S|.
+func (r *RefinablePC) Groups() int { return r.gcount }
+
+// MemBytes estimates the retained memory of the index; PCCache budgets
+// against it. The per-row group vector dominates.
+func (r *RefinablePC) MemBytes() int64 {
+	return int64(len(r.groups))*4 + int64(len(r.groupVals))*2 + int64(len(r.counts))*4 + 96
+}
+
+// RefineSize returns LabelSize(d, S ∪ {a}, cap) computed from the group
+// vector: the number of distinct (group, value-of-a) pairs, with exactly
+// the sequential cap-abort contract. The attribute must not be a member.
+func (r *RefinablePC) RefineSize(d *dataset.Dataset, a, cap int) (size int, within bool) {
+	_, size, within = r.refine(d, a, cap, false)
+	return size, within
+}
+
+// Refine returns the index over S ∪ {a} together with its size, computed
+// from the group vector without re-keying the member attributes. When
+// cap >= 0 and the child's size exceeds it, refinement aborts with
+// (nil, cap+1, false) — the caller only learns the bound was breached,
+// exactly as LabelSize reports. The attribute must not be a member.
+func (r *RefinablePC) Refine(d *dataset.Dataset, a, cap int) (child *RefinablePC, size int, within bool) {
+	return r.refine(d, a, cap, true)
+}
+
+// refine is the shared refinement pass. The compact child key space is
+// parent-group × added-attribute-value; it is counted densely when small
+// (the common case: it is bounded by |P_parent| × dom(a), not by the full
+// mixed-radix product) and through a hash map otherwise.
+func (r *RefinablePC) refine(d *dataset.Dataset, a, cap int, build bool) (child *RefinablePC, size int, within bool) {
+	if r.attrs.Has(a) {
+		panic(fmt.Sprintf("core: refine by attribute %d already in %v", a, r.attrs))
+	}
+	col := d.Col(a)
+	dim := d.Attr(a).DomainSize()
+	childAttrs := r.attrs.Add(a)
+	if dim == 0 || r.gcount == 0 {
+		// Every row is NULL in a (or no parent group exists): the child
+		// index is empty, which is always within any cap.
+		if !build {
+			return nil, 0, true
+		}
+		return r.emptyChild(childAttrs, a), 0, true
+	}
+
+	c := r.gspace * dim
+	dense := c <= DefaultDenseLimit && c <= r.rows*denseRowFactor+64
+
+	m := len(r.members)
+	pos := sort.SearchInts(r.members, a) // insertion index of a
+
+	// Fused fast path: with a small compact space the child is built
+	// inside the counting pass itself — child group ids stay in slot form
+	// (parent-group × dim + value), so no renumbering pass over the rows
+	// is needed and sizing-plus-build costs one two-column scan.
+	if build && dense && c <= uncompactedGroupSpace {
+		denseCounts := make([]int32, c)
+		childGroups := make([]int32, r.rows)
+		distinct := 0
+		for row, g := range r.groups {
+			if g < 0 {
+				childGroups[row] = -1
+				continue
+			}
+			id := col[row]
+			if id == dataset.Null {
+				childGroups[row] = -1
+				continue
+			}
+			slot := int32(g)*int32(dim) + int32(id) - 1
+			if denseCounts[slot] == 0 {
+				distinct++
+				if cap >= 0 && distinct > cap {
+					return nil, cap + 1, false
+				}
+			}
+			denseCounts[slot]++
+			childGroups[row] = slot
+		}
+		ch := &RefinablePC{
+			attrs:     childAttrs,
+			members:   insertInt(r.members, pos, a),
+			rows:      r.rows,
+			groups:    childGroups,
+			gcount:    distinct,
+			gspace:    c,
+			groupVals: make([]uint16, c*(m+1)),
+			counts:    denseCounts,
+		}
+		for slot, cnt := range denseCounts {
+			if cnt == 0 {
+				continue
+			}
+			g := slot / dim
+			id := uint16(slot%dim) + 1
+			base := r.groupVals[g*m : (g+1)*m]
+			dst := ch.groupVals[slot*(m+1) : (slot+1)*(m+1)]
+			copy(dst, base[:pos])
+			dst[pos] = id
+			copy(dst[pos+1:], base[pos:])
+		}
+		return ch, distinct, true
+	}
+
+	var denseCounts []int32
+	var mapCounts map[uint64]int32
+	distinct := 0
+	if dense {
+		denseCounts = make([]int32, c)
+		for row, g := range r.groups {
+			if g < 0 {
+				continue
+			}
+			id := col[row]
+			if id == dataset.Null {
+				continue
+			}
+			slot := int(g)*dim + int(id) - 1
+			if denseCounts[slot] == 0 {
+				distinct++
+				if cap >= 0 && distinct > cap {
+					return nil, cap + 1, false
+				}
+			}
+			denseCounts[slot]++
+		}
+	} else {
+		mapCounts = make(map[uint64]int32)
+		for row, g := range r.groups {
+			if g < 0 {
+				continue
+			}
+			id := col[row]
+			if id == dataset.Null {
+				continue
+			}
+			slot := uint64(g)*uint64(dim) + uint64(id) - 1
+			if mapCounts[slot] == 0 {
+				distinct++
+				if cap >= 0 && distinct > cap {
+					return nil, cap + 1, false
+				}
+			}
+			mapCounts[slot]++
+		}
+	}
+	if !build {
+		return nil, distinct, true
+	}
+
+	// Materialize the child with renumbering: compact slots become group
+	// ids in ascending slot order (deterministic for both
+	// representations), the group value table extends the parent's rows
+	// with the added attribute's value, and a second two-column pass
+	// assigns every row its child group.
+	ch := &RefinablePC{
+		attrs:     childAttrs,
+		members:   insertInt(r.members, pos, a),
+		rows:      r.rows,
+		groups:    make([]int32, r.rows),
+		gcount:    distinct,
+		gspace:    distinct,
+		groupVals: make([]uint16, 0, distinct*(m+1)),
+		counts:    make([]int32, 0, distinct),
+	}
+	emit := func(slot uint64, cnt int32) {
+		g := int(slot) / dim
+		id := uint16(int(slot)%dim) + 1
+		base := r.groupVals[g*m : (g+1)*m]
+		ch.groupVals = append(ch.groupVals, base[:pos]...)
+		ch.groupVals = append(ch.groupVals, id)
+		ch.groupVals = append(ch.groupVals, base[pos:]...)
+		ch.counts = append(ch.counts, cnt)
+	}
+	if dense {
+		gidOf := make([]int32, c)
+		next := int32(0)
+		for slot, cnt := range denseCounts {
+			if cnt == 0 {
+				gidOf[slot] = -1
+				continue
+			}
+			gidOf[slot] = next
+			next++
+			emit(uint64(slot), cnt)
+		}
+		for row, g := range r.groups {
+			if g < 0 {
+				ch.groups[row] = -1
+				continue
+			}
+			id := col[row]
+			if id == dataset.Null {
+				ch.groups[row] = -1
+				continue
+			}
+			ch.groups[row] = gidOf[int(g)*dim+int(id)-1]
+		}
+		return ch, distinct, true
+	}
+	slots := make([]uint64, 0, len(mapCounts))
+	for slot := range mapCounts {
+		slots = append(slots, slot)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	gidOf := make(map[uint64]int32, len(slots))
+	for gi, slot := range slots {
+		gidOf[slot] = int32(gi)
+		emit(slot, mapCounts[slot])
+	}
+	for row, g := range r.groups {
+		if g < 0 {
+			ch.groups[row] = -1
+			continue
+		}
+		id := col[row]
+		if id == dataset.Null {
+			ch.groups[row] = -1
+			continue
+		}
+		ch.groups[row] = gidOf[uint64(g)*uint64(dim)+uint64(id)-1]
+	}
+	return ch, distinct, true
+}
+
+// emptyChild builds the zero-group child produced when the added attribute
+// has an empty active domain or the parent has no groups.
+func (r *RefinablePC) emptyChild(childAttrs lattice.AttrSet, a int) *RefinablePC {
+	pos := sort.SearchInts(r.members, a)
+	ch := &RefinablePC{
+		attrs:   childAttrs,
+		members: insertInt(r.members, pos, a),
+		rows:    r.rows,
+		groups:  make([]int32, r.rows),
+	}
+	for i := range ch.groups {
+		ch.groups[i] = -1
+	}
+	return ch
+}
+
+// insertInt returns a new slice with v inserted at index pos.
+func insertInt(s []int, pos, v int) []int {
+	out := make([]int, 0, len(s)+1)
+	out = append(out, s[:pos]...)
+	out = append(out, v)
+	out = append(out, s[pos:]...)
+	return out
+}
+
+// PC materializes the canonical pattern-count index, choosing the same
+// storage representation BuildPC would pick for this attribute set, so the
+// result is bit-identical to a raw group-by of the dataset.
+func (r *RefinablePC) PC(d *dataset.Dataset) *PC {
+	k := NewKeyer(d, r.attrs)
+	pc := &PC{keyer: k}
+	m := len(r.members)
+	vals := make([]uint16, d.NumAttrs())
+	group := func(g int) {
+		for j, a := range r.members {
+			vals[a] = r.groupVals[g*m+j]
+		}
+	}
+	if radix, ok := denseRadix(k, d.NumRows(), DefaultDenseLimit); ok {
+		dz := make([]int32, radix)
+		for g := 0; g < r.gspace; g++ {
+			if r.counts[g] == 0 {
+				continue
+			}
+			group(g)
+			key, _ := k.KeyVals(vals)
+			dz[key] = r.counts[g]
+		}
+		pc.dz, pc.distinct = dz, r.gcount
+		return pc
+	}
+	if k.Fits() {
+		u := make(map[uint64]int, r.gcount)
+		for g := 0; g < r.gspace; g++ {
+			if r.counts[g] == 0 {
+				continue
+			}
+			group(g)
+			key, _ := k.KeyVals(vals)
+			u[key] = int(r.counts[g])
+		}
+		pc.u = u
+		return pc
+	}
+	s := make(map[string]int, r.gcount)
+	var buf []byte
+	for g := 0; g < r.gspace; g++ {
+		if r.counts[g] == 0 {
+			continue
+		}
+		group(g)
+		b, _ := k.AppendBytesVals(buf[:0], vals)
+		buf = b
+		s[string(b)] = int(r.counts[g])
+	}
+	pc.s = s
+	return pc
+}
+
+// RefineFrom computes the pattern-count index of child — which must extend
+// the parent's attribute set by exactly one attribute — from the parent's
+// groups instead of a raw dataset scan: a two-column refinement pass
+// followed by canonical materialization, bit-identical to BuildPC(d,
+// child). ok is false (and the caller should fall back to a raw scan)
+// when child is not a one-attribute extension of the parent.
+func RefineFrom(d *dataset.Dataset, parent *RefinablePC, child lattice.AttrSet) (pc *PC, ok bool) {
+	if parent == nil {
+		return nil, false
+	}
+	added := child.Diff(parent.attrs)
+	if !parent.attrs.SubsetOf(child) || added.Size() != 1 {
+		return nil, false
+	}
+	ch, _, _ := parent.Refine(d, added.MinIndex(), -1)
+	return ch.PC(d), true
+}
+
+// DefaultPCCacheBudget bounds the total retained memory of a PCCache when
+// the caller does not choose one: 256 MiB of group vectors and group
+// tables.
+const DefaultPCCacheBudget int64 = 256 << 20
+
+// PCCache is a bounded-memory store of RefinablePCs keyed by attribute
+// set. The label search retains one lattice level of parents at a time:
+// Put admits indexes while the budget lasts, Get serves refinement
+// lookups, and DropBelow evicts levels the frontier has moved past. All
+// methods are safe for concurrent use.
+type PCCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	m      map[lattice.AttrSet]*RefinablePC
+}
+
+// NewPCCache returns a cache bounded to roughly budget bytes of retained
+// indexes; budget <= 0 means DefaultPCCacheBudget.
+func NewPCCache(budget int64) *PCCache {
+	if budget <= 0 {
+		budget = DefaultPCCacheBudget
+	}
+	return &PCCache{budget: budget, m: make(map[lattice.AttrSet]*RefinablePC)}
+}
+
+// Get returns the cached index for s, or nil.
+func (c *PCCache) Get(s lattice.AttrSet) *RefinablePC {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[s]
+}
+
+// Put stores r unless doing so would exceed the budget; it reports whether
+// the index was (or already is) retained.
+func (c *PCCache) Put(r *RefinablePC) bool {
+	if r == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.m[r.attrs]; dup {
+		return true
+	}
+	mem := r.MemBytes()
+	if c.used+mem > c.budget {
+		return false
+	}
+	c.m[r.attrs] = r
+	c.used += mem
+	return true
+}
+
+// HasRoom reports whether the cache is below budget; schedulers consult it
+// before building an index they may not be able to retain.
+func (c *PCCache) HasRoom() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used < c.budget
+}
+
+// Room returns the bytes left before the budget; schedulers divide it by
+// the per-index cost to bound how many indexes are worth building ahead
+// of the admission check.
+func (c *PCCache) Room() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.used >= c.budget {
+		return 0
+	}
+	return c.budget - c.used
+}
+
+// DropBelow evicts every index whose attribute set has fewer than level
+// members — the parents of levels the search has finished sizing.
+func (c *PCCache) DropBelow(level int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for s, r := range c.m {
+		if s.Size() < level {
+			c.used -= r.MemBytes()
+			delete(c.m, s)
+		}
+	}
+}
+
+// Len returns the number of retained indexes.
+func (c *PCCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Used returns the estimated retained bytes.
+func (c *PCCache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}

@@ -1,0 +1,134 @@
+package search
+
+// Differential coverage for the frontier scheduler: refinement-sized
+// searches must agree exactly with raw-scan-sized searches (the PR 1
+// behaviour, reachable via DisableRefine + a negative DenseLimit) for
+// every worker count, including under a cache budget so tight that most
+// candidates fall back to scans mid-search.
+
+import (
+	"testing"
+
+	"pcbl/internal/core"
+	"pcbl/internal/datagen"
+	"pcbl/internal/dataset"
+)
+
+// schedulerDataset is small-domain and deep enough that the search runs
+// several lattice levels, exercising multi-level parent reuse.
+func schedulerDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d, err := datagen.BlueNile(8000, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSchedulerMatchesScanEnumeration(t *testing.T) {
+	d := schedulerDataset(t)
+	for _, bound := range []int{10, 50, 300} {
+		base, baseStats, err := Enumerate(d, Options{
+			Bound: bound, Workers: 1, DisableRefine: true, DenseLimit: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if baseStats.RefinedSets != 0 || baseStats.ScannedSets != baseStats.SizeComputed {
+			t.Fatalf("bound=%d: scan-only run reports refined=%d scanned=%d sized=%d",
+				bound, baseStats.RefinedSets, baseStats.ScannedSets, baseStats.SizeComputed)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			cands, stats, err := Enumerate(d, Options{Bound: bound, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cands) != len(base) {
+				t.Fatalf("bound=%d workers=%d: %d candidates, scan path %d", bound, workers, len(cands), len(base))
+			}
+			for i := range cands {
+				if cands[i] != base[i] {
+					t.Fatalf("bound=%d workers=%d: candidate %d = %v, scan path %v", bound, workers, i, cands[i], base[i])
+				}
+			}
+			if stats.SizeComputed != baseStats.SizeComputed || stats.InBound != baseStats.InBound {
+				t.Fatalf("bound=%d workers=%d: sized/in-bound %d/%d, scan path %d/%d",
+					bound, workers, stats.SizeComputed, stats.InBound, baseStats.SizeComputed, baseStats.InBound)
+			}
+			if stats.RefinedSets+stats.ScannedSets != stats.SizeComputed {
+				t.Fatalf("bound=%d workers=%d: path counters %d+%d do not cover %d sized sets",
+					bound, workers, stats.RefinedSets, stats.ScannedSets, stats.SizeComputed)
+			}
+			if stats.RefinedSets == 0 && stats.SizeComputed > 0 {
+				t.Fatalf("bound=%d workers=%d: refinement never fired", bound, workers)
+			}
+		}
+	}
+}
+
+// TestSchedulerTinyCacheBudget starves the refinement cache so Put
+// rejections force raw-scan fallbacks mid-search; results must not change.
+func TestSchedulerTinyCacheBudget(t *testing.T) {
+	d := schedulerDataset(t)
+	bound := 50
+	base, baseStats, err := Enumerate(d, Options{Bound: bound, Workers: 1, DisableRefine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int64{1, 200_000} {
+		cands, stats, err := Enumerate(d, Options{Bound: bound, Workers: 2, CacheBudget: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cands) != len(base) {
+			t.Fatalf("budget=%d: %d candidates, want %d", budget, len(cands), len(base))
+		}
+		for i := range cands {
+			if cands[i] != base[i] {
+				t.Fatalf("budget=%d: candidate %d = %v, want %v", budget, i, cands[i], base[i])
+			}
+		}
+		if stats.SizeComputed != baseStats.SizeComputed || stats.InBound != baseStats.InBound {
+			t.Fatalf("budget=%d: sized/in-bound %d/%d, want %d/%d",
+				budget, stats.SizeComputed, stats.InBound, baseStats.SizeComputed, baseStats.InBound)
+		}
+		if budget == 1 && stats.ScannedSets == 0 {
+			t.Fatal("budget=1: expected scan fallbacks, got none")
+		}
+	}
+}
+
+// TestSchedulerFullSearchAgreement runs both algorithms end to end with
+// the scheduler on and off; chosen label, error and counters must match.
+func TestSchedulerFullSearchAgreement(t *testing.T) {
+	d := schedulerDataset(t)
+	ps := core.DistinctTuples(d)
+	type algo struct {
+		name string
+		run  func(opts Options) (*Result, error)
+	}
+	algos := []algo{
+		{"topdown", func(o Options) (*Result, error) { return TopDown(d, ps, o) }},
+		{"naive", func(o Options) (*Result, error) { return Naive(d, ps, o) }},
+	}
+	for _, bound := range []int{20, 100} {
+		for _, a := range algos {
+			want, err := a.run(Options{Bound: bound, FastEval: true, Workers: 1, DisableRefine: true, DenseLimit: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := a.run(Options{Bound: bound, FastEval: true, Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Attrs != want.Attrs || got.Size != want.Size || got.MaxErr != want.MaxErr {
+				t.Errorf("%s bound=%d: scheduler chose (%v, %d, %v), scan path (%v, %d, %v)",
+					a.name, bound, got.Attrs, got.Size, got.MaxErr, want.Attrs, want.Size, want.MaxErr)
+			}
+			if got.Stats.SizeComputed != want.Stats.SizeComputed || got.Stats.InBound != want.Stats.InBound {
+				t.Errorf("%s bound=%d: counters %d/%d, scan path %d/%d", a.name, bound,
+					got.Stats.SizeComputed, got.Stats.InBound, want.Stats.SizeComputed, want.Stats.InBound)
+			}
+		}
+	}
+}

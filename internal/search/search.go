@@ -42,6 +42,24 @@ type Options struct {
 	// the empty set (pure independence estimation) — the paper leaves
 	// this degenerate case unspecified.
 	Workers int
+
+	// DenseLimit overrides the counting engine's dense-kernel threshold
+	// for raw dataset scans (core.CountOptions.DenseLimit): 0 means the
+	// engine default, a negative value forces scans onto the hash-map
+	// kernels. Refinement's compact-space counting is not affected; set
+	// DisableRefine as well to reproduce the full pre-dense (PR 1)
+	// behaviour. Mainly for benchmarks and differential tests.
+	DenseLimit int
+
+	// DisableRefine turns off parent-PC reuse: every frontier is sized by
+	// raw fused scans, the pre-refinement engine behaviour. The result is
+	// identical either way (refinement is exact); only the work changes.
+	DisableRefine bool
+
+	// CacheBudget bounds the refinement cache's retained memory in bytes;
+	// 0 means core.DefaultPCCacheBudget. When the budget fills, candidate
+	// sets without a cached parent fall back to raw fused scans.
+	CacheBudget int64
 }
 
 // fusedBatch bounds how many candidate sets one fused scan tracks at once,
@@ -65,6 +83,15 @@ type Stats struct {
 	// evaluations across the final phase; early termination keeps it far
 	// below Evaluated × |P|.
 	PatternsScanned int64
+	// RefinedSets counts examined sets sized by refining a cached parent
+	// PC (a two-column pass over parent groups) instead of a raw scan.
+	RefinedSets int
+	// ScannedSets counts examined sets sized by raw fused dataset scans —
+	// sets with no cached parent, or every set when refinement is off.
+	ScannedSets int
+	// DenseSets counts raw-scanned sets the engine routed to the dense
+	// flat-array kernel rather than a hash map.
+	DenseSets int
 	// SearchTime covers candidate enumeration (label-size computation).
 	SearchTime time.Duration
 	// EvalTime covers the find-best-candidate phase (paper §IV-C reports
@@ -93,9 +120,10 @@ type Result struct {
 // with the fused multi-set scanner (batched to bound memory) and invokes
 // visit for each set with its in-bound verdict, updating the examined/
 // in-bound counters. One call scans the dataset ⌈len(sets)/fusedBatch⌉
-// times instead of len(sets) times.
+// times instead of len(sets) times. This is the raw-scan path; the level
+// sizer below additionally schedules parent-PC refinements around it.
 func sizeFrontier(d *dataset.Dataset, sets []lattice.AttrSet, opts Options, stats *Stats, visit func(s lattice.AttrSet, within bool)) {
-	co := core.CountOptions{Workers: opts.Workers}
+	co := core.CountOptions{Workers: opts.Workers, DenseLimit: opts.DenseLimit}
 	for lo := 0; lo < len(sets); lo += fusedBatch {
 		hi := lo + fusedBatch
 		if hi > len(sets) {
@@ -109,6 +137,173 @@ func sizeFrontier(d *dataset.Dataset, sets []lattice.AttrSet, opts Options, stat
 			}
 			visit(sets[lo+j], ok)
 		}
+	}
+}
+
+// refineBatch bounds how many refinement tasks run between cache updates,
+// capping the transient memory of freshly built child indexes before they
+// are offered to the (budget-enforcing) cache.
+const refineBatch = 64
+
+// refineTask is one candidate set scheduled onto the refinement path.
+type refineTask struct {
+	idx    int               // index into the level's set slice
+	parent *core.RefinablePC // cached parent to refine from
+	attr   int               // the one attribute the candidate adds
+	child  *core.RefinablePC // built during the pass when within bound
+}
+
+// sizeResult is a candidate set's sizing verdict.
+type sizeResult struct {
+	size   int
+	within bool
+}
+
+// levelSizer is the frontier scheduler of the enumeration phase. Per
+// candidate set it chooses the cheapest sizing source: refinement of a
+// cached parent PC — a two-column pass over the parent's group vector,
+// typically against orders of magnitude fewer groups than rows — when one
+// is available, and the fused raw scan otherwise. In-bound candidates'
+// refined indexes are cached (within a memory budget) to serve the next
+// level, and levels the frontier has moved past are evicted. All scratch
+// buffers are reused across levels.
+type levelSizer struct {
+	d     *dataset.Dataset
+	n     int
+	opts  Options
+	stats *Stats
+	cache *core.PCCache // nil when refinement is off
+	scan  core.ScanStats
+
+	results  []sizeResult
+	tasks    []refineTask
+	scanSets []lattice.AttrSet
+	scanIdx  []int
+}
+
+// newLevelSizer builds the scheduler and seeds the cache with the
+// singleton refinables (derived from the trivial all-rows grouping), the
+// parents every level-2 candidate refines from.
+func newLevelSizer(d *dataset.Dataset, opts Options, stats *Stats) *levelSizer {
+	z := &levelSizer{d: d, n: d.NumAttrs(), opts: opts, stats: stats}
+	if opts.DisableRefine {
+		return z
+	}
+	root := core.BuildRefinable(d, lattice.AttrSet(0))
+	if root == nil {
+		return z // dataset too large for group vectors: scan-only mode
+	}
+	z.cache = core.NewPCCache(opts.CacheBudget)
+	singles := make([]*core.RefinablePC, z.n)
+	workpool.Do(z.n, opts.Workers, func(a int) {
+		singles[a], _, _ = root.Refine(d, a, -1)
+	})
+	for _, r := range singles {
+		z.cache.Put(r)
+	}
+	return z
+}
+
+// sizeLevel sizes one slice of same-level candidate sets, invoking visit
+// for each in input order with its in-bound verdict. Candidates with a
+// cached parent take the refinement path (the parent with the fewest
+// groups when several are cached); the rest are sized by fused raw scans.
+func (z *levelSizer) sizeLevel(sets []lattice.AttrSet, visit func(s lattice.AttrSet, within bool)) {
+	if len(sets) == 0 {
+		return
+	}
+	if cap(z.results) < len(sets) {
+		z.results = make([]sizeResult, len(sets))
+	}
+	z.results = z.results[:len(sets)]
+	z.tasks = z.tasks[:0]
+	z.scanSets = z.scanSets[:0]
+	z.scanIdx = z.scanIdx[:0]
+
+	for i, s := range sets {
+		var parent *core.RefinablePC
+		attr := -1
+		if z.cache != nil {
+			for _, a := range s.Members() {
+				if p := z.cache.Get(s.Remove(a)); p != nil && (parent == nil || p.Groups() < parent.Groups()) {
+					parent, attr = p, a
+				}
+			}
+		}
+		if parent != nil {
+			z.tasks = append(z.tasks, refineTask{idx: i, parent: parent, attr: attr})
+		} else {
+			z.scanIdx = append(z.scanIdx, i)
+			z.scanSets = append(z.scanSets, s)
+		}
+	}
+
+	// Refinement path, chunked so freshly built child indexes are offered
+	// to the cache's budget check before more are built. Each chunk builds
+	// only as many children as the cache has bytes of room for (a child's
+	// group vector costs ~4 bytes per row); the rest of the chunk sizes
+	// without building, so transient memory stays within the budget rather
+	// than within refineBatch × child size. Every decision that shapes the
+	// next level's cache happens in deterministic slice order, so results
+	// and path counters are reproducible for any worker count.
+	childBytes := int64(z.d.NumRows())*4 + 4096
+	for lo := 0; lo < len(z.tasks); lo += refineBatch {
+		hi := min(lo+refineBatch, len(z.tasks))
+		chunk := z.tasks[lo:hi]
+		buildAllowance := int(z.cache.Room() / childBytes)
+		workpool.Do(len(chunk), z.opts.Workers, func(ti int) {
+			t := &chunk[ti]
+			s := sets[t.idx]
+			if ti < buildAllowance && s.Size() < z.n {
+				child, size, within := t.parent.Refine(z.d, t.attr, z.opts.Bound)
+				t.child = child
+				z.results[t.idx] = sizeResult{size, within}
+			} else {
+				size, within := t.parent.RefineSize(z.d, t.attr, z.opts.Bound)
+				z.results[t.idx] = sizeResult{size, within}
+			}
+		})
+		for i := range chunk {
+			if chunk[i].child != nil {
+				z.cache.Put(chunk[i].child)
+				chunk[i].child = nil
+			}
+		}
+	}
+
+	// Raw-scan path for candidates without a cached parent.
+	co := core.CountOptions{Workers: z.opts.Workers, DenseLimit: z.opts.DenseLimit, Stats: &z.scan}
+	for lo := 0; lo < len(z.scanSets); lo += fusedBatch {
+		hi := min(lo+fusedBatch, len(z.scanSets))
+		sizes, within := core.LabelSizesFused(z.d, z.scanSets[lo:hi], z.opts.Bound, co)
+		for j := range sizes {
+			z.results[z.scanIdx[lo+j]] = sizeResult{sizes[j], within[j]}
+		}
+	}
+
+	z.stats.RefinedSets += len(z.tasks)
+	z.stats.ScannedSets += len(z.scanSets)
+	z.stats.DenseSets = z.scan.Dense
+	for i, s := range sets {
+		res := z.results[i]
+		z.stats.SizeComputed++
+		if res.within {
+			z.stats.InBound++
+		}
+		visit(s, res.within)
+	}
+	// Drop the parent references before the buffer is length-reset, so the
+	// reused backing array cannot pin evicted levels' group vectors.
+	for i := range z.tasks {
+		z.tasks[i].parent = nil
+	}
+}
+
+// endLevel tells the scheduler the whole lattice level has been sized:
+// indexes below it can no longer serve as parents and are evicted.
+func (z *levelSizer) endLevel(level int) {
+	if z.cache != nil {
+		z.cache.DropBelow(level)
 	}
 }
 
@@ -126,11 +321,12 @@ func Naive(d *dataset.Dataset, ps *core.PatternSet, opts Options) (*Result, erro
 	n := d.NumAttrs()
 	var stats Stats
 	var cands []lattice.AttrSet
+	sizer := newLevelSizer(d, opts, &stats)
 	batch := make([]lattice.AttrSet, 0, fusedBatch)
 	for k := 2; k <= n; k++ {
 		levelHit := false
 		flush := func() {
-			sizeFrontier(d, batch, opts, &stats, func(s lattice.AttrSet, within bool) {
+			sizer.sizeLevel(batch, func(s lattice.AttrSet, within bool) {
 				if within {
 					levelHit = true
 					cands = append(cands, s)
@@ -146,6 +342,7 @@ func Naive(d *dataset.Dataset, ps *core.PatternSet, opts Options) (*Result, erro
 			return true
 		})
 		flush()
+		sizer.endLevel(k)
 		if !levelHit {
 			break
 		}
@@ -165,22 +362,36 @@ func TopDown(d *dataset.Dataset, ps *core.PatternSet, opts Options) (*Result, er
 		return nil, err
 	}
 	start := time.Now()
+	list, stats := enumerateTopDown(d, opts)
+	stats.SearchTime = time.Since(start)
+	return finish(d, ps, list, opts, stats)
+}
+
+// enumerateTopDown runs Algorithm 1's enumeration phase: the level-wise
+// Gen traversal with subtree pruning, sized through the frontier
+// scheduler. It returns the maximal in-bound candidate sets (unsorted) and
+// the enumeration counters.
+func enumerateTopDown(d *dataset.Dataset, opts Options) ([]lattice.AttrSet, Stats) {
 	n := d.NumAttrs()
 	var stats Stats
+	sizer := newLevelSizer(d, opts, &stats)
 	// The BFS queue is processed one lattice level at a time so the whole
 	// frontier's children can be sized in fused batch scans. Gen generates
 	// each lattice node exactly once across the traversal (Proposition
 	// 3.8), so the concatenated child lists never repeat a set and the
 	// level-wise order visits exactly the sets the per-node BFS visited.
 	frontier := lattice.AttrSet(0).Gen(n) // the attribute singletons
+	level := 1
 	cands := make(map[lattice.AttrSet]struct{})
+	var children []lattice.AttrSet // hoisted: reused across levels
 	for len(frontier) > 0 {
-		var children []lattice.AttrSet
+		children = children[:0]
 		for _, s := range frontier {
 			children = append(children, s.Gen(n)...)
 		}
 		frontier = frontier[:0]
-		sizeFrontier(d, children, opts, &stats, func(c lattice.AttrSet, within bool) {
+		level++
+		sizer.sizeLevel(children, func(c lattice.AttrSet, within bool) {
 			if !within {
 				return // prune c's entire gen-subtree
 			}
@@ -192,13 +403,29 @@ func TopDown(d *dataset.Dataset, ps *core.PatternSet, opts Options) (*Result, er
 			}
 			cands[c] = struct{}{}
 		})
+		sizer.endLevel(level)
 	}
-	stats.SearchTime = time.Since(start)
 	list := make([]lattice.AttrSet, 0, len(cands))
 	for s := range cands {
 		list = append(list, s)
 	}
-	return finish(d, ps, list, opts, stats)
+	return list, stats
+}
+
+// Enumerate runs only the candidate-enumeration phase of the top-down
+// search — frontier sizing across every lattice level, no label
+// evaluation — and returns the maximal in-bound candidate sets in
+// deterministic order with the work counters. Benchmarks and workload
+// profiling use it to measure the sizing engine in isolation.
+func Enumerate(d *dataset.Dataset, opts Options) ([]lattice.AttrSet, Stats, error) {
+	if err := checkOptions(d, opts); err != nil {
+		return nil, Stats{}, err
+	}
+	start := time.Now()
+	list, stats := enumerateTopDown(d, opts)
+	stats.SearchTime = time.Since(start)
+	lattice.SortAttrSets(list)
+	return list, stats, nil
 }
 
 func checkOptions(d *dataset.Dataset, opts Options) error {
@@ -269,9 +496,16 @@ func finish(d *dataset.Dataset, ps *core.PatternSet, cands []lattice.AttrSet, op
 		best.Unlock()
 	}
 
+	// Each candidate's label build runs single-threaded when candidates
+	// themselves are scored concurrently; a lone candidate gets the whole
+	// engine instead.
+	co := core.CountOptions{Workers: 1, DenseLimit: opts.DenseLimit}
+	if len(cands) == 1 {
+		co.Workers = opts.Workers
+	}
 	workpool.Do(len(cands), opts.Workers, func(i int) {
 		s := cands[i]
-		l := core.BuildLabel(d, s)
+		l := core.BuildLabelOpts(d, s, co)
 		mo := core.MaxErrOptions{
 			Sorted:    opts.FastEval,
 			StopAbove: cutoff(),
@@ -297,7 +531,7 @@ func finish(d *dataset.Dataset, ps *core.PatternSet, cands []lattice.AttrSet, op
 		}
 	}
 	if bestIdx < 0 { // all cut off: re-evaluate the first exactly
-		l := core.BuildLabel(d, cands[0])
+		l := core.BuildLabelOpts(d, cands[0], co)
 		maxErr, scanned := core.MaxAbsError(l, ps, core.MaxErrOptions{Sorted: opts.FastEval, Workers: 1})
 		results[0] = scored{0, cands[0], l, maxErr, scanned, true}
 		stats.PatternsScanned += int64(scanned)
@@ -323,8 +557,9 @@ func EvaluateSets(d *dataset.Dataset, ps *core.PatternSet, sets []lattice.AttrSe
 		ps.SortByCountDesc()
 	}
 	out := make([]Result, len(sets))
+	co := core.CountOptions{Workers: opts.Workers, DenseLimit: opts.DenseLimit}
 	for i, s := range sets {
-		l := core.BuildLabel(d, s)
+		l := core.BuildLabelOpts(d, s, co)
 		maxErr, scanned := core.MaxAbsError(l, ps, core.MaxErrOptions{Sorted: opts.FastEval, Workers: opts.Workers})
 		out[i] = Result{
 			Attrs:  s,

@@ -91,12 +91,15 @@ func AttrSetOf(d *Dataset, names ...string) (AttrSet, error) {
 }
 
 // BuildLabel computes L_S(D) for an explicit attribute set given by name.
+// The group-by behind the PC section (and behind every lazily built
+// marginal index) runs on the sharded parallel counting engine with all
+// available CPUs.
 func BuildLabel(d *Dataset, attrNames ...string) (*Label, error) {
 	s, err := AttrSetOf(d, attrNames...)
 	if err != nil {
 		return nil, err
 	}
-	return core.BuildLabel(d, s), nil
+	return core.BuildLabelOpts(d, s, core.CountOptions{}), nil
 }
 
 // PartialLabel is the partial-pattern label extension (paper §II-C future
@@ -150,13 +153,14 @@ func LabelSizes(d *Dataset, sets []AttrSet, bound, workers int) (sizes []int, wi
 
 // PatternsOver builds the workload P_S: every positive-count pattern over
 // the named attributes — the "sensitive attributes only" workload of
-// Definition 2.15.
+// Definition 2.15. The underlying group-by runs on the sharded parallel
+// counting engine with all available CPUs.
 func PatternsOver(d *Dataset, attrNames ...string) (*PatternSet, error) {
 	s, err := AttrSetOf(d, attrNames...)
 	if err != nil {
 		return nil, err
 	}
-	return core.PatternsOver(d, s), nil
+	return core.PatternsOverOpts(d, s, core.CountOptions{}), nil
 }
 
 // WriteHTMLReport renders a self-contained HTML page for a label (the
@@ -195,6 +199,19 @@ type GenerateOptions struct {
 	// workers, and the evaluation phase scores candidates concurrently.
 	// Parallel runs return exactly the sequential result.
 	Workers int
+	// DisableRefine turns off parent-PC reuse during enumeration: every
+	// frontier is sized by raw fused scans instead of refining cached
+	// parent indexes. The search result is identical either way; the knob
+	// exists for ablation and for memory-constrained runs (the refinement
+	// cache retains up to ~256 MiB of group vectors by default).
+	DisableRefine bool
+	// DenseLimit overrides the counting engine's dense-kernel threshold
+	// for raw dataset scans: 0 means the engine default (a 2^22-slot key
+	// space), a negative value forces scan group-bys onto the hash-map
+	// kernels. The refinement path has its own compact-space
+	// representation and is not affected; pair with DisableRefine to
+	// reproduce the full pre-dense engine behaviour.
+	DenseLimit int
 }
 
 // GenerateLabel finds an (approximately) optimal label within the size
@@ -211,6 +228,8 @@ func GenerateLabel(d *Dataset, opts GenerateOptions) (*SearchResult, error) {
 		FastEval:       opts.FastEval,
 		BranchAndBound: opts.BranchAndBound,
 		Workers:        opts.Workers,
+		DisableRefine:  opts.DisableRefine,
+		DenseLimit:     opts.DenseLimit,
 	}
 	switch opts.Algorithm {
 	case "", TopDown:
