@@ -378,6 +378,18 @@ func BenchmarkBuildPCParallel(b *testing.B) {
 			}
 		})
 	}
+	// Pooled variants: per-worker shard slabs and key scratch cycle through
+	// a shared arena, so steady-state bytes/op stays near the single result
+	// slab for every worker count (the unpooled dense path allocates one
+	// full-radix shard per worker).
+	pool := core.NewVecPool(0)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("pooled-workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = core.BuildPCParallel(d, full, core.CountOptions{Workers: workers, Pool: pool})
+			}
+		})
+	}
 }
 
 // BenchmarkLabelSizePerSet is the pre-engine enumeration cost: one full
@@ -438,9 +450,12 @@ var frontierData *dataset.Dataset
 // BenchmarkFrontierSizing measures the enumeration phase (search.Enumerate:
 // frontier sizing across every lattice level, no evaluation) on a
 // small-domain multi-level workload, comparing the PR 1 fused-scan path
-// against the dense kernel alone and the full dense + parent-reuse
-// scheduler. Recorded in BENCH_pr2.json; the acceptance bar is scheduler
-// ≥ 2× faster than pr1-fused.
+// against the dense kernel alone, the PR 2 per-child refinement scheduler
+// (scheduler-perchild: parent-PC reuse through the cache, batch tier off)
+// and the full batched slot-keyed scheduler. Recorded in BENCH_pr3.json;
+// the acceptance bars are scheduler ≥ 2× faster than pr1-fused and
+// scheduler bytes/op ≥ 10× below the BENCH_pr2 scheduler baseline at
+// equal-or-better ns/op.
 func BenchmarkFrontierSizing(b *testing.B) {
 	frontierOnce.Do(func() {
 		frontierData = smallDomainDataset(120000, 12, 3)
@@ -453,6 +468,7 @@ func BenchmarkFrontierSizing(b *testing.B) {
 	}{
 		{"pr1-fused", search.Options{Bound: bound, Workers: 1, DisableRefine: true, DenseLimit: -1}},
 		{"dense-only", search.Options{Bound: bound, Workers: 1, DisableRefine: true}},
+		{"scheduler-perchild", search.Options{Bound: bound, Workers: 1, DisableBatchRefine: true}},
 		{"scheduler", search.Options{Bound: bound, Workers: 1}},
 	}
 	for _, v := range variants {

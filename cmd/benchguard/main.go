@@ -1,0 +1,148 @@
+// Command benchguard compares `go test -bench -benchmem` output read from
+// stdin against a recorded BENCH_*.json baseline and fails when a guarded
+// benchmark's bytes/op regresses beyond an allowed ratio.
+//
+// Memory per op is stable across runners, so it gates CI; ns/op varies
+// with shared-runner load and is reported as advisory only.
+//
+//	go test -run xxx -bench FrontierSizing -benchmem -benchtime 1x . \
+//	    | go run ./cmd/benchguard -baseline BENCH_pr3.json \
+//	          -bench FrontierSizing/scheduler -max-bytes-ratio 2
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type baselineFile struct {
+	ID      string `json:"id"`
+	Results []struct {
+		Name       string `json:"name"`
+		NsPerOp    float64
+		BytesPerOp int64
+	} `json:"results"`
+}
+
+// The JSON uses snake_case keys; map them explicitly.
+func (b *baselineFile) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		ID      string `json:"id"`
+		Results []struct {
+			Name       string  `json:"name"`
+			NsPerOp    float64 `json:"ns_per_op"`
+			BytesPerOp int64   `json:"bytes_per_op"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.ID = raw.ID
+	for _, r := range raw.Results {
+		b.Results = append(b.Results, struct {
+			Name       string `json:"name"`
+			NsPerOp    float64
+			BytesPerOp int64
+		}{r.Name, r.NsPerOp, r.BytesPerOp})
+	}
+	return nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "path to the recorded BENCH_*.json baseline")
+	benchName := flag.String("bench", "", "benchmark to guard, as named in the baseline (e.g. FrontierSizing/scheduler)")
+	maxBytesRatio := flag.Float64("max-bytes-ratio", 2, "fail when measured bytes/op exceeds baseline × ratio")
+	flag.Parse()
+	if *baselinePath == "" || *benchName == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline and -bench are required")
+		os.Exit(2)
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: parsing %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+	var baseNs float64
+	var baseBytes int64
+	found := false
+	for _, r := range base.Results {
+		if r.Name == *benchName {
+			baseNs, baseBytes, found = r.NsPerOp, r.BytesPerOp, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "benchguard: %q not in baseline %s\n", *benchName, base.ID)
+		os.Exit(2)
+	}
+
+	gotNs, gotBytes, ok := scanBench(os.Stdin, *benchName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchguard: benchmark %q not found in input (did the run include -benchmem?)\n", *benchName)
+		os.Exit(2)
+	}
+
+	bytesRatio := float64(gotBytes) / float64(baseBytes)
+	fmt.Printf("benchguard %s vs %s:\n", *benchName, base.ID)
+	fmt.Printf("  bytes/op %d vs baseline %d (%.2fx, limit %.2fx)\n", gotBytes, baseBytes, bytesRatio, *maxBytesRatio)
+	fmt.Printf("  ns/op %d vs baseline %d (%.2fx, advisory)\n", int64(gotNs), int64(baseNs), gotNs/baseNs)
+	if bytesRatio > *maxBytesRatio {
+		fmt.Printf("FAIL: bytes/op regressed beyond %.2fx\n", *maxBytesRatio)
+		os.Exit(1)
+	}
+	fmt.Println("ok")
+}
+
+// scanBench extracts ns/op and B/op for the named benchmark from `go test
+// -bench` output. Benchmark lines look like:
+//
+//	BenchmarkFrontierSizing/scheduler-8   3   251068930 ns/op   2067546 B/op   12284 allocs/op
+//
+// The -N GOMAXPROCS suffix is optional and stripped before matching.
+func scanBench(r *os.File, name string) (nsPerOp float64, bytesPerOp int64, ok bool) {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		got := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(got, "-"); i > 0 {
+			if _, err := strconv.Atoi(got[i+1:]); err == nil {
+				got = got[:i]
+			}
+		}
+		if got != name {
+			continue
+		}
+		for i := 2; i+1 < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				nsPerOp = v
+			case "B/op":
+				bytesPerOp = int64(v)
+				ok = true
+			}
+		}
+		if ok {
+			return nsPerOp, bytesPerOp, true
+		}
+	}
+	return 0, 0, false
+}

@@ -36,7 +36,7 @@ func buildPC(d *dataset.Dataset, s lattice.AttrSet, opts CountOptions, workers i
 	cols := datasetCols(d)
 	rows := d.NumRows()
 	if radix, ok := denseRadix(k, rows, opts.denseLimit()); ok {
-		return buildPCDense(k, cols, rows, radix, workers)
+		return buildPCDense(k, cols, rows, radix, workers, opts.Pool)
 	}
 	if k.Fits() {
 		return buildPCMap(k, cols, rows, workers)

@@ -55,15 +55,25 @@ func (o CountOptions) denseLimit() int {
 	return o.DenseLimit
 }
 
+// denseSpaceOK is THE dense-eligibility predicate: a flat count space of
+// the given size is worth allocating for a rows-sized scan iff it fits
+// the slot limit and is not vastly sparser than the scan. Every caller —
+// kernel selection (denseRadix), refinement accumulators (refine,
+// RefineBatch) and scheduler routing (DenseExtendable) — shares it, so
+// routing decisions and representation choices cannot drift apart.
+func denseSpaceOK(space uint64, rows, limit int) bool {
+	return limit > 0 && space <= uint64(limit) && space <= uint64(rows)*denseRowFactor+64
+}
+
 // denseRadix reports whether the dense kernel applies to a keyer over a
 // rows-sized scan under the given slot limit, and if so the flat array
 // length.
 func denseRadix(k *Keyer, rows, limit int) (radix int, ok bool) {
 	r, fits := k.Radix()
-	if !fits || limit <= 0 || rows > math.MaxInt32 {
+	if !fits || rows > math.MaxInt32 {
 		return 0, false
 	}
-	if r > uint64(limit) || r > uint64(rows)*denseRowFactor+64 {
+	if !denseSpaceOK(r, rows, limit) {
 		return 0, false
 	}
 	return int(r), true
@@ -100,11 +110,18 @@ func addKeysMap(m map[uint64]int, keys []uint64) {
 
 // buildPCDense is the dense BuildPC kernel: each worker counts its row
 // chunk into a private flat array via columnar key vectors, and shards are
-// merged by vector addition.
-func buildPCDense(k *Keyer, cols [][]uint16, rows, radix, workers int) *PC {
+// merged by vector addition. The result slab is always a fresh allocation
+// (the PC owns it indefinitely); with a pool attached, the extra per-worker
+// shard slabs and the key-block scratch are drawn from the free lists and
+// returned after the merge, so bytes allocated per build stay near the
+// single result slab for every worker count instead of growing by a full
+// radix-sized array per worker.
+func buildPCDense(k *Keyer, cols [][]uint16, rows, radix, workers int, pool *VecPool) *PC {
 	pc := &PC{keyer: k}
 	if workers <= 1 {
 		counts := make([]int32, radix)
+		// Plain make, not the pool: the constant-size scratch stays
+		// stack-allocated on the (common) poolless path.
 		keys := make([]uint64, keyBlockRows)
 		distinct := 0
 		for lo := 0; lo < rows; lo += keyBlockRows {
@@ -115,22 +132,27 @@ func buildPCDense(k *Keyer, cols [][]uint16, rows, radix, workers int) *PC {
 		pc.dz, pc.distinct = counts, distinct
 		return pc
 	}
+	merged := make([]int32, radix) // the PC's slab; worker 0 fills it in place
 	shards := make([][]int32, workers)
 	workpool.RunChunks(rows, workers, func(w, lo, hi int) {
-		counts := make([]int32, radix)
-		keys := make([]uint64, keyBlockRows)
+		counts := merged
+		if w > 0 {
+			counts = pool.Int32(radix, true)
+		}
+		keys := pool.Uint64(keyBlockRows, false)
 		for blo := lo; blo < hi; blo += keyBlockRows {
 			bhi := min(blo+keyBlockRows, hi)
 			k.KeyBlock(cols, blo, bhi, keys)
 			addKeysDense(counts, keys[:bhi-blo], 0)
 		}
+		pool.PutUint64(keys)
 		shards[w] = counts
 	})
-	merged := shards[0]
 	for _, shard := range shards[1:] {
 		for i, c := range shard {
 			merged[i] += c
 		}
+		pool.PutInt32(shard)
 	}
 	distinct := 0
 	for _, c := range merged {

@@ -38,19 +38,42 @@
 //   - bytes: key spaces overflowing uint64 fall back to byte-string keys
 //     with the original per-row loop.
 //
-// Orthogonally, pccache.go reuses work across lattice levels: a
-// RefinablePC retains the row→group assignment of its group-by, so the
-// index (or just the label size) of S ∪ {a} follows from a two-column
-// pass — parent groups joined with a's column — counted in the compact
-// (group, value) space, which is bounded by |P_S| × dom(a) rather than by
-// the full mixed-radix product. RefineFrom materializes such a child
-// bit-identically to BuildPC; PCCache holds one lattice level of parents
-// within a memory budget for package search's frontier scheduler, which
-// picks per candidate set between cached-parent refinement and the fused
-// raw scan.
+// Orthogonally, pccache.go and refinebatch.go reuse work across lattice
+// levels. A RefinablePC retains the row→group assignment of its group-by,
+// so the index (or just the label size) of S ∪ {a} follows from a
+// two-column pass — parent groups joined with a's column — counted in the
+// compact (group, value) space, which is bounded by |P_S| × dom(a) rather
+// than by the full mixed-radix product. Refinement itself is tiered:
 //
-// Every parallel, dense and refinement entry point returns results
+//   - batched slot-keyed (RefineBatch): when a set is dense-keyable its
+//     group ids can be DEFINED as the dense mixed-radix keys, so the
+//     row→group vector is virtual — recomputable blockwise through
+//     Keyer.KeyBlock — and one pass over it sizes an entire batch of
+//     sibling children S ∪ {a₁}, …, S ∪ {aₖ} at once, scattering into k
+//     pooled compact-space accumulators with per-child exact cap-abort
+//     and worker sharding. Children added above the parent's maximum
+//     member index are again slot-keyed and materialize for free (the
+//     accumulated count slab IS the child index; no vector is built).
+//     LazyRefinable constructs such parents without any scan.
+//   - per-child eager (Refine/RefineSize): sets beyond the dense tier
+//     keep the PR 2 path — a materialized, renumbered group vector held
+//     in a budget-bounded PCCache, refined one child at a time.
+//   - raw fused scans for everything else.
+//
+// RefineFrom materializes any refined child bit-identically to BuildPC.
+// Package search's frontier scheduler routes every candidate through
+// these tiers in the order above, grouping each level by gen parent for
+// the batched tier.
+//
+// Allocation is arena-managed: a VecPool recycles group vectors, count
+// slabs and key scratch across refinements, fused scans and sharded
+// builds (CountOptions.Pool); PCCache releases evicted indexes into it,
+// and MemBytes counts slab capacities so cache budgets bound pinned
+// bytes. Steady-state enumeration allocates a near-constant working set
+// (pinned by alloc_test.go) instead of one rows×4B vector per cached set.
+//
+// Every parallel, dense, refinement and batch entry point returns results
 // bit-identical to its sequential counterpart for all worker counts
-// (differentially tested in parallel_test.go, dense_test.go and
-// pccache_test.go).
+// (differentially tested in parallel_test.go, dense_test.go,
+// pccache_test.go and refinebatch_test.go).
 package core

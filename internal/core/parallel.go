@@ -45,6 +45,15 @@ type CountOptions struct {
 	// the same goroutine.
 	Stats *ScanStats
 
+	// Pool, when non-nil, supplies the engine's flat slabs — dense count
+	// arrays, per-worker shard slabs, key-block scratch — from a recycled
+	// free-list arena instead of fresh allocations, and receives the
+	// transient ones back when a scan completes. Results never retain
+	// pooled memory unless documented (RefineBatch's built children own
+	// their count slabs until released). A nil pool means plain
+	// allocation; behaviour is identical either way.
+	Pool *VecPool
+
 	// minRowsPerWorker overrides the sequential-fallback threshold. Only
 	// tests set it (to force the sharded paths on small datasets); zero
 	// means defaultMinRowsPerWorker.
@@ -137,11 +146,12 @@ func LabelSizesFused(d *dataset.Dataset, sets []lattice.AttrSet, cap int, opts C
 
 	workers := opts.scanWorkers(rows)
 	if workers <= 1 {
-		st := newFusedStates(keyers, radixes)
-		scanFused(st, cols, 0, rows, cap, nil)
+		st := newFusedStates(keyers, radixes, opts.Pool)
+		scanFused(st, cols, 0, rows, cap, nil, opts.Pool)
 		for i := range st {
 			sizes[i], within[i] = st[i].result(cap)
 		}
+		releaseFusedStates([][]fusedSet{st}, opts.Pool)
 		return sizes, within
 	}
 
@@ -152,8 +162,8 @@ func LabelSizesFused(d *dataset.Dataset, sets []lattice.AttrSet, cap int, opts C
 	exceeded := make([]atomic.Bool, len(sets))
 	shards := make([][]fusedSet, workers)
 	workpool.RunChunks(rows, workers, func(w, lo, hi int) {
-		st := newFusedStates(keyers, radixes)
-		scanFused(st, cols, lo, hi, cap, exceeded)
+		st := newFusedStates(keyers, radixes, opts.Pool)
+		scanFused(st, cols, lo, hi, cap, exceeded, opts.Pool)
 		shards[w] = st
 	})
 
@@ -164,18 +174,35 @@ func LabelSizesFused(d *dataset.Dataset, sets []lattice.AttrSet, cap int, opts C
 		}
 		sizes[i], within[i] = mergeFused(shards, i, cap)
 	}
+	releaseFusedStates(shards, opts.Pool)
 	return sizes, within
 }
 
+// releaseFusedStates returns every dense seen-slab of a finished fused
+// scan to the pool; the sizes have been extracted, so no shard state is
+// retained.
+func releaseFusedStates(shards [][]fusedSet, pool *VecPool) {
+	if pool == nil {
+		return
+	}
+	for _, st := range shards {
+		for i := range st {
+			pool.PutInt32(st[i].seenD)
+			st[i].seenD = nil
+		}
+	}
+}
+
 // newFusedStates allocates per-set scan state for one worker, following
-// the kernel plan (radixes[i] > 0 means the dense path).
-func newFusedStates(keyers []*Keyer, radixes []int) []fusedSet {
+// the kernel plan (radixes[i] > 0 means the dense path). Dense seen-slabs
+// come from the pool when one is attached.
+func newFusedStates(keyers []*Keyer, radixes []int, pool *VecPool) []fusedSet {
 	st := make([]fusedSet, len(keyers))
 	for i, k := range keyers {
 		st[i].keyer = k
 		switch {
 		case radixes[i] > 0:
-			st[i].seenD = make([]int32, radixes[i])
+			st[i].seenD = pool.Int32(radixes[i], true)
 		case k.Fits():
 			st[i].seenU = make(map[uint64]struct{})
 		default:
@@ -198,12 +225,13 @@ const fusedBlockRows = 4096
 // blocks skip them; the scan stops once no set remains active. Sets on the
 // uint64 paths decode each block into a shared key vector before counting
 // (columnar batching); byte-string sets keep the per-row loop.
-func scanFused(st []fusedSet, cols [][]uint16, lo, hi, cap int, exceeded []atomic.Bool) {
+func scanFused(st []fusedSet, cols [][]uint16, lo, hi, cap int, exceeded []atomic.Bool, pool *VecPool) {
 	active := make([]int, len(st))
 	for i := range active {
 		active[i] = i
 	}
 	var keys []uint64 // lazily allocated: byte-only frontiers never need it
+	defer func() { pool.PutUint64(keys) }()
 	for blockLo := lo; blockLo < hi && len(active) > 0; blockLo += fusedBlockRows {
 		blockHi := blockLo + fusedBlockRows
 		if blockHi > hi {
@@ -216,7 +244,7 @@ func scanFused(st []fusedSet, cols [][]uint16, lo, hi, cap int, exceeded []atomi
 				done = true
 			} else {
 				if keys == nil && st[i].keyer.Fits() {
-					keys = make([]uint64, fusedBlockRows)
+					keys = pool.Uint64(fusedBlockRows, false)
 				}
 				if st[i].scanBlock(cols, keys, blockLo, blockHi, cap) {
 					done = true

@@ -31,22 +31,35 @@ import (
 
 // RefinablePC is a pattern-count index that remembers which group every
 // row belongs to, making one-attribute refinements cheap. Build one with
-// BuildRefinable, or derive one from a parent with Refine.
+// BuildRefinable, derive one from a parent with Refine or RefineBatch, or
+// construct a lazy one with LazyRefinable.
 //
 // Group ids live in [0, gspace). A refinement with a small compact space
 // keeps slot ids as group ids without renumbering (gspace > gcount, dead
 // slots have count 0), fusing the child build into the counting pass; a
 // large compact space is renumbered densely (gspace == gcount). Consumers
 // must treat counts[g] == 0 as "no such group".
+//
+// A slot-keyed index (slotKeys set) is one whose group ids coincide with
+// the dense mixed-radix keys of its attribute set: gspace equals the
+// keyer's radix and group g holds exactly the rows whose key is g. Such an
+// index needs no materialized group vector — the per-row group assignment
+// is recomputable blockwise through Keyer.KeyBlock — so a lazy slot-keyed
+// index carries nil groups (and nil groupVals; group values decode from
+// the key). RefineBatch both consumes lazy parents, streaming their keys
+// instead of reading a vector, and produces lazy children: refining a
+// slot-keyed parent by an attribute above its maximum member index yields
+// slot ids that are again exactly the child's dense keys.
 type RefinablePC struct {
 	attrs     lattice.AttrSet
 	members   []int    // ascending attribute indices
 	rows      int      // dataset rows the group vector covers
-	groups    []int32  // per-row group id; -1 = NULL in a member attribute
-	gcount    int      // number of live groups = PC size
+	groups    []int32  // per-row group id; nil for lazy slot-keyed indexes
+	gcount    int      // number of live groups = PC size; -1 when unknown
 	gspace    int      // group id space; len(counts) == gspace
-	groupVals []uint16 // gspace × len(members): each group's value ids
-	counts    []int32  // per-group row count; 0 = dead slot
+	groupVals []uint16 // gspace × len(members): each group's value ids; nil when slot-keyed
+	counts    []int32  // per-group row count; 0 = dead slot; nil for uncounted lazy indexes
+	slotKeys  bool     // group ids are exactly the dense mixed-radix keys
 }
 
 // uncompactedGroupSpace is the largest compact child space a refinement
@@ -60,6 +73,13 @@ const uncompactedGroupSpace = 1 << 16
 // It returns nil when the dataset is too large for the int32 group vector
 // (callers fall back to plain BuildPC).
 func BuildRefinable(d *dataset.Dataset, s lattice.AttrSet) *RefinablePC {
+	return BuildRefinablePooled(d, s, nil)
+}
+
+// BuildRefinablePooled is BuildRefinable drawing the group vector and its
+// dense scratch from a pool; the returned index owns its pooled slabs
+// until Release.
+func BuildRefinablePooled(d *dataset.Dataset, s lattice.AttrSet, pool *VecPool) *RefinablePC {
 	rows := d.NumRows()
 	if rows > math.MaxInt32 {
 		return nil
@@ -70,7 +90,7 @@ func BuildRefinable(d *dataset.Dataset, s lattice.AttrSet) *RefinablePC {
 		attrs:   s,
 		members: k.members,
 		rows:    rows,
-		groups:  make([]int32, rows),
+		groups:  pool.Int32(rows, false),
 	}
 	addGroup := func(vals []uint16) int32 {
 		gid := int32(r.gcount)
@@ -84,11 +104,11 @@ func BuildRefinable(d *dataset.Dataset, s lattice.AttrSet) *RefinablePC {
 	}
 	vals := make([]uint16, d.NumAttrs())
 	if radix, ok := denseRadix(k, rows, DefaultDenseLimit); ok {
-		gidOf := make([]int32, radix)
+		gidOf := pool.Int32(radix, false)
 		for i := range gidOf {
 			gidOf[i] = -1
 		}
-		keys := make([]uint64, keyBlockRows)
+		keys := pool.Uint64(keyBlockRows, false)
 		for lo := 0; lo < rows; lo += keyBlockRows {
 			hi := min(lo+keyBlockRows, rows)
 			k.KeyBlock(cols, lo, hi, keys)
@@ -107,11 +127,13 @@ func BuildRefinable(d *dataset.Dataset, s lattice.AttrSet) *RefinablePC {
 				r.counts[gid]++
 			}
 		}
+		pool.PutInt32(gidOf)
+		pool.PutUint64(keys)
 		return r
 	}
 	if k.Fits() {
 		gidOf := make(map[uint64]int32)
-		keys := make([]uint64, keyBlockRows)
+		keys := pool.Uint64(keyBlockRows, false)
 		for lo := 0; lo < rows; lo += keyBlockRows {
 			hi := min(lo+keyBlockRows, rows)
 			k.KeyBlock(cols, lo, hi, keys)
@@ -130,6 +152,7 @@ func BuildRefinable(d *dataset.Dataset, s lattice.AttrSet) *RefinablePC {
 				r.counts[gid]++
 			}
 		}
+		pool.PutUint64(keys)
 		return r
 	}
 	gidOf := make(map[string]int32)
@@ -153,23 +176,94 @@ func BuildRefinable(d *dataset.Dataset, s lattice.AttrSet) *RefinablePC {
 	return r
 }
 
+// LazyRefinable constructs a slot-keyed refinable index over s without
+// scanning the dataset: group ids are defined to be the dense mixed-radix
+// keys, so the per-row assignment is recomputable on demand and no memory
+// beyond the keyer metadata is held. The index carries no counts and an
+// unknown group count (Groups reports -1); its sole use is as a parent for
+// RefineBatch, which streams the keys blockwise. ok is false when the set
+// is not dense-keyable under the engine's default limits (key space
+// overflowing uint64, exceeding DefaultDenseLimit, or vastly sparser than
+// the row count) — exactly the sets BuildPC would not count densely.
+func LazyRefinable(d *dataset.Dataset, s lattice.AttrSet) (r *RefinablePC, ok bool) {
+	k := NewKeyer(d, s)
+	radix, ok := denseRadix(k, d.NumRows(), DefaultDenseLimit)
+	if !ok {
+		return nil, false
+	}
+	return &RefinablePC{
+		attrs:    s,
+		members:  k.members,
+		rows:     d.NumRows(),
+		gcount:   -1,
+		gspace:   radix,
+		slotKeys: true,
+	}, true
+}
+
+// DenseKeyable reports whether attribute set s would be counted by the
+// dense kernel under the engine defaults, and the flat key-space size when
+// so. The frontier scheduler uses it to route candidates onto the batched
+// slot-keyed refinement tier (any dense-keyable set can serve as a lazy
+// parent).
+func DenseKeyable(d *dataset.Dataset, s lattice.AttrSet) (radix int, ok bool) {
+	return denseRadix(NewKeyer(d, s), d.NumRows(), DefaultDenseLimit)
+}
+
+// DenseExtendable reports whether extending a dense-keyable set with key
+// space radix by attribute a stays dense-keyable under the engine
+// defaults: the grown key space must respect both the slot limit and the
+// sparsity guard relative to the row count.
+func DenseExtendable(d *dataset.Dataset, radix, a int) bool {
+	dim := d.Attr(a).DomainSize()
+	if dim == 0 {
+		dim = 1 // matches the keyer's substitution for all-NULL attributes
+	}
+	return denseSpaceOK(uint64(radix)*uint64(dim), d.NumRows(), DefaultDenseLimit)
+}
+
 // Attrs returns the attribute set S the index covers.
 func (r *RefinablePC) Attrs() lattice.AttrSet { return r.attrs }
 
-// Groups returns the number of groups, which equals the label size |P_S|.
+// KeySpace returns the group id space of the index. For a slot-keyed
+// index this is the dense mixed-radix key space of its attribute set.
+func (r *RefinablePC) KeySpace() int { return r.gspace }
+
+// Groups returns the number of groups, which equals the label size |P_S|,
+// or -1 for a lazy index constructed without counting (LazyRefinable).
 func (r *RefinablePC) Groups() int { return r.gcount }
 
 // MemBytes estimates the retained memory of the index; PCCache budgets
-// against it. The per-row group vector dominates.
+// against it. The per-row group vector dominates. Slab capacities are
+// counted rather than lengths, so pooled slabs with slack capacity are
+// accounted at what they actually pin.
 func (r *RefinablePC) MemBytes() int64 {
-	return int64(len(r.groups))*4 + int64(len(r.groupVals))*2 + int64(len(r.counts))*4 + 96
+	return int64(cap(r.groups))*4 + int64(cap(r.groupVals))*2 + int64(cap(r.counts))*4 + 96
+}
+
+// Release returns the index's slabs to the pool and clears them; the
+// index must not be used afterwards. PCCache calls it on eviction so a
+// bounded working set of group vectors cycles through the pool instead of
+// being reallocated per cached set.
+func (r *RefinablePC) Release(pool *VecPool) {
+	pool.PutInt32(r.groups)
+	pool.PutInt32(r.counts)
+	pool.PutUint16(r.groupVals)
+	r.groups, r.counts, r.groupVals = nil, nil, nil
 }
 
 // RefineSize returns LabelSize(d, S ∪ {a}, cap) computed from the group
 // vector: the number of distinct (group, value-of-a) pairs, with exactly
 // the sequential cap-abort contract. The attribute must not be a member.
 func (r *RefinablePC) RefineSize(d *dataset.Dataset, a, cap int) (size int, within bool) {
-	_, size, within = r.refine(d, a, cap, false)
+	_, size, within = r.refine(d, a, cap, false, nil)
+	return size, within
+}
+
+// RefineSizePooled is RefineSize drawing its compact-space scratch slab
+// from a pool (and returning it before the call completes).
+func (r *RefinablePC) RefineSizePooled(d *dataset.Dataset, a, cap int, pool *VecPool) (size int, within bool) {
+	_, size, within = r.refine(d, a, cap, false, pool)
 	return size, within
 }
 
@@ -179,16 +273,36 @@ func (r *RefinablePC) RefineSize(d *dataset.Dataset, a, cap int) (size int, with
 // (nil, cap+1, false) — the caller only learns the bound was breached,
 // exactly as LabelSize reports. The attribute must not be a member.
 func (r *RefinablePC) Refine(d *dataset.Dataset, a, cap int) (child *RefinablePC, size int, within bool) {
-	return r.refine(d, a, cap, true)
+	return r.refine(d, a, cap, true, nil)
+}
+
+// RefinePooled is Refine with the child's group vector, count slab and the
+// pass's scratch drawn from a pool; the returned child owns its pooled
+// slabs until Release.
+func (r *RefinablePC) RefinePooled(d *dataset.Dataset, a, cap int, pool *VecPool) (child *RefinablePC, size int, within bool) {
+	return r.refine(d, a, cap, true, pool)
 }
 
 // refine is the shared refinement pass. The compact child key space is
 // parent-group × added-attribute-value; it is counted densely when small
 // (the common case: it is bounded by |P_parent| × dom(a), not by the full
 // mixed-radix product) and through a hash map otherwise.
-func (r *RefinablePC) refine(d *dataset.Dataset, a, cap int, build bool) (child *RefinablePC, size int, within bool) {
+func (r *RefinablePC) refine(d *dataset.Dataset, a, cap int, build bool, pool *VecPool) (child *RefinablePC, size int, within bool) {
 	if r.attrs.Has(a) {
 		panic(fmt.Sprintf("core: refine by attribute %d already in %v", a, r.attrs))
+	}
+	if r.groups == nil {
+		// Lazy slot-keyed parent: route through the batch kernel, which
+		// streams the parent keys instead of reading a group vector. When a
+		// materialized child is requested but the kernel cannot produce one
+		// (non-dense compact space, or the added attribute breaks the
+		// slot-key chain), fall back to a raw build — same result.
+		res := r.RefineBatch(d, []BatchSpec{{Attr: a, Build: build}}, cap, CountOptions{Workers: 1, Pool: pool})
+		out := res[0]
+		if build && out.Within && out.Child == nil {
+			out.Child = BuildRefinablePooled(d, r.attrs.Add(a), pool)
+		}
+		return out.Child, out.Size, out.Within
 	}
 	col := d.Col(a)
 	dim := d.Attr(a).DomainSize()
@@ -199,11 +313,11 @@ func (r *RefinablePC) refine(d *dataset.Dataset, a, cap int, build bool) (child 
 		if !build {
 			return nil, 0, true
 		}
-		return r.emptyChild(childAttrs, a), 0, true
+		return r.emptyChild(childAttrs, a, pool), 0, true
 	}
 
 	c := r.gspace * dim
-	dense := c <= DefaultDenseLimit && c <= r.rows*denseRowFactor+64
+	dense := denseSpaceOK(uint64(c), r.rows, DefaultDenseLimit)
 
 	m := len(r.members)
 	pos := sort.SearchInts(r.members, a) // insertion index of a
@@ -213,8 +327,8 @@ func (r *RefinablePC) refine(d *dataset.Dataset, a, cap int, build bool) (child 
 	// (parent-group × dim + value), so no renumbering pass over the rows
 	// is needed and sizing-plus-build costs one two-column scan.
 	if build && dense && c <= uncompactedGroupSpace {
-		denseCounts := make([]int32, c)
-		childGroups := make([]int32, r.rows)
+		denseCounts := pool.Int32(c, true)
+		childGroups := pool.Int32(r.rows, false)
 		distinct := 0
 		for row, g := range r.groups {
 			if g < 0 {
@@ -230,6 +344,8 @@ func (r *RefinablePC) refine(d *dataset.Dataset, a, cap int, build bool) (child 
 			if denseCounts[slot] == 0 {
 				distinct++
 				if cap >= 0 && distinct > cap {
+					pool.PutInt32(denseCounts)
+					pool.PutInt32(childGroups)
 					return nil, cap + 1, false
 				}
 			}
@@ -243,7 +359,7 @@ func (r *RefinablePC) refine(d *dataset.Dataset, a, cap int, build bool) (child 
 			groups:    childGroups,
 			gcount:    distinct,
 			gspace:    c,
-			groupVals: make([]uint16, c*(m+1)),
+			groupVals: pool.Uint16(c*(m+1), true),
 			counts:    denseCounts,
 		}
 		for slot, cnt := range denseCounts {
@@ -265,7 +381,7 @@ func (r *RefinablePC) refine(d *dataset.Dataset, a, cap int, build bool) (child 
 	var mapCounts map[uint64]int32
 	distinct := 0
 	if dense {
-		denseCounts = make([]int32, c)
+		denseCounts = pool.Int32(c, true)
 		for row, g := range r.groups {
 			if g < 0 {
 				continue
@@ -278,6 +394,7 @@ func (r *RefinablePC) refine(d *dataset.Dataset, a, cap int, build bool) (child 
 			if denseCounts[slot] == 0 {
 				distinct++
 				if cap >= 0 && distinct > cap {
+					pool.PutInt32(denseCounts)
 					return nil, cap + 1, false
 				}
 			}
@@ -304,6 +421,7 @@ func (r *RefinablePC) refine(d *dataset.Dataset, a, cap int, build bool) (child 
 		}
 	}
 	if !build {
+		pool.PutInt32(denseCounts)
 		return nil, distinct, true
 	}
 
@@ -316,7 +434,7 @@ func (r *RefinablePC) refine(d *dataset.Dataset, a, cap int, build bool) (child 
 		attrs:     childAttrs,
 		members:   insertInt(r.members, pos, a),
 		rows:      r.rows,
-		groups:    make([]int32, r.rows),
+		groups:    pool.Int32(r.rows, false),
 		gcount:    distinct,
 		gspace:    distinct,
 		groupVals: make([]uint16, 0, distinct*(m+1)),
@@ -332,7 +450,7 @@ func (r *RefinablePC) refine(d *dataset.Dataset, a, cap int, build bool) (child 
 		ch.counts = append(ch.counts, cnt)
 	}
 	if dense {
-		gidOf := make([]int32, c)
+		gidOf := pool.Int32(c, false)
 		next := int32(0)
 		for slot, cnt := range denseCounts {
 			if cnt == 0 {
@@ -355,6 +473,8 @@ func (r *RefinablePC) refine(d *dataset.Dataset, a, cap int, build bool) (child 
 			}
 			ch.groups[row] = gidOf[int(g)*dim+int(id)-1]
 		}
+		pool.PutInt32(gidOf)
+		pool.PutInt32(denseCounts)
 		return ch, distinct, true
 	}
 	slots := make([]uint64, 0, len(mapCounts))
@@ -384,13 +504,13 @@ func (r *RefinablePC) refine(d *dataset.Dataset, a, cap int, build bool) (child 
 
 // emptyChild builds the zero-group child produced when the added attribute
 // has an empty active domain or the parent has no groups.
-func (r *RefinablePC) emptyChild(childAttrs lattice.AttrSet, a int) *RefinablePC {
+func (r *RefinablePC) emptyChild(childAttrs lattice.AttrSet, a int, pool *VecPool) *RefinablePC {
 	pos := sort.SearchInts(r.members, a)
 	ch := &RefinablePC{
 		attrs:   childAttrs,
 		members: insertInt(r.members, pos, a),
 		rows:    r.rows,
-		groups:  make([]int32, r.rows),
+		groups:  pool.Int32(r.rows, false),
 	}
 	for i := range ch.groups {
 		ch.groups[i] = -1
@@ -412,6 +532,30 @@ func insertInt(s []int, pos, v int) []int {
 // result is bit-identical to a raw group-by of the dataset.
 func (r *RefinablePC) PC(d *dataset.Dataset) *PC {
 	k := NewKeyer(d, r.attrs)
+	if r.slotKeys {
+		if r.counts == nil {
+			// Metadata-only lazy index (LazyRefinable): nothing was counted.
+			return BuildPC(d, r.attrs)
+		}
+		// Group ids are the dense keys, so the count slab is already the
+		// key-addressed index; copy it (the slab may be pooled) or spill it
+		// into the map representation BuildPC would pick.
+		pc := &PC{keyer: k}
+		if radix, ok := denseRadix(k, d.NumRows(), DefaultDenseLimit); ok {
+			dz := make([]int32, radix)
+			copy(dz, r.counts) // counts may be shorter when the added attribute had an empty domain
+			pc.dz, pc.distinct = dz, r.gcount
+			return pc
+		}
+		u := make(map[uint64]int, r.gcount)
+		for slot, cnt := range r.counts {
+			if cnt != 0 {
+				u[uint64(slot)] = int(cnt)
+			}
+		}
+		pc.u = u
+		return pc
+	}
 	pc := &PC{keyer: k}
 	m := len(r.members)
 	vals := make([]uint16, d.NumAttrs())
@@ -487,22 +631,27 @@ const DefaultPCCacheBudget int64 = 256 << 20
 // PCCache is a bounded-memory store of RefinablePCs keyed by attribute
 // set. The label search retains one lattice level of parents at a time:
 // Put admits indexes while the budget lasts, Get serves refinement
-// lookups, and DropBelow evicts levels the frontier has moved past. All
-// methods are safe for concurrent use.
+// lookups, and DropBelow evicts levels the frontier has moved past —
+// releasing evicted indexes' slabs into the attached pool, so the cache's
+// working set cycles through a bounded arena. Budget accounting uses
+// MemBytes, which counts slab capacities, so CacheBudget bounds the bytes
+// the cache actually pins. All methods are safe for concurrent use.
 type PCCache struct {
 	mu     sync.Mutex
 	budget int64
 	used   int64
+	pool   *VecPool // may be nil: evictions are left to the GC
 	m      map[lattice.AttrSet]*RefinablePC
 }
 
 // NewPCCache returns a cache bounded to roughly budget bytes of retained
-// indexes; budget <= 0 means DefaultPCCacheBudget.
-func NewPCCache(budget int64) *PCCache {
+// indexes; budget <= 0 means DefaultPCCacheBudget. Evicted indexes release
+// their slabs into pool (which may be nil).
+func NewPCCache(budget int64, pool *VecPool) *PCCache {
 	if budget <= 0 {
 		budget = DefaultPCCacheBudget
 	}
-	return &PCCache{budget: budget, m: make(map[lattice.AttrSet]*RefinablePC)}
+	return &PCCache{budget: budget, pool: pool, m: make(map[lattice.AttrSet]*RefinablePC)}
 }
 
 // Get returns the cached index for s, or nil.
@@ -553,7 +702,9 @@ func (c *PCCache) Room() int64 {
 }
 
 // DropBelow evicts every index whose attribute set has fewer than level
-// members — the parents of levels the search has finished sizing.
+// members — the parents of levels the search has finished sizing. Evicted
+// indexes are released into the cache's pool and must no longer be
+// referenced by callers.
 func (c *PCCache) DropBelow(level int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -561,6 +712,7 @@ func (c *PCCache) DropBelow(level int) {
 		if s.Size() < level {
 			c.used -= r.MemBytes()
 			delete(c.m, s)
+			r.Release(c.pool)
 		}
 	}
 }

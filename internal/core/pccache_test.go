@@ -191,7 +191,7 @@ func TestPCCacheBudget(t *testing.T) {
 	r1 := BuildRefinable(d, lattice.NewAttrSet(1))
 	r01 := BuildRefinable(d, lattice.NewAttrSet(0, 1))
 
-	c := NewPCCache(r0.MemBytes() + r01.MemBytes())
+	c := NewPCCache(r0.MemBytes()+r01.MemBytes(), NewVecPool(0))
 	if !c.Put(r0) {
 		t.Fatal("Put r0 rejected under an empty cache")
 	}
@@ -224,7 +224,7 @@ func TestPCCacheBudget(t *testing.T) {
 	if !c.Put(r1) {
 		t.Error("Put r1 rejected after eviction freed room")
 	}
-	if got := NewPCCache(0); got == nil || !got.HasRoom() {
+	if got := NewPCCache(0, nil); got == nil || !got.HasRoom() {
 		t.Error("zero budget must fall back to the default")
 	}
 }

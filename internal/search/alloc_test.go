@@ -1,0 +1,74 @@
+package search
+
+// Allocation-regression pin for the frontier scheduler (PR 3): a
+// steady-state sizeLevel round over a dense-keyable level must cost only
+// per-batch planning allocations — every slab (child accumulators, key
+// scratch) cycles through the level sizer's pool, and no group vector is
+// materialized at all on the batched tier.
+
+import (
+	"testing"
+
+	"pcbl/internal/dataset"
+	"pcbl/internal/lattice"
+)
+
+// allocDataset is a small dense-keyable table: every candidate set routes
+// onto the batched refinement tier.
+func allocDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	const rows, attrs, domain = 6000, 8, 3
+	names := make([]string, attrs)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	bld := dataset.NewBuilder("alloc", names...)
+	v := uint64(1442695040888963407)
+	row := make([]string, attrs)
+	for r := 0; r < rows; r++ {
+		for i := range row {
+			v ^= v << 13
+			v ^= v >> 7
+			v ^= v << 17
+			row[i] = string(rune('A' + int(v%domain)))
+		}
+		bld.AppendStrings(row...)
+	}
+	d, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestAllocsSizeLevelSteadyState(t *testing.T) {
+	d := allocDataset(t)
+	var stats Stats
+	z := newLevelSizer(d, Options{Bound: 50, Workers: 1}, &stats)
+	var level []lattice.AttrSet
+	lattice.Combinations(d.NumAttrs(), 2, func(s lattice.AttrSet) bool {
+		level = append(level, s)
+		return true
+	})
+	noop := func(lattice.AttrSet, bool) {}
+	z.sizeLevel(level, noop) // warm the pool and the reusable buffers
+	batches := stats.BatchRefines
+	if batches == 0 || stats.ScannedSets != 0 {
+		t.Fatalf("level not fully batched: batches=%d scanned=%d", batches, stats.ScannedSets)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		z.sizeLevel(level, noop)
+	})
+	// Measured ~160 for 28 candidates in 7 batches (≈ 12 planning allocs
+	// per batch plus a lazy keyer per parent); a per-candidate slab or
+	// group vector would add thousands.
+	if limit := float64(40 * batches); allocs > limit {
+		t.Fatalf("sizeLevel allocs/run = %.0f, want <= %.0f", allocs, limit)
+	}
+	_, misses := z.pool.Stats()
+	before := misses
+	z.sizeLevel(level, noop)
+	if _, after := z.pool.Stats(); after != before {
+		t.Fatalf("steady-state sizeLevel missed the pool %d times", after-before)
+	}
+}

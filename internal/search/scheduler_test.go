@@ -12,6 +12,7 @@ import (
 	"pcbl/internal/core"
 	"pcbl/internal/datagen"
 	"pcbl/internal/dataset"
+	"pcbl/internal/lattice"
 )
 
 // schedulerDataset is small-domain and deep enough that the search runs
@@ -67,7 +68,10 @@ func TestSchedulerMatchesScanEnumeration(t *testing.T) {
 }
 
 // TestSchedulerTinyCacheBudget starves the refinement cache so Put
-// rejections force raw-scan fallbacks mid-search; results must not change.
+// rejections force raw-scan fallbacks mid-search on the per-child tier;
+// results must not change. The batched tier is disabled here on purpose —
+// it sizes dense-keyable candidates without any cache memory, so a starved
+// budget cannot push it onto scans (asserted at the end).
 func TestSchedulerTinyCacheBudget(t *testing.T) {
 	d := schedulerDataset(t)
 	bound := 50
@@ -76,7 +80,7 @@ func TestSchedulerTinyCacheBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, budget := range []int64{1, 200_000} {
-		cands, stats, err := Enumerate(d, Options{Bound: bound, Workers: 2, CacheBudget: budget})
+		cands, stats, err := Enumerate(d, Options{Bound: bound, Workers: 2, CacheBudget: budget, DisableBatchRefine: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -94,6 +98,75 @@ func TestSchedulerTinyCacheBudget(t *testing.T) {
 		}
 		if budget == 1 && stats.ScannedSets == 0 {
 			t.Fatal("budget=1: expected scan fallbacks, got none")
+		}
+	}
+	// With the batched tier on, a starved cache must not change results
+	// either — and must not push dense-keyable candidates onto scans.
+	cands, stats, err := Enumerate(d, Options{Bound: bound, Workers: 2, CacheBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != len(base) {
+		t.Fatalf("batched budget=1: %d candidates, want %d", len(cands), len(base))
+	}
+	for i := range cands {
+		if cands[i] != base[i] {
+			t.Fatalf("batched budget=1: candidate %d = %v, want %v", i, cands[i], base[i])
+		}
+	}
+	if stats.BatchRefines == 0 {
+		t.Fatal("batched budget=1: batch tier never fired")
+	}
+}
+
+// TestSchedulerBatchAblation pins the three sizing tiers against each
+// other: batched sibling refinement (default), per-child cached-parent
+// refinement (DisableBatchRefine — the PR 2 path, kept reachable for
+// ablation) and raw scans (DisableRefine) must enumerate identical
+// candidates with identical examined/in-bound counters, and the counters
+// must attribute the work to the right tier.
+func TestSchedulerBatchAblation(t *testing.T) {
+	d := schedulerDataset(t)
+	for _, bound := range []int{10, 100} {
+		scan, scanStats, err := Enumerate(d, Options{Bound: bound, Workers: 1, DisableRefine: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		perChild, pcStats, err := Enumerate(d, Options{Bound: bound, Workers: 1, DisableBatchRefine: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batched, bStats, err := Enumerate(d, Options{Bound: bound, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, got := range map[string][]lattice.AttrSet{"per-child": perChild, "batched": batched} {
+			if len(got) != len(scan) {
+				t.Fatalf("bound=%d %s: %d candidates, scan path %d", bound, name, len(got), len(scan))
+			}
+			for i := range got {
+				if got[i] != scan[i] {
+					t.Fatalf("bound=%d %s: candidate %d = %v, scan path %v", bound, name, i, got[i], scan[i])
+				}
+			}
+		}
+		for name, st := range map[string]Stats{"per-child": pcStats, "batched": bStats} {
+			if st.SizeComputed != scanStats.SizeComputed || st.InBound != scanStats.InBound {
+				t.Fatalf("bound=%d %s: sized/in-bound %d/%d, scan path %d/%d",
+					bound, name, st.SizeComputed, st.InBound, scanStats.SizeComputed, scanStats.InBound)
+			}
+		}
+		if pcStats.BatchRefines != 0 {
+			t.Fatalf("bound=%d: per-child run reports %d batch passes", bound, pcStats.BatchRefines)
+		}
+		if bStats.BatchRefines == 0 {
+			t.Fatalf("bound=%d: batched run never used the batch tier", bound)
+		}
+		if bStats.PoolHits == 0 {
+			t.Fatalf("bound=%d: batched run never recycled a slab", bound)
+		}
+		if bStats.RefinedSets == 0 {
+			t.Fatalf("bound=%d: batched run attributes no sets to refinement", bound)
 		}
 	}
 }

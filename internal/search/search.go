@@ -56,6 +56,14 @@ type Options struct {
 	// identical either way (refinement is exact); only the work changes.
 	DisableRefine bool
 
+	// DisableBatchRefine turns off the batched slot-keyed refinement tier
+	// only: dense-keyable candidates are sized through the per-child
+	// cached-parent path (Refine/RefineSize against a bounded-memory
+	// PCCache — the PR 2 engine behaviour) instead of batched sibling
+	// passes over virtual parent group vectors. Result-identical; the knob
+	// exists for ablation.
+	DisableBatchRefine bool
+
 	// CacheBudget bounds the refinement cache's retained memory in bytes;
 	// 0 means core.DefaultPCCacheBudget. When the budget fills, candidate
 	// sets without a cached parent fall back to raw fused scans.
@@ -83,12 +91,21 @@ type Stats struct {
 	// evaluations across the final phase; early termination keeps it far
 	// below Evaluated × |P|.
 	PatternsScanned int64
-	// RefinedSets counts examined sets sized by refining a cached parent
-	// PC (a two-column pass over parent groups) instead of a raw scan.
+	// RefinedSets counts examined sets sized by refinement — batched
+	// sibling passes or per-child refinement of a cached parent PC —
+	// instead of a raw scan.
 	RefinedSets int
 	// ScannedSets counts examined sets sized by raw fused dataset scans —
-	// sets with no cached parent, or every set when refinement is off.
+	// sets with no refinable parent, or every set when refinement is off.
 	ScannedSets int
+	// BatchRefines counts batched sibling-refinement passes: each sized a
+	// whole batch of same-parent candidates in one blocked pass over the
+	// parent's (virtual) group assignment (core.RefineBatch).
+	BatchRefines int
+	// PoolHits and PoolMisses report the slab pool's cumulative counters:
+	// how often a group vector, count slab or key-block scratch was
+	// recycled from the arena versus freshly allocated.
+	PoolHits, PoolMisses int64
 	// DenseSets counts raw-scanned sets the engine routed to the dense
 	// flat-array kernel rather than a hash map.
 	DenseSets int
@@ -145,12 +162,23 @@ func sizeFrontier(d *dataset.Dataset, sets []lattice.AttrSet, opts Options, stat
 // are offered to the (budget-enforcing) cache.
 const refineBatch = 64
 
-// refineTask is one candidate set scheduled onto the refinement path.
+// refineTask is one candidate set scheduled onto the per-child (eager)
+// refinement path.
 type refineTask struct {
 	idx    int               // index into the level's set slice
 	parent *core.RefinablePC // cached parent to refine from
 	attr   int               // the one attribute the candidate adds
 	child  *core.RefinablePC // built during the pass when within bound
+}
+
+// sibBatch is one batched refinement unit: all same-level candidates that
+// extend the same gen parent by one attribute. The parent is a lazy
+// slot-keyed index — its group ids are the dense mixed-radix keys, so no
+// group vector is ever materialized; core.RefineBatch streams the keys
+// blockwise and sizes every sibling in one pass.
+type sibBatch struct {
+	parent *core.RefinablePC
+	lo, hi int // half-open range into the level's batchIdx/batchAttrs
 }
 
 // sizeResult is a candidate set's sizing verdict.
@@ -160,54 +188,113 @@ type sizeResult struct {
 }
 
 // levelSizer is the frontier scheduler of the enumeration phase. Per
-// candidate set it chooses the cheapest sizing source: refinement of a
-// cached parent PC — a two-column pass over the parent's group vector,
-// typically against orders of magnitude fewer groups than rows — when one
-// is available, and the fused raw scan otherwise. In-bound candidates'
-// refined indexes are cached (within a memory budget) to serve the next
-// level, and levels the frontier has moved past are evicted. All scratch
-// buffers are reused across levels.
+// candidate set it chooses the cheapest sizing source, in order:
+//
+//   - batched sibling refinement, when the candidate is dense-keyable: the
+//     level's candidates are grouped by gen parent before dispatch, and
+//     one core.RefineBatch pass per (parent, sibling-batch) sizes them all
+//     against virtual parent group vectors — no per-set allocation beyond
+//     pooled compact-space slabs;
+//   - per-child refinement of a cached parent PC (the PR 2 path) for
+//     candidates beyond the dense tier whose parent index is cached;
+//   - the fused raw scan otherwise.
+//
+// In-bound candidates that will be needed as non-lazy parents are cached
+// eagerly (within a memory budget), levels the frontier has moved past are
+// evicted into the slab pool, and all scratch cycles through that pool, so
+// steady-state sizing allocates a near-constant working set. Every routing
+// and caching decision happens in deterministic slice order; results and
+// counters are identical for all worker counts.
 type levelSizer struct {
 	d     *dataset.Dataset
 	n     int
 	opts  Options
 	stats *Stats
-	cache *core.PCCache // nil when refinement is off
+	cache *core.PCCache // created on demand; serves the eager tier
+	pool  *core.VecPool
 	scan  core.ScanStats
 
-	results  []sizeResult
-	tasks    []refineTask
-	scanSets []lattice.AttrSet
-	scanIdx  []int
+	results    []sizeResult
+	batches    []sibBatch
+	batchIdx   []int // candidate index per batched child
+	batchAttrs []int // added attribute per batched child
+	batchRadix []int // child key space per batched child (eager-need check)
+	specs      []core.BatchSpec
+	tasks      []refineTask
+	scanSets   []lattice.AttrSet
+	scanIdx    []int
 }
 
-// newLevelSizer builds the scheduler and seeds the cache with the
-// singleton refinables (derived from the trivial all-rows grouping), the
-// parents every level-2 candidate refines from.
+// newLevelSizer builds the scheduler. Candidates on the batched tier need
+// no precomputed parents at all (any dense-keyable set is refinable-from
+// lazily), so the cache is seeded only with the singleton refinables that
+// non-dense level-2 candidates will look up — and skipped entirely when
+// every pair is dense-keyable.
 func newLevelSizer(d *dataset.Dataset, opts Options, stats *Stats) *levelSizer {
 	z := &levelSizer{d: d, n: d.NumAttrs(), opts: opts, stats: stats}
+	// Size the arena to the refinement cache it backs: a level eviction
+	// returns up to a full cache budget of slabs at once, and the next
+	// level's builds draw them right back out.
+	poolBudget := opts.CacheBudget
+	if poolBudget <= 0 {
+		poolBudget = core.DefaultPCCacheBudget
+	}
+	z.pool = core.NewVecPool(poolBudget)
 	if opts.DisableRefine {
 		return z
 	}
-	root := core.BuildRefinable(d, lattice.AttrSet(0))
-	if root == nil {
-		return z // dataset too large for group vectors: scan-only mode
+	// A singleton {a} must be cached eagerly when some pair containing a
+	// cannot take the batched tier: its sizing then goes through the
+	// per-child path, which looks the singleton up in the cache.
+	var eager []int
+	for a := 0; a < z.n; a++ {
+		need := opts.DisableBatchRefine
+		if !need {
+			radix, ok := core.DenseKeyable(d, lattice.NewAttrSet(a))
+			if !ok {
+				need = true
+			} else {
+				for b := a + 1; b < z.n; b++ {
+					if !core.DenseExtendable(d, radix, b) {
+						need = true
+						break
+					}
+				}
+			}
+		}
+		if need {
+			eager = append(eager, a)
+		}
 	}
-	z.cache = core.NewPCCache(opts.CacheBudget)
-	singles := make([]*core.RefinablePC, z.n)
-	workpool.Do(z.n, opts.Workers, func(a int) {
-		singles[a], _, _ = root.Refine(d, a, -1)
+	if len(eager) == 0 {
+		return z
+	}
+	root := core.BuildRefinablePooled(d, lattice.AttrSet(0), z.pool)
+	if root == nil {
+		return z // dataset too large for group vectors: scan-only eager tier
+	}
+	z.ensureCache()
+	singles := make([]*core.RefinablePC, len(eager))
+	workpool.Do(len(eager), opts.Workers, func(i int) {
+		singles[i], _, _ = root.RefinePooled(d, eager[i], -1, z.pool)
 	})
 	for _, r := range singles {
-		z.cache.Put(r)
+		if !z.cache.Put(r) {
+			r.Release(z.pool)
+		}
 	}
+	root.Release(z.pool)
 	return z
 }
 
+func (z *levelSizer) ensureCache() {
+	if z.cache == nil {
+		z.cache = core.NewPCCache(z.opts.CacheBudget, z.pool)
+	}
+}
+
 // sizeLevel sizes one slice of same-level candidate sets, invoking visit
-// for each in input order with its in-bound verdict. Candidates with a
-// cached parent take the refinement path (the parent with the fewest
-// groups when several are cached); the rest are sized by fused raw scans.
+// for each in input order with its in-bound verdict.
 func (z *levelSizer) sizeLevel(sets []lattice.AttrSet, visit func(s lattice.AttrSet, within bool)) {
 	if len(sets) == 0 {
 		return
@@ -216,14 +303,44 @@ func (z *levelSizer) sizeLevel(sets []lattice.AttrSet, visit func(s lattice.Attr
 		z.results = make([]sizeResult, len(sets))
 	}
 	z.results = z.results[:len(sets)]
+	z.batches = z.batches[:0]
+	z.batchIdx = z.batchIdx[:0]
+	z.batchAttrs = z.batchAttrs[:0]
+	z.batchRadix = z.batchRadix[:0]
 	z.tasks = z.tasks[:0]
 	z.scanSets = z.scanSets[:0]
 	z.scanIdx = z.scanIdx[:0]
 
+	// Route every candidate: batched tier grouped by gen parent (children
+	// of one parent are consecutive in both traversals, so grouping is a
+	// run-length pass), then cached-parent per-child refinement, then raw
+	// scan. All routing is deterministic slice order.
+	batchOK := !z.opts.DisableRefine && !z.opts.DisableBatchRefine
+	curParent := lattice.AttrSet(0)
+	curKnown := false // curLazy (possibly nil) is the verdict for curParent
+	var curLazy *core.RefinablePC
 	for i, s := range sets {
+		if batchOK && !s.IsEmpty() {
+			max := s.MaxIndex()
+			p := s.Remove(max)
+			if !curKnown || p != curParent {
+				z.flushBatch()
+				curParent, curKnown = p, true
+				curLazy, _ = core.LazyRefinable(z.d, p)
+			}
+			if curLazy != nil && core.DenseExtendable(z.d, curLazy.KeySpace(), max) {
+				if len(z.batches) == 0 || z.batches[len(z.batches)-1].parent != curLazy {
+					z.batches = append(z.batches, sibBatch{parent: curLazy, lo: len(z.batchIdx)})
+				}
+				z.batchIdx = append(z.batchIdx, i)
+				z.batchAttrs = append(z.batchAttrs, max)
+				z.batchRadix = append(z.batchRadix, curLazy.KeySpace()*z.d.Attr(max).DomainSize())
+				continue
+			}
+		}
 		var parent *core.RefinablePC
 		attr := -1
-		if z.cache != nil {
+		if z.cache != nil && !z.opts.DisableRefine {
 			for _, a := range s.Members() {
 				if p := z.cache.Get(s.Remove(a)); p != nil && (parent == nil || p.Groups() < parent.Groups()) {
 					parent, attr = p, a
@@ -237,15 +354,122 @@ func (z *levelSizer) sizeLevel(sets []lattice.AttrSet, visit func(s lattice.Attr
 			z.scanSets = append(z.scanSets, s)
 		}
 	}
+	z.flushBatch()
 
-	// Refinement path, chunked so freshly built child indexes are offered
-	// to the cache's budget check before more are built. Each chunk builds
-	// only as many children as the cache has bytes of room for (a child's
-	// group vector costs ~4 bytes per row); the rest of the chunk sizes
-	// without building, so transient memory stays within the budget rather
-	// than within refineBatch × child size. Every decision that shapes the
-	// next level's cache happens in deterministic slice order, so results
-	// and path counters are reproducible for any worker count.
+	z.runBatches(sets)
+	z.runTasks(sets)
+
+	// Raw-scan path for candidates on neither refinement tier.
+	co := core.CountOptions{Workers: z.opts.Workers, DenseLimit: z.opts.DenseLimit, Stats: &z.scan, Pool: z.pool}
+	for lo := 0; lo < len(z.scanSets); lo += fusedBatch {
+		hi := min(lo+fusedBatch, len(z.scanSets))
+		sizes, within := core.LabelSizesFused(z.d, z.scanSets[lo:hi], z.opts.Bound, co)
+		for j := range sizes {
+			z.results[z.scanIdx[lo+j]] = sizeResult{sizes[j], within[j]}
+		}
+	}
+
+	z.stats.RefinedSets += len(z.batchIdx) + len(z.tasks)
+	z.stats.ScannedSets += len(z.scanSets)
+	z.stats.BatchRefines += len(z.batches)
+	z.stats.DenseSets = z.scan.Dense
+	z.stats.PoolHits, z.stats.PoolMisses = z.pool.Stats()
+	for i, s := range sets {
+		res := z.results[i]
+		z.stats.SizeComputed++
+		if res.within {
+			z.stats.InBound++
+		}
+		visit(s, res.within)
+	}
+	// Drop parent references before the buffers are length-reset, so the
+	// reused backing arrays cannot pin evicted levels' group vectors.
+	for i := range z.tasks {
+		z.tasks[i].parent = nil
+	}
+	for i := range z.batches {
+		z.batches[i].parent = nil
+	}
+}
+
+// flushBatch closes the currently open sibling batch, if any.
+func (z *levelSizer) flushBatch() {
+	if n := len(z.batches); n > 0 && z.batches[n-1].hi == 0 {
+		z.batches[n-1].hi = len(z.batchIdx)
+	}
+}
+
+// runBatches executes the batched tier: one RefineSizeBatch pass per
+// (parent, sibling-batch), dispatched across workers — batches run
+// concurrently when the level has many, and a lone batch shards its rows
+// instead. Afterwards, in-bound candidates whose own children cannot all
+// take the batched tier are built eagerly into the cache (sequentially,
+// in slice order), so the per-child tier has parents at the next level.
+func (z *levelSizer) runBatches(sets []lattice.AttrSet) {
+	nb := len(z.batches)
+	if nb == 0 {
+		return
+	}
+	eff := workpool.Resolve(z.opts.Workers, 1<<30)
+	outer := min(nb, eff)
+	inner := 1
+	if outer < eff {
+		inner = eff / outer
+	}
+	workpool.Do(nb, outer, func(bi int) {
+		b := &z.batches[bi]
+		attrs := z.batchAttrs[b.lo:b.hi]
+		co := core.CountOptions{Workers: inner, Pool: z.pool}
+		res := b.parent.RefineSizeBatch(z.d, attrs, z.opts.Bound, co)
+		for k, r := range res {
+			z.results[z.batchIdx[b.lo+k]] = sizeResult{r.Size, r.Within}
+		}
+	})
+
+	// Boundary builds: a batched in-bound candidate some of whose gen
+	// children exceed the dense key space will be needed as a materialized
+	// parent next level. Build it from a raw scan within the cache budget.
+	for _, b := range z.batches {
+		for k := b.lo; k < b.hi; k++ {
+			i := z.batchIdx[k]
+			s := sets[i]
+			if !z.results[i].within || s.Size() >= z.n {
+				continue
+			}
+			radix := z.batchRadix[k]
+			need := false
+			for a := s.MaxIndex() + 1; a < z.n; a++ {
+				if !core.DenseExtendable(z.d, radix, a) {
+					need = true
+					break
+				}
+			}
+			if !need {
+				continue
+			}
+			z.ensureCache()
+			if !z.cache.HasRoom() {
+				continue
+			}
+			if child := core.BuildRefinablePooled(z.d, s, z.pool); child != nil && !z.cache.Put(child) {
+				child.Release(z.pool)
+			}
+		}
+	}
+}
+
+// runTasks executes the per-child (eager) tier, chunked so freshly built
+// child indexes are offered to the cache's budget check before more are
+// built. Each chunk builds only as many children as the cache has bytes of
+// room for (a child's group vector costs ~4 bytes per row); the rest of
+// the chunk sizes without building, so transient memory stays within the
+// budget rather than within refineBatch × child size. Every decision that
+// shapes the next level's cache happens in deterministic slice order, so
+// results and path counters are reproducible for any worker count.
+func (z *levelSizer) runTasks(sets []lattice.AttrSet) {
+	if len(z.tasks) == 0 {
+		return
+	}
 	childBytes := int64(z.d.NumRows())*4 + 4096
 	for lo := 0; lo < len(z.tasks); lo += refineBatch {
 		hi := min(lo+refineBatch, len(z.tasks))
@@ -255,47 +479,22 @@ func (z *levelSizer) sizeLevel(sets []lattice.AttrSet, visit func(s lattice.Attr
 			t := &chunk[ti]
 			s := sets[t.idx]
 			if ti < buildAllowance && s.Size() < z.n {
-				child, size, within := t.parent.Refine(z.d, t.attr, z.opts.Bound)
+				child, size, within := t.parent.RefinePooled(z.d, t.attr, z.opts.Bound, z.pool)
 				t.child = child
 				z.results[t.idx] = sizeResult{size, within}
 			} else {
-				size, within := t.parent.RefineSize(z.d, t.attr, z.opts.Bound)
+				size, within := t.parent.RefineSizePooled(z.d, t.attr, z.opts.Bound, z.pool)
 				z.results[t.idx] = sizeResult{size, within}
 			}
 		})
 		for i := range chunk {
 			if chunk[i].child != nil {
-				z.cache.Put(chunk[i].child)
+				if !z.cache.Put(chunk[i].child) {
+					chunk[i].child.Release(z.pool)
+				}
 				chunk[i].child = nil
 			}
 		}
-	}
-
-	// Raw-scan path for candidates without a cached parent.
-	co := core.CountOptions{Workers: z.opts.Workers, DenseLimit: z.opts.DenseLimit, Stats: &z.scan}
-	for lo := 0; lo < len(z.scanSets); lo += fusedBatch {
-		hi := min(lo+fusedBatch, len(z.scanSets))
-		sizes, within := core.LabelSizesFused(z.d, z.scanSets[lo:hi], z.opts.Bound, co)
-		for j := range sizes {
-			z.results[z.scanIdx[lo+j]] = sizeResult{sizes[j], within[j]}
-		}
-	}
-
-	z.stats.RefinedSets += len(z.tasks)
-	z.stats.ScannedSets += len(z.scanSets)
-	z.stats.DenseSets = z.scan.Dense
-	for i, s := range sets {
-		res := z.results[i]
-		z.stats.SizeComputed++
-		if res.within {
-			z.stats.InBound++
-		}
-		visit(s, res.within)
-	}
-	// Drop the parent references before the buffer is length-reset, so the
-	// reused backing array cannot pin evicted levels' group vectors.
-	for i := range z.tasks {
-		z.tasks[i].parent = nil
 	}
 }
 

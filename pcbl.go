@@ -205,6 +205,12 @@ type GenerateOptions struct {
 	// exists for ablation and for memory-constrained runs (the refinement
 	// cache retains up to ~256 MiB of group vectors by default).
 	DisableRefine bool
+	// DisableBatchRefine turns off only the batched sibling-refinement
+	// tier of the enumeration scheduler: dense-keyable candidates are then
+	// sized one at a time against cached parent indexes (the previous
+	// engine behaviour) instead of whole same-parent batches in single
+	// passes over virtual group vectors. Result-identical; for ablation.
+	DisableBatchRefine bool
 	// DenseLimit overrides the counting engine's dense-kernel threshold
 	// for raw dataset scans: 0 means the engine default (a 2^22-slot key
 	// space), a negative value forces scan group-bys onto the hash-map
@@ -224,12 +230,13 @@ func GenerateLabel(d *Dataset, opts GenerateOptions) (*SearchResult, error) {
 		ps = core.DistinctTuples(d)
 	}
 	so := search.Options{
-		Bound:          opts.Bound,
-		FastEval:       opts.FastEval,
-		BranchAndBound: opts.BranchAndBound,
-		Workers:        opts.Workers,
-		DisableRefine:  opts.DisableRefine,
-		DenseLimit:     opts.DenseLimit,
+		Bound:              opts.Bound,
+		FastEval:           opts.FastEval,
+		BranchAndBound:     opts.BranchAndBound,
+		Workers:            opts.Workers,
+		DisableRefine:      opts.DisableRefine,
+		DisableBatchRefine: opts.DisableBatchRefine,
+		DenseLimit:         opts.DenseLimit,
 	}
 	switch opts.Algorithm {
 	case "", TopDown:
