@@ -9,6 +9,7 @@ package pcbl
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -21,6 +22,7 @@ import (
 	"pcbl/internal/pgstats"
 	"pcbl/internal/sampling"
 	"pcbl/internal/search"
+	"pcbl/internal/spill"
 )
 
 // Bench datasets are generated once and shared.
@@ -484,6 +486,141 @@ func BenchmarkFrontierSizing(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- External-memory spill group-by (PR 4) --------------------------------
+//
+// Recorded baselines live in BENCH_pr4.json. The spill tier's claim is
+// about live heap, not allocation churn: grouping state at any instant is
+// one on-disk run's map (bounded by CountOptions.MemBudget) instead of the
+// whole distinct-key space. BenchmarkSpillGroupBy tracks the end-to-end
+// engine cost of both tiers (bytes/op gated by the benchguard manifest);
+// BenchmarkSpillLiveHeap measures the live-heap bound directly, forcing a
+// GC while each run's map is live and reporting the peak.
+
+var spillBenchOnce sync.Once
+var spillBenchData *dataset.Dataset
+
+// spillBenchSetup returns a byte-key dataset (domain product overflows
+// uint64, nearly all rows distinct — the unbounded-domain worst case) and
+// a memory budget forcing its full-set group-by into >= 6 on-disk runs.
+func spillBenchSetup(b *testing.B) (d *dataset.Dataset, budget int64) {
+	b.Helper()
+	spillBenchOnce.Do(func() { spillBenchData = wideDataset(60000, 12, 40) })
+	d = spillBenchData
+	// The engine's deterministic footprint estimate for the byte-map
+	// kernel is rows × (2·attrs + 64) bytes (distinct <= rows).
+	footprint := int64(d.NumRows()) * int64(2*d.NumAttrs()+64)
+	return d, footprint / 6
+}
+
+func BenchmarkSpillGroupBy(b *testing.B) {
+	d, budget := spillBenchSetup(b)
+	full := lattice.FullSet(d.NumAttrs())
+	b.Run("inmemory", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = core.BuildPCParallel(d, full, core.CountOptions{Workers: 1})
+		}
+	})
+	b.Run("spill", func(b *testing.B) {
+		var stats core.ScanStats
+		for i := 0; i < b.N; i++ {
+			_ = core.BuildPCParallel(d, full, core.CountOptions{Workers: 1, MemBudget: budget, Stats: &stats})
+		}
+		if stats.Spilled != b.N {
+			b.Fatalf("spilled %d of %d builds", stats.Spilled, b.N)
+		}
+		b.ReportMetric(float64(stats.SpillRuns)/float64(b.N), "runs/op")
+	})
+	b.Run("spill-size", func(b *testing.B) {
+		var stats core.ScanStats
+		opts := core.CountOptions{Workers: 1, MemBudget: budget, Stats: &stats}
+		for i := 0; i < b.N; i++ {
+			if _, within := core.LabelSizeParallel(d, full, -1, opts); !within {
+				b.Fatal("unbounded sizing reported out of bound")
+			}
+		}
+		if stats.Spilled != b.N {
+			b.Fatalf("spilled %d of %d sizings", stats.Spilled, b.N)
+		}
+	})
+}
+
+// BenchmarkSpillLiveHeap drives the spill writer directly so it can force
+// a GC at the peak moment — each run's map fully counted and still live —
+// and report real live-heap bytes. The in-memory variant holds the whole
+// distinct-key map at its peak (rows×keys-bound); the spill variant's peak
+// must track the budget instead.
+func BenchmarkSpillLiveHeap(b *testing.B) {
+	d, budget := spillBenchSetup(b)
+	k := core.NewKeyer(d, lattice.FullSet(d.NumAttrs()))
+	cols := make([][]uint16, d.NumAttrs())
+	for i := range cols {
+		cols[i] = d.Col(i)
+	}
+	rows := d.NumRows()
+	recW := 2 * d.NumAttrs()
+	baseline := liveHeap()
+	b.Run("inmemory", func(b *testing.B) {
+		var peak uint64
+		for i := 0; i < b.N; i++ {
+			m := make(map[string]int)
+			var buf []byte
+			for r := 0; r < rows; r++ {
+				rec, ok := k.AppendBytesRow(buf[:0], cols, r)
+				buf = rec
+				if ok {
+					m[string(rec)]++
+				}
+			}
+			peak = max(peak, liveHeap())
+			if len(m) == 0 {
+				b.Fatal("empty group-by")
+			}
+		}
+		b.ReportMetric(float64(peak-baseline), "live-heap-B")
+	})
+	b.Run("spill", func(b *testing.B) {
+		runs := 6
+		var peak uint64
+		for i := 0; i < b.N; i++ {
+			w, err := spill.NewWriter(spill.Config{RecWidth: recW, Runs: runs})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sw := w.Shard()
+			var buf []byte
+			for r := 0; r < rows; r++ {
+				rec, ok := k.AppendBytesRow(buf[:0], cols, r)
+				buf = rec
+				if ok {
+					sw.Add(rec)
+				}
+			}
+			if err := sw.Close(); err != nil {
+				w.Cleanup()
+				b.Fatal(err)
+			}
+			size, _, err := w.CountRuns(-1, func(_ int, m map[string]int) bool {
+				peak = max(peak, liveHeap())
+				return true
+			})
+			w.Cleanup()
+			if err != nil || size == 0 {
+				b.Fatalf("spill count: size=%d err=%v", size, err)
+			}
+		}
+		b.ReportMetric(float64(peak-baseline), "live-heap-B")
+		b.ReportMetric(float64(budget), "budget-B")
+	})
+}
+
+// liveHeap forces a collection and returns the surviving heap bytes.
+func liveHeap() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
 }
 
 // --- Ablations (design choices called out in DESIGN.md) -------------------

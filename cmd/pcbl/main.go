@@ -148,6 +148,8 @@ func runLabel(args []string) error {
 	htmlOut := fs.String("html", "", "write a standalone HTML label report to this path")
 	render := fs.Bool("render", false, "print the human-readable nutrition label")
 	bins := fs.Int("bins", 5, "bucketize numeric attributes into this many bins (0 disables)")
+	memBudgetMB := fs.Int("mem-budget-mb", 0, "group-by memory budget in MiB; unbounded-domain attribute sets over it are counted via on-disk spill runs (0 = unlimited)")
+	spillDir := fs.String("spill-dir", "", "directory for spill run files (system temp dir when empty)")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("-in is required")
@@ -166,6 +168,8 @@ func runLabel(args []string) error {
 		Bound:     *bound,
 		Algorithm: pcbl.Algorithm(*algo),
 		FastEval:  true,
+		MemBudget: int64(*memBudgetMB) << 20,
+		SpillDir:  *spillDir,
 	})
 	if err != nil {
 		return err
@@ -175,6 +179,10 @@ func runLabel(args []string) error {
 	fmt.Printf("max abs error:    %.1f over %d distinct patterns\n", res.MaxErr, res.Stats.PatternsScanned)
 	fmt.Printf("search:           %d sets examined, %d in bound, %v total\n",
 		res.Stats.SizeComputed, res.Stats.InBound, res.Stats.Total().Round(1000))
+	if res.Stats.SpilledSets > 0 {
+		fmt.Printf("spill:            %d sets via %d on-disk runs, %.1f MiB written\n",
+			res.Stats.SpilledSets, res.Stats.SpillRuns, float64(res.Stats.SpillBytes)/(1<<20))
+	}
 	if *render {
 		eval := pcbl.Evaluate(res.Label, nil)
 		fmt.Println()

@@ -50,7 +50,8 @@ func TestAllocsBuildPCParallelPooled(t *testing.T) {
 	pool := NewVecPool(0)
 	radix := 8 * 8 * 8 * 8
 
-	seq := CountOptions{Workers: 1, Pool: pool}
+	var scan ScanStats
+	seq := CountOptions{Workers: 1, Pool: pool, Stats: &scan}
 	BuildPCParallel(d, full, seq) // warm
 	allocs := testing.AllocsPerRun(10, func() {
 		BuildPCParallel(d, full, seq)
@@ -60,7 +61,7 @@ func TestAllocsBuildPCParallelPooled(t *testing.T) {
 		t.Fatalf("pooled sequential build allocs/run = %.0f, want <= 20", allocs)
 	}
 
-	par := CountOptions{Workers: 4, Pool: pool, minRowsPerWorker: 1}
+	par := CountOptions{Workers: 4, Pool: pool, Stats: &scan, minRowsPerWorker: 1}
 	BuildPCParallel(d, full, par) // warm (populates per-worker shard slabs)
 	const runs = 5
 	var before, after runtime.MemStats
@@ -75,6 +76,11 @@ func TestAllocsBuildPCParallelPooled(t *testing.T) {
 	// (~4 × radix × 4B plus scratch).
 	if limit := int64(radix)*4*3 + 8192; perOp > limit {
 		t.Fatalf("pooled workers=4 build allocates %d B/op, want <= %d", perOp, limit)
+	}
+	// These in-memory workloads must never touch the external spill tier
+	// (no MemBudget is set, and the key spaces are uint64-bounded anyway).
+	if scan.Spilled != 0 || scan.SpillRuns != 0 || scan.SpillBytes != 0 {
+		t.Fatalf("in-memory alloc workload spilled: %+v", scan)
 	}
 }
 

@@ -41,6 +41,9 @@ func buildPC(d *dataset.Dataset, s lattice.AttrSet, opts CountOptions, workers i
 	if k.Fits() {
 		return buildPCMap(k, cols, rows, workers)
 	}
+	if runs, spillOK := opts.spillFor(k, rows); spillOK {
+		return buildPCSpill(k, cols, rows, workers, runs, opts)
+	}
 	return buildPCBytes(k, cols, rows, workers)
 }
 

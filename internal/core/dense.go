@@ -22,7 +22,11 @@ import (
 //
 //   - radix ≤ denseLimit AND radix ≤ denseRowFactor × rows (+64)  →  dense
 //   - key fits in uint64 otherwise                                →  uint64 map
-//   - key overflows uint64                                        →  byte-string map
+//   - key overflows uint64, fits CountOptions.MemBudget           →  byte-string map
+//   - key overflows uint64, estimated map footprint over budget   →  spill
+//     (external group-by: hash-partitioned on-disk runs, counted one at a
+//     time with the map kernel — see spillcount.go; no budget means the
+//     byte map is never considered over it)
 //
 // The row-factor guard keeps the kernel off sparse key spaces where zeroing
 // and walking the flat array would dominate the scan itself.
@@ -248,4 +252,15 @@ type ScanStats struct {
 	Map int
 	// Bytes counts sets on the byte-string fallback (key overflows uint64).
 	Bytes int
+	// Spilled counts sets served by the external-memory group-by: byte-key
+	// sets whose estimated map footprint exceeded CountOptions.MemBudget.
+	Spilled int
+	// SpillRuns totals the on-disk partitions written across spilled sets.
+	SpillRuns int
+	// SpillBytes totals the bytes written to spill run files.
+	SpillBytes int64
+	// SpillMaxRunEntries is the largest per-run distinct-key count any
+	// spilled set's merge observed — the quantity the run sizing bounds to
+	// keep one run's map within CountOptions.MemBudget.
+	SpillMaxRunEntries int
 }

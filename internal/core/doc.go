@@ -37,6 +37,15 @@
 //     (Keyer.KeyBlock decodes a row block one member column at a time).
 //   - bytes: key spaces overflowing uint64 fall back to byte-string keys
 //     with the original per-row loop.
+//   - spill: byte-key sets whose estimated map footprint exceeds
+//     CountOptions.MemBudget — the unbounded-domain, out-of-core case —
+//     run the external group-by (spillcount.go over internal/spill): keys
+//     hash-partition into K on-disk runs sized so one run's map fits the
+//     budget, runs are counted one at a time with the map kernel, and
+//     counts merge with the exact cap-abort of label sizing (runs hold
+//     disjoint keys, so the distinct total is a monotone sum). Fused
+//     frontier scans exclude such sets and size them through spill scans
+//     afterwards, in frontier order. No budget means the tier is off.
 //
 // Orthogonally, pccache.go and refinebatch.go reuse work across lattice
 // levels. A RefinablePC retains the row→group assignment of its group-by,
@@ -65,12 +74,20 @@
 // these tiers in the order above, grouping each level by gen parent for
 // the batched tier.
 //
+// Refinement never spills: its compact (group, value) spaces are bounded
+// by an in-bound parent's group count times one attribute domain, so it
+// is in-memory by construction — the budget governs only raw scans.
+//
 // Allocation is arena-managed: a VecPool recycles group vectors, count
-// slabs and key scratch across refinements, fused scans and sharded
-// builds (CountOptions.Pool); PCCache releases evicted indexes into it,
-// and MemBytes counts slab capacities so cache budgets bound pinned
-// bytes. Steady-state enumeration allocates a near-constant working set
-// (pinned by alloc_test.go) instead of one rows×4B vector per cached set.
+// slabs, key scratch and spill buffers across refinements, fused scans
+// and sharded builds (CountOptions.Pool); PCCache releases evicted
+// indexes into it, and MemBytes counts slab capacities so cache budgets
+// bound pinned bytes. Eviction is level-pipelined: the frontier scheduler
+// drops a cached parent the moment its last refinement has run
+// (PCCache.Drop), so its slabs return to the pool before the next sibling
+// chunk allocates. Steady-state enumeration allocates a near-constant
+// working set (pinned by alloc_test.go) instead of one rows×4B vector per
+// cached set.
 //
 // Every parallel, dense, refinement and batch entry point returns results
 // bit-identical to its sequential counterpart for all worker counts

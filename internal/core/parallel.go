@@ -54,6 +54,24 @@ type CountOptions struct {
 	// allocation; behaviour is identical either way.
 	Pool *VecPool
 
+	// MemBudget, when positive, bounds the estimated in-memory grouping
+	// state of a single group-by in bytes. Byte-key sets (mixed-radix key
+	// overflowing uint64 — the unbounded-domain case) whose estimated map
+	// footprint exceeds the budget are routed to the external-memory spill
+	// tier (spillcount.go): keys hash-partition into on-disk runs sized so
+	// one run's map fits the budget, and runs are counted one at a time.
+	// Results are bit-identical to the in-memory kernels. Zero means
+	// unlimited (never spill). The uint64 and dense kernels are not
+	// governed by this knob: their state is bounded by the key space the
+	// dense/map selection rules already cap.
+	MemBudget int64
+
+	// SpillDir overrides where spill run files are written; empty means
+	// the system temp directory. Run files live in a private subdirectory
+	// that is removed when the scan finishes — on success, cap-abort and
+	// panic alike.
+	SpillDir string
+
 	// minRowsPerWorker overrides the sequential-fallback threshold. Only
 	// tests set it (to force the sharded paths on small datasets); zero
 	// means defaultMinRowsPerWorker.
@@ -83,6 +101,14 @@ func BuildPCParallel(d *dataset.Dataset, s lattice.AttrSet, opts CountOptions) *
 // true distinct count exceeds cap, regardless of worker count or
 // scheduling.
 func LabelSizeParallel(d *dataset.Dataset, s lattice.AttrSet, cap int, opts CountOptions) (size int, within bool) {
+	if opts.MemBudget > 0 {
+		k := NewKeyer(d, s)
+		if runs, spillOK := opts.spillFor(k, d.NumRows()); spillOK {
+			if sz, w, ok := labelSizeSpill(k, datasetCols(d), d.NumRows(), opts.scanWorkers(d.NumRows()), runs, opts, cap); ok {
+				return sz, w
+			}
+		}
+	}
 	if opts.scanWorkers(d.NumRows()) <= 1 {
 		return LabelSize(d, s, cap)
 	}
@@ -112,7 +138,84 @@ type fusedSet struct {
 // entries: a set stops accumulating the moment it is proven out of bound.
 // Callers with very large frontiers should batch (package search uses
 // batches of a few hundred sets).
+//
+// Under a CountOptions.MemBudget, byte-key sets whose estimated map
+// footprint exceeds the budget do not join the fused in-memory scan at
+// all — their seen-sets are exactly the unbounded state the budget
+// forbids. They are sized afterwards, one external spill group-by each, in
+// frontier order (deterministic for every worker count); all other sets
+// scan fused as usual.
 func LabelSizesFused(d *dataset.Dataset, sets []lattice.AttrSet, cap int, opts CountOptions) (sizes []int, within []bool) {
+	if opts.MemBudget > 0 {
+		if si, ok := planSpilledSets(d, sets, opts); ok {
+			return labelSizesSplit(d, sets, cap, opts, si)
+		}
+	}
+	return labelSizesFusedScan(d, sets, cap, opts)
+}
+
+// spilledSet is one frontier set routed to the external-memory tier.
+type spilledSet struct {
+	idx  int
+	runs int
+	k    *Keyer // built during planning, reused by the spill scan
+}
+
+// planSpilledSets applies the spill predicate to a frontier; ok is false
+// when no set spills (the common case — the caller takes the plain fused
+// path with zero overhead beyond the predicate).
+func planSpilledSets(d *dataset.Dataset, sets []lattice.AttrSet, opts CountOptions) (spilled []spilledSet, ok bool) {
+	rows := d.NumRows()
+	for i, s := range sets {
+		k := NewKeyer(d, s)
+		if runs, spillOK := opts.spillFor(k, rows); spillOK {
+			spilled = append(spilled, spilledSet{idx: i, runs: runs, k: k})
+		}
+	}
+	return spilled, len(spilled) > 0
+}
+
+// labelSizesSplit sizes a frontier whose spill plan is non-empty: the
+// in-memory sets run through the fused scan, then each spilled set runs
+// its own partitioned on-disk group-by.
+func labelSizesSplit(d *dataset.Dataset, sets []lattice.AttrSet, cap int, opts CountOptions, spilled []spilledSet) (sizes []int, within []bool) {
+	sizes = make([]int, len(sets))
+	within = make([]bool, len(sets))
+	isSpilled := make([]bool, len(sets))
+	for _, sp := range spilled {
+		isSpilled[sp.idx] = true
+	}
+	var scanSets []lattice.AttrSet
+	var scanIdx []int
+	for i, s := range sets {
+		if !isSpilled[i] {
+			scanSets = append(scanSets, s)
+			scanIdx = append(scanIdx, i)
+		}
+	}
+	if len(scanSets) > 0 {
+		subSizes, subWithin := labelSizesFusedScan(d, scanSets, cap, opts)
+		for j, i := range scanIdx {
+			sizes[i], within[i] = subSizes[j], subWithin[j]
+		}
+	}
+	rows := d.NumRows()
+	cols := datasetCols(d)
+	workers := opts.scanWorkers(rows)
+	for _, sp := range spilled {
+		sz, w, ok := labelSizeSpill(sp.k, cols, rows, workers, sp.runs, opts, cap)
+		if !ok {
+			// Disk trouble: in-memory fallback for this one set, identical
+			// result at unbounded memory.
+			sz, w = LabelSize(d, sets[sp.idx], cap)
+		}
+		sizes[sp.idx], within[sp.idx] = sz, w
+	}
+	return sizes, within
+}
+
+// labelSizesFusedScan is the in-memory fused scan behind LabelSizesFused.
+func labelSizesFusedScan(d *dataset.Dataset, sets []lattice.AttrSet, cap int, opts CountOptions) (sizes []int, within []bool) {
 	sizes = make([]int, len(sets))
 	within = make([]bool, len(sets))
 	if len(sets) == 0 {

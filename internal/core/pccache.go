@@ -701,6 +701,21 @@ func (c *PCCache) Room() int64 {
 	return c.budget - c.used
 }
 
+// Drop evicts the index cached for s, if any, releasing its slabs into the
+// pool. It is the single-set form of DropBelow: the frontier scheduler
+// calls it the moment a level's last refinement against a parent has run,
+// so the parent's group vector returns to the pool before the next sibling
+// batch allocates instead of at the end of the level.
+func (c *PCCache) Drop(s lattice.AttrSet) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r := c.m[s]; r != nil {
+		c.used -= r.MemBytes()
+		delete(c.m, s)
+		r.Release(c.pool)
+	}
+}
+
 // DropBelow evicts every index whose attribute set has fewer than level
 // members — the parents of levels the search has finished sizing. Evicted
 // indexes are released into the cache's pool and must no longer be

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"pcbl/internal/spill"
+	"pcbl/internal/workpool"
+)
+
+// External-memory tier of the counting engine. Attribute sets on the
+// byte-string fallback are the unbounded-domain case: their grouping state
+// is one map entry per distinct byte key, with nothing but the row count
+// bounding it. When CountOptions.MemBudget is set and the estimated
+// footprint of that map exceeds it, kernel dispatch routes the set here:
+// the scan hash-partitions the byte keys into K on-disk runs (K sized so
+// one run's map fits the budget), each run is counted with the ordinary
+// map kernel, and counts merge across runs with the exact cap-abort of
+// label sizing — runs hold disjoint keys, so per-run counts are final and
+// the distinct total is a monotone sum. Results are bit-identical to
+// BuildPC / LabelSize for every worker count (spillcount_test.go).
+//
+// Only the grouping state spills: a materialized PC still holds the final
+// distinct keys in memory (they are the result), but sizing — the bulk of
+// enumeration work — runs in budget-bounded memory, and builds no longer
+// hold every transient duplicate key's probe alongside the result map.
+// Refinement (pccache.go, refinebatch.go) never spills: its compact spaces
+// are bounded by the in-bound parent's group count times one domain, so it
+// is in-memory by construction.
+
+// spillEntryBytes is the deterministic per-distinct-key cost estimate of
+// the byte map kernel: string header, map bucket share and bookkeeping
+// dominate the key bytes themselves.
+const spillEntryBytes = 64
+
+// maxSpillRuns caps the partition fan-out (file handles and write
+// buffers); beyond it a run may exceed the budget, which degrades peak
+// memory gracefully rather than failing.
+const maxSpillRuns = 512
+
+// spillFootprint estimates the in-memory byte-map footprint of a group-by
+// with the given record width, taking distinct <= rows as the (worst-case,
+// deterministic) bound the dispatch decision needs.
+func spillFootprint(rows, recWidth int) int64 {
+	return int64(rows) * int64(recWidth+spillEntryBytes)
+}
+
+// spillFor decides whether a byte-key group-by must spill under the
+// options' memory budget, and the run count K that keeps one run's
+// estimated map within it. The decision is deterministic from (rows,
+// keyer, budget), so every entry point picks the same tier for the same
+// inputs — the same property the dense/map/bytes selection has.
+func (o CountOptions) spillFor(k *Keyer, rows int) (runs int, ok bool) {
+	if o.MemBudget <= 0 || k.Fits() || rows == 0 {
+		return 0, false
+	}
+	fp := spillFootprint(rows, 2*len(k.members))
+	if fp <= o.MemBudget {
+		return 0, false
+	}
+	runs = int((fp + o.MemBudget - 1) / o.MemBudget)
+	if runs > maxSpillRuns {
+		runs = maxSpillRuns
+	}
+	return runs, true
+}
+
+// spillScan is the shared external group-by pass: the partition phase
+// shards rows across workers (each worker streams its chunk's byte keys
+// into a private ShardWriter; partition files are append-shared, which is
+// safe because flushes are whole records and group-by is order-blind), and
+// the count phase folds the runs sequentially. With build set the merged
+// map is returned (cap must be -1, matching BuildPC); otherwise only the
+// size. ok is false when the disk was not usable — the caller falls back
+// to the in-memory kernel, trading the budget for correctness.
+func spillScan(k *Keyer, cols [][]uint16, rows, workers, runs int, opts CountOptions, cap int, build bool) (m map[string]int, size int, within, ok bool) {
+	w, err := spill.NewWriter(spill.Config{
+		RecWidth: 2 * len(k.members),
+		Runs:     runs,
+		Dir:      opts.SpillDir,
+		Pool:     opts.Pool,
+	})
+	if err != nil {
+		return nil, 0, false, false
+	}
+	// Cleanup is deferred before anything else so the run files are
+	// removed on success, cap-abort, error and panic alike.
+	defer w.Cleanup()
+
+	errs := make([]error, workers)
+	workpool.RunChunks(rows, workers, func(wk, lo, hi int) {
+		sw := w.Shard()
+		var buf []byte
+		for r := lo; r < hi; r++ {
+			b, keyOK := k.AppendBytesRow(buf[:0], cols, r)
+			buf = b
+			if keyOK {
+				sw.Add(b)
+			}
+		}
+		errs[wk] = sw.Close()
+	})
+	for _, e := range errs {
+		if e != nil {
+			return nil, 0, false, false
+		}
+	}
+
+	var emit func(run int, counts map[string]int) bool
+	if build {
+		m = make(map[string]int)
+		emit = func(_ int, counts map[string]int) bool {
+			for key, c := range counts {
+				m[key] = c // runs are key-disjoint: plain inserts
+			}
+			return true
+		}
+	}
+	size, within, err = w.CountRuns(cap, emit)
+	if err != nil {
+		return nil, 0, false, false
+	}
+	if opts.Stats != nil {
+		st := w.Stats()
+		opts.Stats.Spilled++
+		opts.Stats.SpillRuns += st.Runs
+		opts.Stats.SpillBytes += st.BytesWritten
+		if st.MaxRunEntries > opts.Stats.SpillMaxRunEntries {
+			opts.Stats.SpillMaxRunEntries = st.MaxRunEntries
+		}
+	}
+	return m, size, within, true
+}
+
+// buildPCSpill is the external-memory BuildPC kernel: bit-identical to
+// buildPCBytes, with grouping state bounded by the budget instead of the
+// key space. Disk trouble falls back to the in-memory kernel.
+func buildPCSpill(k *Keyer, cols [][]uint16, rows, workers, runs int, opts CountOptions) *PC {
+	m, _, _, ok := spillScan(k, cols, rows, workers, runs, opts, -1, true)
+	if !ok {
+		return buildPCBytes(k, cols, rows, workers)
+	}
+	return &PC{keyer: k, s: m}
+}
+
+// labelSizeSpill is the external-memory LabelSize kernel: exactly the
+// sequential cap-abort contract, with peak memory bounded by one run's map
+// instead of the distinct-key count. ok is false on disk trouble (the
+// caller falls back to an in-memory scan).
+func labelSizeSpill(k *Keyer, cols [][]uint16, rows, workers, runs int, opts CountOptions, cap int) (size int, within, ok bool) {
+	_, size, within, ok = spillScan(k, cols, rows, workers, runs, opts, cap, false)
+	return size, within, ok
+}

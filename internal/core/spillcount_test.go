@@ -1,0 +1,266 @@
+package core
+
+// Differential tests for the external-memory spill tier: under a MemBudget
+// that forces multiple on-disk runs, the spill group-by must be
+// bit-identical to BuildPC and LabelSize — same pattern→count maps, same
+// cap-abort outcomes — for every worker count, and must leave no run files
+// behind on any exit path.
+
+import (
+	"math/rand/v2"
+	"os"
+	"testing"
+
+	"pcbl/internal/dataset"
+	"pcbl/internal/lattice"
+)
+
+// spillConfigs are the byte-key shapes (mixed-radix key overflowing
+// uint64) the spill tier serves, across NULL rates and duplication levels.
+var spillConfigs = []diffConfig{
+	{rows: 3000, attrs: 4, domain: 65000, nullRate: 0},
+	{rows: 3000, attrs: 4, domain: 65000, nullRate: 0.1},
+	{rows: 2000, attrs: 5, domain: 40000, nullRate: 0.3},
+	{rows: 4000, attrs: 4, domain: 300, nullRate: 0.05}, // heavy duplication… 300^4 < 2^63
+}
+
+// spillBudgetFor returns a MemBudget that forces the full set of cfg into
+// at least minRuns spill runs.
+func spillBudgetFor(d *dataset.Dataset, s lattice.AttrSet, minRuns int) int64 {
+	fp := spillFootprint(d.NumRows(), 2*s.Size())
+	return fp/int64(minRuns) - 1
+}
+
+// byteKeySet returns the full attribute set when its key overflows uint64
+// (skipping the config otherwise).
+func byteKeySet(t *testing.T, d *dataset.Dataset) lattice.AttrSet {
+	t.Helper()
+	s := lattice.FullSet(d.NumAttrs())
+	if NewKeyer(d, s).Fits() {
+		t.Skipf("set %v fits uint64; not a spill shape", s)
+	}
+	return s
+}
+
+// assertNoSpillFiles checks that a scan left its private spill directory
+// tree fully removed.
+func assertNoSpillFiles(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("%d spill entries left behind in %s", len(ents), dir)
+	}
+}
+
+func TestDifferentialSpillBuildPC(t *testing.T) {
+	for ci, cfg := range spillConfigs {
+		if cfg.domain == 300 {
+			continue // uint64-keyable: covered by TestSpillOnlyForByteKeys
+		}
+		t.Run(cfg.name(), func(t *testing.T) {
+			d := diffDataset(t, cfg, uint64(ci)+0x51)
+			s := byteKeySet(t, d)
+			want := BuildPC(d, s)
+			budget := spillBudgetFor(d, s, 4)
+			for _, workers := range diffWorkerCounts {
+				dir := t.TempDir()
+				var stats ScanStats
+				opts := testCountOptions(workers)
+				opts.MemBudget = budget
+				opts.SpillDir = dir
+				opts.Stats = &stats
+				got := BuildPCParallel(d, s, opts)
+				pcEqual(t, want, got)
+				if stats.Spilled != 1 {
+					t.Fatalf("workers=%d: Spilled = %d, want 1", workers, stats.Spilled)
+				}
+				if stats.SpillRuns < 4 {
+					t.Fatalf("workers=%d: SpillRuns = %d, want >= 4", workers, stats.SpillRuns)
+				}
+				if cfg.nullRate == 0 && stats.SpillBytes != int64(d.NumRows()*2*s.Size()) {
+					t.Fatalf("workers=%d: SpillBytes = %d, want %d", workers, stats.SpillBytes, d.NumRows()*2*s.Size())
+				}
+				assertNoSpillFiles(t, dir)
+			}
+		})
+	}
+}
+
+func TestDifferentialSpillLabelSize(t *testing.T) {
+	for ci, cfg := range spillConfigs {
+		if cfg.domain == 300 {
+			continue
+		}
+		t.Run(cfg.name(), func(t *testing.T) {
+			d := diffDataset(t, cfg, uint64(ci)+0x52)
+			s := byteKeySet(t, d)
+			exact, _ := LabelSize(d, s, -1)
+			budget := spillBudgetFor(d, s, 4)
+			caps := []int{-1, 0, 1, exact - 1, exact, exact + 1}
+			for _, workers := range diffWorkerCounts {
+				for _, cap := range caps {
+					wantSize, wantWithin := LabelSize(d, s, cap)
+					dir := t.TempDir()
+					opts := testCountOptions(workers)
+					opts.MemBudget = budget
+					opts.SpillDir = dir
+					gotSize, gotWithin := LabelSizeParallel(d, s, cap, opts)
+					if gotSize != wantSize || gotWithin != wantWithin {
+						t.Fatalf("workers=%d cap=%d: got (%d, %v), want (%d, %v)",
+							workers, cap, gotSize, gotWithin, wantSize, wantWithin)
+					}
+					assertNoSpillFiles(t, dir)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialSpillFused mixes spilled and in-memory sets in one fused
+// frontier: spilled sets must not perturb the fused scan's results, and
+// every set must match its sequential LabelSize.
+func TestDifferentialSpillFused(t *testing.T) {
+	cfg := diffConfig{rows: 3000, attrs: 5, domain: 65000, nullRate: 0.1}
+	d := diffDataset(t, cfg, 0x53)
+	rng := rand.New(rand.NewPCG(0x53, 0xF00D))
+	sets := diffAttrSets(cfg.attrs, rng)
+	full := lattice.FullSet(cfg.attrs)
+	budget := spillBudgetFor(d, full, 4)
+	for _, cap := range []int{-1, 5, 500} {
+		wantSizes := make([]int, len(sets))
+		wantWithin := make([]bool, len(sets))
+		for i, s := range sets {
+			wantSizes[i], wantWithin[i] = LabelSize(d, s, cap)
+		}
+		for _, workers := range diffWorkerCounts {
+			dir := t.TempDir()
+			var stats ScanStats
+			opts := testCountOptions(workers)
+			opts.MemBudget = budget
+			opts.SpillDir = dir
+			opts.Stats = &stats
+			sizes, within := LabelSizesFused(d, sets, cap, opts)
+			for i := range sets {
+				if sizes[i] != wantSizes[i] || within[i] != wantWithin[i] {
+					t.Fatalf("cap=%d workers=%d set %v: got (%d, %v), want (%d, %v)",
+						cap, workers, sets[i], sizes[i], within[i], wantSizes[i], wantWithin[i])
+				}
+			}
+			if stats.Spilled == 0 {
+				t.Fatalf("cap=%d workers=%d: no set spilled under budget %d", cap, workers, budget)
+			}
+			assertNoSpillFiles(t, dir)
+		}
+	}
+}
+
+// TestSpillOnlyForByteKeys pins the dispatch rule: the budget governs only
+// the byte-string fallback — uint64-keyable sets never spill, however
+// small the budget.
+func TestSpillOnlyForByteKeys(t *testing.T) {
+	cfg := spillConfigs[3] // 300^4 fits uint64
+	d := diffDataset(t, cfg, 0x54)
+	s := lattice.FullSet(cfg.attrs)
+	if !NewKeyer(d, s).Fits() {
+		t.Fatalf("config %v unexpectedly overflows uint64", cfg)
+	}
+	var stats ScanStats
+	opts := testCountOptions(2)
+	opts.MemBudget = 1 // absurdly small
+	opts.Stats = &stats
+	want := BuildPC(d, s)
+	got := BuildPCParallel(d, s, opts)
+	pcEqual(t, want, got)
+	if stats.Spilled != 0 {
+		t.Fatalf("uint64-keyable set spilled %d times", stats.Spilled)
+	}
+}
+
+// TestSpillDispatchDeterministic pins the predicate's edges: footprint at
+// or under the budget stays in memory; one byte over spills; zero rows and
+// unset budgets never spill.
+func TestSpillDispatchDeterministic(t *testing.T) {
+	cfg := diffConfig{rows: 1000, attrs: 4, domain: 65000, nullRate: 0}
+	d := diffDataset(t, cfg, 0x55)
+	s := lattice.FullSet(cfg.attrs)
+	k := NewKeyer(d, s)
+	fp := spillFootprint(d.NumRows(), 2*s.Size())
+
+	if _, ok := (CountOptions{MemBudget: fp}).spillFor(k, d.NumRows()); ok {
+		t.Fatal("footprint == budget spilled")
+	}
+	runs, ok := (CountOptions{MemBudget: fp - 1}).spillFor(k, d.NumRows())
+	if !ok || runs < 2 {
+		t.Fatalf("footprint > budget: got (runs=%d, ok=%v)", runs, ok)
+	}
+	if _, ok := (CountOptions{}).spillFor(k, d.NumRows()); ok {
+		t.Fatal("unset budget spilled")
+	}
+	if _, ok := (CountOptions{MemBudget: 1}).spillFor(k, 0); ok {
+		t.Fatal("zero-row scan spilled")
+	}
+	runs, ok = (CountOptions{MemBudget: 1}).spillFor(k, d.NumRows())
+	if !ok || runs != maxSpillRuns {
+		t.Fatalf("tiny budget: got (runs=%d, ok=%v), want fan-out capped at %d", runs, ok, maxSpillRuns)
+	}
+}
+
+// TestSpillRunBudgetModel pins the budget claim the run sizing makes: with
+// K = ceil(footprint/budget) runs, the largest run's modeled map footprint
+// stays within the budget (hash balance gives a wide margin; the test
+// allows 2x for skew).
+func TestSpillRunBudgetModel(t *testing.T) {
+	cfg := diffConfig{rows: 6000, attrs: 4, domain: 65000, nullRate: 0}
+	d := diffDataset(t, cfg, 0x56)
+	s := byteKeySet(t, d)
+	budget := spillBudgetFor(d, s, 6)
+	dir := t.TempDir()
+
+	k := NewKeyer(d, s)
+	runs, ok := (CountOptions{MemBudget: budget}).spillFor(k, d.NumRows())
+	if !ok || runs < 6 {
+		t.Fatalf("expected >= 6 runs, got (%d, %v)", runs, ok)
+	}
+	opts := CountOptions{Workers: 1, MemBudget: budget, SpillDir: dir}
+	maxEntries := 0
+	m, size, within, ok := spillScanProbe(d, s, opts, runs, &maxEntries)
+	if !ok || !within {
+		t.Fatalf("spill probe failed: ok=%v within=%v", ok, within)
+	}
+	if size != len(m) {
+		t.Fatalf("size %d != merged map %d", size, len(m))
+	}
+	modeled := int64(maxEntries) * int64(2*s.Size()+spillEntryBytes)
+	if modeled > 2*budget {
+		t.Fatalf("largest run models %d B, budget %d B: runs are not bounding memory", modeled, budget)
+	}
+	assertNoSpillFiles(t, dir)
+}
+
+// spillScanProbe drives spillScan directly, capturing the largest per-run
+// map the merge observed.
+func spillScanProbe(d *dataset.Dataset, s lattice.AttrSet, opts CountOptions, runs int, maxEntries *int) (map[string]int, int, bool, bool) {
+	k := NewKeyer(d, s)
+	var stats ScanStats
+	opts.Stats = &stats
+	m, size, within, ok := spillScan(k, datasetCols(d), d.NumRows(), 1, runs, opts, -1, true)
+	*maxEntries = stats.SpillMaxRunEntries
+	return m, size, within, ok
+}
+
+func TestMarginalizeFromSpilledPC(t *testing.T) {
+	cfg := diffConfig{rows: 2000, attrs: 4, domain: 65000, nullRate: 0}
+	d := diffDataset(t, cfg, 0x57)
+	s := byteKeySet(t, d)
+	opts := testCountOptions(1)
+	opts.MemBudget = spillBudgetFor(d, s, 4)
+	opts.SpillDir = t.TempDir()
+	spilled := BuildPCParallel(d, s, opts)
+	sub := lattice.NewAttrSet(0, 2)
+	want := BuildPC(d, s).Marginalize(d, sub)
+	got := spilled.Marginalize(d, sub)
+	pcEqual(t, want, got)
+}

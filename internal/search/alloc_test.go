@@ -71,4 +71,9 @@ func TestAllocsSizeLevelSteadyState(t *testing.T) {
 	if _, after := z.pool.Stats(); after != before {
 		t.Fatalf("steady-state sizeLevel missed the pool %d times", after-before)
 	}
+	// The in-memory enumeration workload must never touch the spill tier.
+	if stats.SpilledSets != 0 || stats.SpillRuns != 0 || stats.SpillBytes != 0 {
+		t.Fatalf("in-memory sizing workload spilled: SpilledSets=%d SpillRuns=%d SpillBytes=%d",
+			stats.SpilledSets, stats.SpillRuns, stats.SpillBytes)
+	}
 }

@@ -1,0 +1,50 @@
+package search
+
+// Pins the level-pipelined eviction of the per-child (eager) refinement
+// tier: a cached parent is dropped — its slabs released into the pool —
+// as soon as the level's last task refining it has run, not at endLevel.
+
+import (
+	"testing"
+
+	"pcbl/internal/lattice"
+)
+
+func TestPipelinedParentEviction(t *testing.T) {
+	d := allocDataset(t)
+	n := d.NumAttrs()
+	var stats Stats
+	// DisableBatchRefine forces every pair onto the per-child tier, so all
+	// singletons are cached eagerly and then consumed as parents.
+	z := newLevelSizer(d, Options{Bound: 1 << 20, Workers: 1, DisableBatchRefine: true}, &stats)
+	if z.cache == nil || z.cache.Len() != n {
+		t.Fatalf("eager tier did not cache the %d singletons (cache=%v)", n, z.cache)
+	}
+	var level []lattice.AttrSet
+	lattice.Combinations(n, 2, func(s lattice.AttrSet) bool {
+		level = append(level, s)
+		return true
+	})
+	z.sizeLevel(level, func(lattice.AttrSet, bool) {})
+	if stats.RefinedSets != len(level) {
+		t.Fatalf("level not fully refined: %d of %d", stats.RefinedSets, len(level))
+	}
+	// Every attribute's domain is the same size, so all singletons have
+	// equal group counts and each pair {a, b} keeps the first candidate it
+	// considers — {b}, from removing the first member — as parent (the min
+	// is strict, so ties never switch). Singletons 1..n-1 are therefore
+	// consumed and must be gone before endLevel; {0} is never a chosen
+	// parent and stays until endLevel.
+	for a := 1; a < n; a++ {
+		if z.cache.Get(lattice.NewAttrSet(a)) != nil {
+			t.Fatalf("consumed parent {%d} still cached after sizeLevel", a)
+		}
+	}
+	if z.cache.Get(lattice.NewAttrSet(0)) == nil {
+		t.Fatal("unreferenced singleton {0} evicted early")
+	}
+	z.endLevel(2)
+	if z.cache.Get(lattice.NewAttrSet(0)) != nil {
+		t.Fatal("endLevel did not drop the remaining singleton")
+	}
+}

@@ -68,6 +68,22 @@ type Options struct {
 	// 0 means core.DefaultPCCacheBudget. When the budget fills, candidate
 	// sets without a cached parent fall back to raw fused scans.
 	CacheBudget int64
+
+	// MemBudget bounds the in-memory grouping state of a single raw
+	// group-by in bytes (core.CountOptions.MemBudget): byte-key candidates
+	// whose estimated map footprint exceeds it are scheduled onto external
+	// spill scans — hash-partitioned on-disk runs counted one at a time —
+	// instead of joining the fused in-memory scan. Refinement stays
+	// in-memory-only: its compact spaces are bounded by an in-bound
+	// parent's group count times one attribute domain, so the budget never
+	// applies there. Zero means unlimited. Results are identical either
+	// way; Stats.SpilledSets/SpillRuns/SpillBytes report the tier's use.
+	MemBudget int64
+
+	// SpillDir overrides where spill run files are written (system temp
+	// directory when empty). Files live in private subdirectories removed
+	// when each scan finishes.
+	SpillDir string
 }
 
 // fusedBatch bounds how many candidate sets one fused scan tracks at once,
@@ -109,6 +125,14 @@ type Stats struct {
 	// DenseSets counts raw-scanned sets the engine routed to the dense
 	// flat-array kernel rather than a hash map.
 	DenseSets int
+	// SpilledSets counts raw-scanned sets the engine routed to the
+	// external-memory spill group-by (byte-key sets over
+	// Options.MemBudget). Zero on fully in-memory runs.
+	SpilledSets int
+	// SpillRuns totals the on-disk partitions those sets were split into.
+	SpillRuns int
+	// SpillBytes totals the bytes written to spill run files.
+	SpillBytes int64
 	// SearchTime covers candidate enumeration (label-size computation).
 	SearchTime time.Duration
 	// EvalTime covers the find-best-candidate phase (paper §IV-C reports
@@ -140,7 +164,7 @@ type Result struct {
 // times instead of len(sets) times. This is the raw-scan path; the level
 // sizer below additionally schedules parent-PC refinements around it.
 func sizeFrontier(d *dataset.Dataset, sets []lattice.AttrSet, opts Options, stats *Stats, visit func(s lattice.AttrSet, within bool)) {
-	co := core.CountOptions{Workers: opts.Workers, DenseLimit: opts.DenseLimit}
+	co := core.CountOptions{Workers: opts.Workers, DenseLimit: opts.DenseLimit, MemBudget: opts.MemBudget, SpillDir: opts.SpillDir}
 	for lo := 0; lo < len(sets); lo += fusedBatch {
 		hi := lo + fusedBatch
 		if hi > len(sets) {
@@ -359,8 +383,10 @@ func (z *levelSizer) sizeLevel(sets []lattice.AttrSet, visit func(s lattice.Attr
 	z.runBatches(sets)
 	z.runTasks(sets)
 
-	// Raw-scan path for candidates on neither refinement tier.
-	co := core.CountOptions{Workers: z.opts.Workers, DenseLimit: z.opts.DenseLimit, Stats: &z.scan, Pool: z.pool}
+	// Raw-scan path for candidates on neither refinement tier. Spilled
+	// candidates (byte-key sets over the memory budget) are routed inside
+	// the fused sizing call onto external spill scans.
+	co := core.CountOptions{Workers: z.opts.Workers, DenseLimit: z.opts.DenseLimit, Stats: &z.scan, Pool: z.pool, MemBudget: z.opts.MemBudget, SpillDir: z.opts.SpillDir}
 	for lo := 0; lo < len(z.scanSets); lo += fusedBatch {
 		hi := min(lo+fusedBatch, len(z.scanSets))
 		sizes, within := core.LabelSizesFused(z.d, z.scanSets[lo:hi], z.opts.Bound, co)
@@ -373,6 +399,9 @@ func (z *levelSizer) sizeLevel(sets []lattice.AttrSet, visit func(s lattice.Attr
 	z.stats.ScannedSets += len(z.scanSets)
 	z.stats.BatchRefines += len(z.batches)
 	z.stats.DenseSets = z.scan.Dense
+	z.stats.SpilledSets = z.scan.Spilled
+	z.stats.SpillRuns = z.scan.SpillRuns
+	z.stats.SpillBytes = z.scan.SpillBytes
 	z.stats.PoolHits, z.stats.PoolMisses = z.pool.Stats()
 	for i, s := range sets {
 		res := z.results[i]
@@ -463,12 +492,25 @@ func (z *levelSizer) runBatches(sets []lattice.AttrSet) {
 // built. Each chunk builds only as many children as the cache has bytes of
 // room for (a child's group vector costs ~4 bytes per row); the rest of
 // the chunk sizes without building, so transient memory stays within the
-// budget rather than within refineBatch × child size. Every decision that
-// shapes the next level's cache happens in deterministic slice order, so
-// results and path counters are reproducible for any worker count.
+// budget rather than within refineBatch × child size.
+//
+// Eviction is level-pipelined: a parent whose last referencing task has
+// completed is dropped from the cache right after its chunk — its group
+// vector and tables return to the pool before the next chunk's child
+// builds allocate — rather than held until endLevel. That roughly halves
+// the eager tier's peak (the old scheme held a full level of consumed
+// parents alongside the level being built), and the freed budget lets the
+// same CacheBudget retain more of the children that are still to be used.
+// Every decision that shapes the next level's cache happens in
+// deterministic slice order, so results and path counters are reproducible
+// for any worker count.
 func (z *levelSizer) runTasks(sets []lattice.AttrSet) {
 	if len(z.tasks) == 0 {
 		return
+	}
+	lastUse := make(map[*core.RefinablePC]int, len(z.tasks))
+	for i := range z.tasks {
+		lastUse[z.tasks[i].parent] = i
 	}
 	childBytes := int64(z.d.NumRows())*4 + 4096
 	for lo := 0; lo < len(z.tasks); lo += refineBatch {
@@ -493,6 +535,13 @@ func (z *levelSizer) runTasks(sets []lattice.AttrSet) {
 					chunk[i].child.Release(z.pool)
 				}
 				chunk[i].child = nil
+			}
+		}
+		for i := lo; i < hi; i++ {
+			p := z.tasks[i].parent
+			if last, live := lastUse[p]; live && last < hi {
+				delete(lastUse, p)
+				z.cache.Drop(p.Attrs())
 			}
 		}
 	}
@@ -521,26 +570,25 @@ func Naive(d *dataset.Dataset, ps *core.PatternSet, opts Options) (*Result, erro
 	var stats Stats
 	var cands []lattice.AttrSet
 	sizer := newLevelSizer(d, opts, &stats)
-	batch := make([]lattice.AttrSet, 0, fusedBatch)
+	var level []lattice.AttrSet // hoisted: reused across levels
 	for k := 2; k <= n; k++ {
-		levelHit := false
-		flush := func() {
-			sizer.sizeLevel(batch, func(s lattice.AttrSet, within bool) {
-				if within {
-					levelHit = true
-					cands = append(cands, s)
-				}
-			})
-			batch = batch[:0]
-		}
+		// The whole level goes to the sizer in one call (as TopDown's
+		// frontier does): sizeLevel batches its raw scans and refinement
+		// chunks internally, and the pipelined eviction needs to see every
+		// reference to a parent before dropping it — per-256 flushing here
+		// would evict parents still needed by the rest of the level.
+		level = level[:0]
 		lattice.Combinations(n, k, func(s lattice.AttrSet) bool {
-			batch = append(batch, s)
-			if len(batch) == fusedBatch {
-				flush()
-			}
+			level = append(level, s)
 			return true
 		})
-		flush()
+		levelHit := false
+		sizer.sizeLevel(level, func(s lattice.AttrSet, within bool) {
+			if within {
+				levelHit = true
+				cands = append(cands, s)
+			}
+		})
 		sizer.endLevel(k)
 		if !levelHit {
 			break
@@ -698,7 +746,7 @@ func finish(d *dataset.Dataset, ps *core.PatternSet, cands []lattice.AttrSet, op
 	// Each candidate's label build runs single-threaded when candidates
 	// themselves are scored concurrently; a lone candidate gets the whole
 	// engine instead.
-	co := core.CountOptions{Workers: 1, DenseLimit: opts.DenseLimit}
+	co := core.CountOptions{Workers: 1, DenseLimit: opts.DenseLimit, MemBudget: opts.MemBudget, SpillDir: opts.SpillDir}
 	if len(cands) == 1 {
 		co.Workers = opts.Workers
 	}
@@ -756,7 +804,7 @@ func EvaluateSets(d *dataset.Dataset, ps *core.PatternSet, sets []lattice.AttrSe
 		ps.SortByCountDesc()
 	}
 	out := make([]Result, len(sets))
-	co := core.CountOptions{Workers: opts.Workers, DenseLimit: opts.DenseLimit}
+	co := core.CountOptions{Workers: opts.Workers, DenseLimit: opts.DenseLimit, MemBudget: opts.MemBudget, SpillDir: opts.SpillDir}
 	for i, s := range sets {
 		l := core.BuildLabelOpts(d, s, co)
 		maxErr, scanned := core.MaxAbsError(l, ps, core.MaxErrOptions{Sorted: opts.FastEval, Workers: opts.Workers})

@@ -1,0 +1,116 @@
+package search
+
+// Integration of the external-memory spill tier with the enumeration
+// phase: under Options.MemBudget, byte-key candidates on the raw-scan tier
+// are sized through on-disk spill runs with results identical to the
+// unbudgeted run, run files are cleaned up, and the refinement tiers —
+// which are in-memory by construction — keep serving such candidates when
+// refinement is enabled, without ever spilling.
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"testing"
+
+	"pcbl/internal/dataset"
+)
+
+// spillSearchDataset builds a 4-attribute dataset whose full-set key
+// overflows uint64 (65000^4 > 2^63), so the level-4 candidate takes the
+// byte-string fallback, while pairs and triples stay uint64-keyable.
+func spillSearchDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	const rows, attrs, domain = 3000, 4, 65000
+	names := make([]string, attrs)
+	for i := range names {
+		names[i] = fmt.Sprintf("a%d", i)
+	}
+	bld := dataset.NewBuilder("spillsearch", names...)
+	for a := 0; a < attrs; a++ {
+		for v := 0; v < domain; v++ {
+			if _, err := bld.InternValue(a, fmt.Sprintf("v%d", v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rng := rand.New(rand.NewPCG(0x5EA1C4, 0xD15C))
+	ids := make([]uint16, attrs)
+	for r := 0; r < rows; r++ {
+		for a := range ids {
+			// Low-cardinality draws keep label sizes well under the bound
+			// so the search reaches the byte-key full set.
+			ids[a] = uint16(1 + rng.IntN(domain/100))
+		}
+		bld.AppendIDs(ids...)
+	}
+	d, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSearchSpillIdentity(t *testing.T) {
+	d := spillSearchDataset(t)
+	const bound = 4000
+	// Raw-scan-only baseline, unbudgeted: every candidate in memory.
+	base, baseStats, err := Enumerate(d, Options{Bound: bound, Workers: 1, DisableRefine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseStats.SpilledSets != 0 {
+		t.Fatalf("unbudgeted run spilled %d sets", baseStats.SpilledSets)
+	}
+	// Budget small enough that the full set's byte-map estimate exceeds
+	// it: raw sizing of that candidate must go through spill runs.
+	budget := int64(50 << 10)
+	for _, workers := range []int{1, 2, 8} {
+		dir := t.TempDir()
+		got, stats, err := Enumerate(d, Options{
+			Bound: bound, Workers: workers, DisableRefine: true,
+			MemBudget: budget, SpillDir: dir,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: %d candidates, want %d", workers, len(got), len(base))
+		}
+		for i := range got {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d: candidate %d = %v, want %v", workers, i, got[i], base[i])
+			}
+		}
+		if stats.SpilledSets == 0 || stats.SpillRuns < 4 {
+			t.Fatalf("workers=%d: SpilledSets=%d SpillRuns=%d, want a >=4-run spill", workers, stats.SpilledSets, stats.SpillRuns)
+		}
+		if stats.SpillBytes == 0 {
+			t.Fatalf("workers=%d: spill reported zero bytes written", workers)
+		}
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 0 {
+			t.Fatalf("workers=%d: %d spill entries left behind", workers, len(ents))
+		}
+	}
+	// With refinement on, the byte-key candidate refines from its cached
+	// parent in bounded memory instead — same candidates, no spill.
+	refined, refStats, err := Enumerate(d, Options{Bound: bound, Workers: 1, MemBudget: budget, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refined) != len(base) {
+		t.Fatalf("refined run: %d candidates, want %d", len(refined), len(base))
+	}
+	for i := range refined {
+		if refined[i] != base[i] {
+			t.Fatalf("refined candidate %d = %v, want %v", i, refined[i], base[i])
+		}
+	}
+	if refStats.RefinedSets == 0 {
+		t.Fatal("refinement-enabled run refined nothing")
+	}
+}

@@ -1,0 +1,324 @@
+// Package spill implements the external-memory tier of the counting
+// engine: a partitioned on-disk group-by for datasets whose grouping state
+// would not fit the caller's memory budget.
+//
+// The byte-key map kernel in internal/core holds one map entry per distinct
+// group for the whole scan — unbounded-domain attribute sets can make that
+// state arbitrarily large. The spill group-by bounds it: fixed-width key
+// records are hash-partitioned into K on-disk runs during the scan, and the
+// runs are then counted one at a time with an ordinary in-memory map. The
+// hash partition sends every occurrence of a key to the same run, so runs
+// hold disjoint key sets, per-run counts are exact final counts, and the
+// total distinct count is the plain sum over runs — which is what makes the
+// cap-abort of label sizing exact across runs: the running total is
+// monotone, and the scan stops the moment it proves the bound breached.
+// Peak grouping memory is one run's map (the caller picks K so a run's
+// estimated footprint fits its budget) instead of the whole key space.
+//
+// The package is deliberately below internal/core in the import order: it
+// deals only in opaque fixed-width byte records, so core can select it from
+// kernel dispatch without a cycle. Buffers are recycled through the BufPool
+// interface, which *core.VecPool satisfies.
+package spill
+
+import (
+	"fmt"
+	"hash/maphash"
+	"io"
+	"os"
+	"sync"
+)
+
+// BufPool supplies reusable byte buffers for the writer's partition buffers
+// and the run reader's chunk buffer. *core.VecPool satisfies it; a nil-safe
+// implementation (or a nil Config.Pool) degrades to plain allocation.
+type BufPool interface {
+	GetBytes(n int) []byte
+	PutBytes(b []byte)
+}
+
+// Config describes one spill group-by.
+type Config struct {
+	// RecWidth is the fixed record width in bytes. Required, > 0.
+	RecWidth int
+	// Runs is the number of hash partitions K. Required, >= 1. Callers
+	// size it so one run's estimated in-memory map fits their budget.
+	Runs int
+	// Dir is the parent directory for the run files; the writer creates
+	// (and on Cleanup removes) a private subdirectory under it. Empty
+	// means the system temp directory.
+	Dir string
+	// BufBytes is the per-partition write-buffer size; records are staged
+	// there and flushed in large sequential writes. 0 means a default
+	// sized so a shard's K buffers stay a small multiple of the run count.
+	BufBytes int
+	// Pool recycles buffers across spills; nil means plain allocation.
+	Pool BufPool
+}
+
+// Stats reports the work one spill group-by performed.
+type Stats struct {
+	// Runs is the number of on-disk partitions.
+	Runs int
+	// RecordsSpilled counts records written across all partitions.
+	RecordsSpilled int64
+	// BytesWritten counts bytes written to the run files.
+	BytesWritten int64
+	// MaxRunEntries is the largest per-run distinct-key count observed by
+	// CountRuns — the quantity the caller's run-sizing bounds.
+	MaxRunEntries int
+}
+
+// hashSeed is a process-wide maphash seed so every shard of every writer
+// partitions a given key identically within one process. (The seed is
+// random per process; partition assignment never affects results, only
+// how records distribute across run files.)
+var hashSeed = maphash.MakeSeed()
+
+// Writer partitions fixed-width records into K on-disk runs. Create one
+// with NewWriter, obtain one ShardWriter per producing goroutine, and after
+// all shards are closed call CountRuns; always Cleanup (it is idempotent
+// and safe to defer before any error handling, including panics).
+type Writer struct {
+	cfg   Config
+	dir   string
+	files []*os.File
+	mus   []sync.Mutex
+	wmu   sync.Mutex // guards written/records accumulation from shard flushes
+	stats Stats
+	done  bool
+}
+
+// NewWriter creates the run files in a fresh private directory.
+func NewWriter(cfg Config) (*Writer, error) {
+	if cfg.RecWidth <= 0 {
+		return nil, fmt.Errorf("spill: record width must be positive, got %d", cfg.RecWidth)
+	}
+	if cfg.Runs < 1 {
+		return nil, fmt.Errorf("spill: run count must be >= 1, got %d", cfg.Runs)
+	}
+	if cfg.BufBytes <= 0 {
+		cfg.BufBytes = defaultBufBytes(cfg.Runs)
+	}
+	// Round the buffer down to whole records so flushed writes never split
+	// a record (concurrent shards interleave only whole buffers).
+	if cfg.BufBytes < cfg.RecWidth {
+		cfg.BufBytes = cfg.RecWidth
+	}
+	cfg.BufBytes -= cfg.BufBytes % cfg.RecWidth
+
+	dir, err := os.MkdirTemp(cfg.Dir, "pcbl-spill-*")
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{
+		cfg:   cfg,
+		dir:   dir,
+		files: make([]*os.File, cfg.Runs),
+		mus:   make([]sync.Mutex, cfg.Runs),
+	}
+	w.stats.Runs = cfg.Runs
+	for i := range w.files {
+		f, err := os.Create(fmt.Sprintf("%s/run-%04d", dir, i))
+		if err != nil {
+			w.Cleanup()
+			return nil, err
+		}
+		w.files[i] = f
+	}
+	return w, nil
+}
+
+// defaultBufBytes keeps a shard's total buffer memory (K buffers) around a
+// quarter MiB regardless of the run count, within [4 KiB, 64 KiB] per run.
+func defaultBufBytes(runs int) int {
+	b := (256 << 10) / runs
+	if b < 4<<10 {
+		return 4 << 10
+	}
+	if b > 64<<10 {
+		return 64 << 10
+	}
+	return b
+}
+
+// Shard returns a writer-local view for one producing goroutine: Add is not
+// safe for concurrent use on a single ShardWriter, but any number of shards
+// may add concurrently. Close flushes and returns the shard's buffers to
+// the pool; it must be called (even after errors) before CountRuns.
+func (w *Writer) Shard() *ShardWriter {
+	s := &ShardWriter{w: w, bufs: make([][]byte, w.cfg.Runs)}
+	for i := range s.bufs {
+		s.bufs[i] = getBuf(w.cfg.Pool, w.cfg.BufBytes)[:0]
+	}
+	return s
+}
+
+// ShardWriter buffers one goroutine's records per partition and flushes
+// them to the shared run files in whole-buffer writes.
+type ShardWriter struct {
+	w    *Writer
+	bufs [][]byte
+	recs int64
+	err  error
+}
+
+// Add appends one record (len must equal the configured RecWidth). After a
+// write error Add becomes a no-op and Close reports the first error.
+func (s *ShardWriter) Add(rec []byte) {
+	if s.err != nil {
+		return
+	}
+	if len(rec) != s.w.cfg.RecWidth {
+		s.err = fmt.Errorf("spill: record length %d, want %d", len(rec), s.w.cfg.RecWidth)
+		return
+	}
+	run := int(maphash.Bytes(hashSeed, rec) % uint64(s.w.cfg.Runs))
+	if len(s.bufs[run])+len(rec) > cap(s.bufs[run]) {
+		s.flush(run)
+		if s.err != nil {
+			return
+		}
+	}
+	s.bufs[run] = append(s.bufs[run], rec...)
+	s.recs++
+}
+
+func (s *ShardWriter) flush(run int) {
+	buf := s.bufs[run]
+	if len(buf) == 0 {
+		return
+	}
+	w := s.w
+	w.mus[run].Lock()
+	_, err := w.files[run].Write(buf)
+	w.mus[run].Unlock()
+	if err != nil {
+		s.err = err
+		return
+	}
+	w.wmu.Lock()
+	w.stats.BytesWritten += int64(len(buf))
+	w.wmu.Unlock()
+	s.bufs[run] = buf[:0]
+}
+
+// Close flushes every partition buffer and releases them to the pool. It
+// returns the first error the shard hit.
+func (s *ShardWriter) Close() error {
+	for run := range s.bufs {
+		if s.err == nil {
+			s.flush(run)
+		}
+		putBuf(s.w.cfg.Pool, s.bufs[run])
+		s.bufs[run] = nil
+	}
+	s.w.wmu.Lock()
+	s.w.stats.RecordsSpilled += s.recs
+	s.w.wmu.Unlock()
+	s.recs = 0
+	return s.err
+}
+
+// readChunkBytes is the streaming granularity of run counting: runs are
+// read in chunks of this size (rounded to whole records) so peak reader
+// memory stays fixed no matter how large a run file grew.
+const readChunkBytes = 256 << 10
+
+// CountRuns counts each run with an in-memory map and reports the total
+// distinct-record count with exactly the sequential cap-abort contract of
+// label sizing: when cap >= 0 and the total distinct count exceeds cap,
+// counting stops and the result is (cap+1, false). emit, when non-nil, is
+// invoked once per fully counted run while its map is still live — the
+// caller merges (runs are key-disjoint, so plain inserts suffice) or just
+// observes; returning false stops early with the counts so far. The run
+// maps are never retained by the Writer, so peak memory is one run's map
+// plus a fixed read chunk.
+func (w *Writer) CountRuns(cap int, emit func(run int, counts map[string]int) bool) (size int, within bool, err error) {
+	if w.done {
+		return 0, false, fmt.Errorf("spill: CountRuns after Cleanup")
+	}
+	chunk := getBuf(w.cfg.Pool, readChunkBytes-readChunkBytes%w.cfg.RecWidth)
+	defer putBuf(w.cfg.Pool, chunk)
+	total := 0
+	for run, f := range w.files {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return 0, false, err
+		}
+		m := make(map[string]int)
+		for {
+			n, rerr := io.ReadFull(f, chunk)
+			if rerr == io.EOF {
+				break
+			}
+			if rerr == io.ErrUnexpectedEOF && n%w.cfg.RecWidth != 0 {
+				return 0, false, fmt.Errorf("spill: run %d truncated mid-record (%d trailing bytes)", run, n%w.cfg.RecWidth)
+			}
+			if rerr != nil && rerr != io.ErrUnexpectedEOF {
+				return 0, false, rerr
+			}
+			for off := 0; off < n; off += w.cfg.RecWidth {
+				rec := chunk[off : off+w.cfg.RecWidth]
+				before := len(m)
+				m[string(rec)]++
+				if len(m) != before && cap >= 0 && total+len(m) > cap {
+					// This insert proved the global distinct count out of
+					// bound (runs are disjoint, so the total is monotone).
+					return cap + 1, false, nil
+				}
+			}
+			if rerr == io.ErrUnexpectedEOF {
+				break
+			}
+		}
+		if len(m) > w.stats.MaxRunEntries {
+			w.stats.MaxRunEntries = len(m)
+		}
+		total += len(m)
+		if cap >= 0 && total > cap {
+			return cap + 1, false, nil
+		}
+		if emit != nil && !emit(run, m) {
+			return total, true, nil
+		}
+	}
+	return total, true, nil
+}
+
+// Stats returns the writer's accumulated counters. Call after the shards
+// are closed (and after CountRuns for MaxRunEntries).
+func (w *Writer) Stats() Stats { return w.stats }
+
+// Dir exposes the private run directory; tests assert its lifecycle.
+func (w *Writer) Dir() string { return w.dir }
+
+// Cleanup closes and deletes every run file and the private directory. It
+// is idempotent and safe after partial construction, so callers defer it
+// immediately after NewWriter — covering success, cap-abort, error and
+// panic exits alike.
+func (w *Writer) Cleanup() {
+	if w.done {
+		return
+	}
+	w.done = true
+	for i, f := range w.files {
+		if f != nil {
+			f.Close()
+			w.files[i] = nil
+		}
+	}
+	os.RemoveAll(w.dir)
+}
+
+func getBuf(p BufPool, n int) []byte {
+	if p == nil {
+		return make([]byte, n)
+	}
+	return p.GetBytes(n)
+}
+
+func putBuf(p BufPool, b []byte) {
+	if p != nil {
+		p.PutBytes(b)
+	}
+}

@@ -218,6 +218,17 @@ type GenerateOptions struct {
 	// representation and is not affected; pair with DisableRefine to
 	// reproduce the full pre-dense engine behaviour.
 	DenseLimit int
+	// MemBudget bounds the in-memory grouping state of a single group-by
+	// in bytes. Attribute sets whose mixed-radix key overflows uint64 (the
+	// unbounded-domain case) and whose estimated hash-map footprint
+	// exceeds the budget are counted out-of-core: keys hash-partition into
+	// on-disk runs sized to the budget, counted one run at a time, with
+	// results identical to the in-memory engine. Zero means unlimited.
+	// SearchStats.SpilledSets/SpillRuns/SpillBytes report the tier's use.
+	MemBudget int64
+	// SpillDir overrides where spill run files are written (system temp
+	// directory when empty).
+	SpillDir string
 }
 
 // GenerateLabel finds an (approximately) optimal label within the size
@@ -237,6 +248,8 @@ func GenerateLabel(d *Dataset, opts GenerateOptions) (*SearchResult, error) {
 		DisableRefine:      opts.DisableRefine,
 		DisableBatchRefine: opts.DisableBatchRefine,
 		DenseLimit:         opts.DenseLimit,
+		MemBudget:          opts.MemBudget,
+		SpillDir:           opts.SpillDir,
 	}
 	switch opts.Algorithm {
 	case "", TopDown:
