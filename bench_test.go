@@ -525,9 +525,10 @@ func BenchmarkSpillGroupBy(b *testing.B) {
 	b.Run("spill", func(b *testing.B) {
 		var stats core.ScanStats
 		for i := 0; i < b.N; i++ {
-			_ = core.BuildPCParallel(d, full, core.CountOptions{Workers: 1, MemBudget: budget, Stats: &stats})
+			pc := core.BuildPCParallel(d, full, core.CountOptions{Workers: 1, MemBudget: budget, Stats: &stats})
+			pc.ReleaseSpill() // merge-on-read result: drop the retained runs
 		}
-		if stats.Spilled != b.N {
+		if stats.Spilled != int64(b.N) {
 			b.Fatalf("spilled %d of %d builds", stats.Spilled, b.N)
 		}
 		b.ReportMetric(float64(stats.SpillRuns)/float64(b.N), "runs/op")
@@ -540,10 +541,80 @@ func BenchmarkSpillGroupBy(b *testing.B) {
 				b.Fatal("unbounded sizing reported out of bound")
 			}
 		}
-		if stats.Spilled != b.N {
+		if stats.Spilled != int64(b.N) {
 			b.Fatalf("spilled %d of %d sizings", stats.Spilled, b.N)
 		}
 	})
+}
+
+// BenchmarkSpillSizeWorkers sweeps the counting workers over a spilled
+// frontier sizing (core.LabelSizesFused routes the over-budget byte-key
+// set onto an external spill scan): the partition phase shards rows and
+// the count phase splits the key-disjoint runs K-way, so on a multi-core
+// runner the sizing wall clock scales with workers like the in-memory
+// kernels do. Recorded in BENCH_pr5.json (note the runner CPU count).
+func BenchmarkSpillSizeWorkers(b *testing.B) {
+	d, budget := spillBenchSetup(b)
+	sets := []lattice.AttrSet{lattice.FullSet(d.NumAttrs())}
+	for _, workers := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var stats core.ScanStats
+			opts := core.CountOptions{Workers: workers, MemBudget: budget, Stats: &stats}
+			for i := 0; i < b.N; i++ {
+				sizes, within := core.LabelSizesFused(d, sets, -1, opts)
+				if !within[0] || sizes[0] == 0 {
+					b.Fatal("unbounded spilled sizing failed")
+				}
+			}
+			if stats.Spilled != int64(b.N) {
+				b.Fatalf("spilled %d of %d sizings", stats.Spilled, b.N)
+			}
+			b.ReportMetric(float64(stats.SpillRuns)/float64(b.N), "runs/op")
+		})
+	}
+}
+
+// u64SpillDataset is the uint64-record spill workload: 8 domain-40
+// attributes give a 40^8 mixed-radix key — fits uint64, far beyond the
+// dense tier — so a budgeted full-set group-by spills fixed-width 8-byte
+// records instead of 16-byte byte-string records.
+var u64SpillOnce sync.Once
+var u64SpillData *dataset.Dataset
+
+// BenchmarkSpillRecordFormat compares spilled sizing throughput of the two
+// record formats at equal row count: byte-string records (key overflows
+// uint64; 2 bytes per member) vs fixed-width uint64 records (8 bytes, no
+// per-key string materialization in the count maps). MB/s is record bytes
+// through the partition+count pipeline.
+func BenchmarkSpillRecordFormat(b *testing.B) {
+	d, budget := spillBenchSetup(b)
+	u64SpillOnce.Do(func() { u64SpillData = wideDataset(60000, 8, 40) })
+	du := u64SpillData
+	budgetU := spillBudgetU64(du, 6)
+	run := func(b *testing.B, d *dataset.Dataset, budget int64, recW int, wantU64 int64) {
+		full := lattice.FullSet(d.NumAttrs())
+		var stats core.ScanStats
+		opts := core.CountOptions{Workers: 1, MemBudget: budget, Stats: &stats}
+		b.SetBytes(int64(d.NumRows() * recW))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, within := core.LabelSizeParallel(d, full, -1, opts); !within {
+				b.Fatal("unbounded sizing reported out of bound")
+			}
+		}
+		if stats.Spilled != int64(b.N) || stats.SpilledU64 != wantU64*int64(b.N) {
+			b.Fatalf("Spilled=%d SpilledU64=%d over %d ops", stats.Spilled, stats.SpilledU64, b.N)
+		}
+	}
+	b.Run("bytes", func(b *testing.B) { run(b, d, budget, 2*d.NumAttrs(), 0) })
+	b.Run("u64", func(b *testing.B) { run(b, du, budgetU, 8, 1) })
+}
+
+// spillBudgetU64 mirrors the engine's uint64-map footprint model
+// (distinct-bound × (8 record bytes + 48 map-entry bytes)) and returns a
+// budget forcing >= minRuns runs.
+func spillBudgetU64(d *dataset.Dataset, minRuns int) int64 {
+	return int64(d.NumRows())*(8+48)/int64(minRuns) - 1
 }
 
 // BenchmarkSpillLiveHeap drives the spill writer directly so it can force
@@ -601,7 +672,7 @@ func BenchmarkSpillLiveHeap(b *testing.B) {
 				w.Cleanup()
 				b.Fatal(err)
 			}
-			size, _, err := w.CountRuns(-1, func(_ int, m map[string]int) bool {
+			size, _, err := w.CountRuns(-1, 1, func(_ int, m map[string]int) bool {
 				peak = max(peak, liveHeap())
 				return true
 			})
@@ -613,6 +684,87 @@ func BenchmarkSpillLiveHeap(b *testing.B) {
 		b.ReportMetric(float64(peak-baseline), "live-heap-B")
 		b.ReportMetric(float64(budget), "budget-B")
 	})
+	// The build variants measure the PR 5 claim: a *materialized* spilled
+	// build (the PR 4 behaviour — every run map merged into one result
+	// map) holds the whole distinct-key space live at its peak, blowing
+	// the budget the scan respected; the merge-on-read build keeps the
+	// result on disk and its peak — the partial merge dropped at the
+	// budget crossing plus one run map — stays within ~2x the budget.
+	b.Run("build-materialized", func(b *testing.B) {
+		runs := 6
+		var peak uint64
+		for i := 0; i < b.N; i++ {
+			w, err := spill.NewWriter(spill.Config{RecWidth: recW, Runs: runs})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sw := w.Shard()
+			var buf []byte
+			for r := 0; r < rows; r++ {
+				rec, ok := k.AppendBytesRow(buf[:0], cols, r)
+				buf = rec
+				if ok {
+					sw.Add(rec)
+				}
+			}
+			if err := sw.Close(); err != nil {
+				w.Cleanup()
+				b.Fatal(err)
+			}
+			merged := make(map[string]int)
+			_, _, err = w.CountRuns(-1, 1, func(_ int, m map[string]int) bool {
+				for key, c := range m {
+					merged[key] = c
+				}
+				return true
+			})
+			if err != nil {
+				w.Cleanup()
+				b.Fatal(err)
+			}
+			peak = max(peak, liveHeap()) // merged result map fully live
+			runtime.KeepAlive(merged)
+			w.Cleanup()
+		}
+		b.ReportMetric(float64(peak-baseline), "live-heap-B")
+		b.ReportMetric(float64(budget), "budget-B")
+	})
+	b.Run("build-mergeonread", func(b *testing.B) {
+		full := lattice.FullSet(d.NumAttrs())
+		probe := pcProbeVals(d)
+		var peak uint64
+		for i := 0; i < b.N; i++ {
+			pc := core.BuildPCParallel(d, full, core.CountOptions{Workers: 1, MemBudget: budget})
+			if !pc.Spilled() {
+				b.Fatal("build did not stay merge-on-read")
+			}
+			peak = max(peak, liveHeap()) // result live, runs on disk
+			for _, vals := range probe {
+				_ = pc.LookupVals(vals) // fault in the pinned hot-run cache
+			}
+			peak = max(peak, liveHeap())
+			pc.ReleaseSpill()
+		}
+		b.ReportMetric(float64(peak-baseline), "live-heap-B")
+		b.ReportMetric(float64(budget), "budget-B")
+	})
+}
+
+// pcProbeVals samples a few rows of the dataset as lookup probes.
+func pcProbeVals(d *dataset.Dataset) [][]uint16 {
+	step := d.NumRows() / 32
+	if step == 0 {
+		step = 1
+	}
+	var probes [][]uint16
+	for r := 0; r < d.NumRows(); r += step {
+		vals := make([]uint16, d.NumAttrs())
+		for a := range vals {
+			vals[a] = d.Col(a)[r]
+		}
+		probes = append(probes, vals)
+	}
+	return probes
 }
 
 // liveHeap forces a collection and returns the surviving heap bytes.

@@ -148,7 +148,7 @@ func runLabel(args []string) error {
 	htmlOut := fs.String("html", "", "write a standalone HTML label report to this path")
 	render := fs.Bool("render", false, "print the human-readable nutrition label")
 	bins := fs.Int("bins", 5, "bucketize numeric attributes into this many bins (0 disables)")
-	memBudgetMB := fs.Int("mem-budget-mb", 0, "group-by memory budget in MiB; unbounded-domain attribute sets over it are counted via on-disk spill runs (0 = unlimited)")
+	memBudgetMB := fs.Int("mem-budget-mb", 0, "group-by memory budget in MiB; attribute sets whose map state models over it are counted via on-disk spill runs, and over-budget result maps stay on disk (merge-on-read) (0 = unlimited)")
 	spillDir := fs.String("spill-dir", "", "directory for spill run files (system temp dir when empty)")
 	fs.Parse(args)
 	if *in == "" {
@@ -174,14 +174,20 @@ func runLabel(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Under a memory budget the label may hold merge-on-read spill runs;
+	// remove them once every output that reads the label has been written.
+	defer res.Label.ReleaseSpill()
 	fmt.Printf("label attributes: %s\n", res.Attrs.Format(d.AttrNames()))
 	fmt.Printf("label size:       %d (bound %d)\n", res.Size, *bound)
 	fmt.Printf("max abs error:    %.1f over %d distinct patterns\n", res.MaxErr, res.Stats.PatternsScanned)
 	fmt.Printf("search:           %d sets examined, %d in bound, %v total\n",
 		res.Stats.SizeComputed, res.Stats.InBound, res.Stats.Total().Round(1000))
 	if res.Stats.SpilledSets > 0 {
-		fmt.Printf("spill:            %d sets via %d on-disk runs, %.1f MiB written\n",
-			res.Stats.SpilledSets, res.Stats.SpillRuns, float64(res.Stats.SpillBytes)/(1<<20))
+		fmt.Printf("spill:            %d sets (%d byte-key, %d uint64-key) via %d on-disk runs (%d counted in parallel), %.1f MiB written\n",
+			res.Stats.SpilledSets,
+			res.Stats.SpilledSets-res.Stats.SpilledU64Sets, res.Stats.SpilledU64Sets,
+			res.Stats.SpillRuns, res.Stats.SpillParallelRuns,
+			float64(res.Stats.SpillBytes)/(1<<20))
 	}
 	if *render {
 		eval := pcbl.Evaluate(res.Label, nil)

@@ -9,17 +9,21 @@ import (
 // set S with positive count, together with their counts (the PC section of a
 // label, Definition 2.9). It is the group-by of the dataset on S.
 //
-// Three storage representations share the PC interface; the kernel
+// Four storage representations share the PC interface; the kernel
 // selection rules in dense.go pick one deterministically from the key
-// space and the row count: a flat dense count array for small-domain sets,
-// a uint64 hash map for larger mixed-radix key spaces, and a byte-string
-// map when the key overflows uint64.
+// space, the row count and the memory budget: a flat dense count array for
+// small-domain sets, a uint64 hash map for larger mixed-radix key spaces,
+// a byte-string map when the key overflows uint64, and a merge-on-read
+// spilled index (spilledpc.go) when a budgeted build's merged map models
+// over CountOptions.MemBudget — the counts then stay in the build's
+// on-disk runs and stream on demand.
 type PC struct {
 	keyer    *Keyer
 	dz       []int32        // dense path (flat counts indexed by key)
 	distinct int            // nonzero slots in dz
 	u        map[uint64]int // map path (mixed-radix keys)
 	s        map[string]int // fallback (byte-string keys)
+	sp       *spilledPC     // merge-on-read path (budgeted out-of-core builds)
 }
 
 // BuildPC groups dataset d by attribute set s and returns the pattern-count
@@ -38,11 +42,11 @@ func buildPC(d *dataset.Dataset, s lattice.AttrSet, opts CountOptions, workers i
 	if radix, ok := denseRadix(k, rows, opts.denseLimit()); ok {
 		return buildPCDense(k, cols, rows, radix, workers, opts.Pool)
 	}
+	if runs, format, spillOK := opts.spillFor(k, rows, workers); spillOK {
+		return buildPCSpill(k, cols, rows, workers, runs, format, opts)
+	}
 	if k.Fits() {
 		return buildPCMap(k, cols, rows, workers)
-	}
-	if runs, spillOK := opts.spillFor(k, rows); spillOK {
-		return buildPCSpill(k, cols, rows, workers, runs, opts)
 	}
 	return buildPCBytes(k, cols, rows, workers)
 }
@@ -53,6 +57,9 @@ func (pc *PC) Attrs() lattice.AttrSet { return pc.keyer.Attrs() }
 // Size returns |P_S| — the number of positive-count patterns over S. This is
 // the label size the bound B_s of the optimal-label problem constrains.
 func (pc *PC) Size() int {
+	if pc.sp != nil {
+		return pc.sp.size
+	}
 	if pc.dz != nil {
 		return pc.distinct
 	}
@@ -62,10 +69,28 @@ func (pc *PC) Size() int {
 	return len(pc.s)
 }
 
+// Spilled reports whether the index is merge-on-read: its counts live in
+// retained on-disk spill runs rather than an in-memory map. Call
+// ReleaseSpill when done with such an index to remove the runs eagerly
+// (the GC removes them eventually otherwise).
+func (pc *PC) Spilled() bool { return pc.sp != nil }
+
+// ReleaseSpill removes the on-disk runs behind a merge-on-read index; it
+// is a no-op for in-memory representations and idempotent. Using a
+// released spilled index panics.
+func (pc *PC) ReleaseSpill() {
+	if pc != nil && pc.sp != nil {
+		pc.sp.release()
+	}
+}
+
 // LookupVals returns the count of the pattern whose member values appear in
 // the dense identifier slice vals; 0 when the pattern is absent (count 0) or
 // any member slot is NULL.
 func (pc *PC) LookupVals(vals []uint16) int {
+	if pc.sp != nil {
+		return pc.sp.lookupVals(vals)
+	}
 	if pc.dz != nil {
 		key, ok := pc.keyer.KeyVals(vals)
 		if !ok {
@@ -97,6 +122,10 @@ func (pc *PC) Lookup(p Pattern) int { return pc.LookupVals(p.vals) }
 // (valid only for the duration of the call) and the pattern's count.
 // Iteration stops early when fn returns false. Order is unspecified.
 func (pc *PC) Each(n int, fn func(vals []uint16, count int) bool) {
+	if pc.sp != nil {
+		pc.sp.each(n, fn)
+		return
+	}
 	vals := make([]uint16, n)
 	if pc.dz != nil {
 		for key, c := range pc.dz {

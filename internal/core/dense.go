@@ -90,15 +90,52 @@ const keyBlockRows = 4096
 
 // addKeysDense counts a key vector into a flat array, returning the updated
 // nonzero-slot count. InvalidKey entries (NULL rows) are skipped.
+//
+// The loop is the hottest instruction stream of the dense kernel, so it is
+// hand-shaped: valid keys are always < len(counts) (the keyer's radix) and
+// InvalidKey is ^0, so a single `key < n` compare both filters NULL rows
+// and lets the compiler drop the bounds check on the gather-increment; the
+// body is unrolled four keys per iteration to hide the load-increment-store
+// latency behind the next key's load. Increments run strictly in key-vector
+// order, so duplicate keys within one block alias correctly.
+// BenchmarkDenseCount pins the win over the straight-line reference loop.
 func addKeysDense(counts []int32, keys []uint64, distinct int) int {
-	for _, key := range keys {
-		if key == InvalidKey {
-			continue
+	n := uint64(len(counts))
+	i := 0
+	for ; i+4 <= len(keys); i += 4 {
+		k0, k1, k2, k3 := keys[i], keys[i+1], keys[i+2], keys[i+3]
+		if k0 < n {
+			if counts[k0] == 0 {
+				distinct++
+			}
+			counts[k0]++
 		}
-		if counts[key] == 0 {
-			distinct++
+		if k1 < n {
+			if counts[k1] == 0 {
+				distinct++
+			}
+			counts[k1]++
 		}
-		counts[key]++
+		if k2 < n {
+			if counts[k2] == 0 {
+				distinct++
+			}
+			counts[k2]++
+		}
+		if k3 < n {
+			if counts[k3] == 0 {
+				distinct++
+			}
+			counts[k3]++
+		}
+	}
+	for ; i < len(keys); i++ {
+		if k := keys[i]; k < n {
+			if counts[k] == 0 {
+				distinct++
+			}
+			counts[k]++
+		}
 	}
 	return distinct
 }
@@ -243,8 +280,11 @@ func buildPCBytes(k *Keyer, cols [][]uint16, rows, workers int) *PC {
 }
 
 // ScanStats accumulates which kernel the engine picked per attribute set.
-// Attach one via CountOptions.Stats to observe path selection; counters are
-// updated during single-threaded scan planning, never from workers.
+// Attach one via CountOptions.Stats to observe path selection. The
+// Dense/Map/Bytes planning counters are updated during single-threaded
+// scan planning, never from workers; the Spill* counters are updated
+// atomically (spillcount.go), so one ScanStats may be shared by scans
+// running on concurrent goroutines.
 type ScanStats struct {
 	// Dense counts sets served by the flat-array kernel.
 	Dense int
@@ -252,15 +292,24 @@ type ScanStats struct {
 	Map int
 	// Bytes counts sets on the byte-string fallback (key overflows uint64).
 	Bytes int
-	// Spilled counts sets served by the external-memory group-by: byte-key
-	// sets whose estimated map footprint exceeded CountOptions.MemBudget.
-	Spilled int
+	// Spilled counts sets served by the external-memory group-by: map- or
+	// byte-key sets whose estimated grouping footprint exceeded
+	// CountOptions.MemBudget.
+	Spilled int64
+	// SpilledU64 counts the subset of Spilled that used the fixed-width
+	// uint64 record format (mixed-radix key fits uint64); the remainder
+	// spilled byte-string records.
+	SpilledU64 int64
 	// SpillRuns totals the on-disk partitions written across spilled sets.
-	SpillRuns int
+	SpillRuns int64
+	// SpillParallelRuns totals the runs counted by multi-worker (parallel)
+	// run-counting phases; zero when every count phase ran sequentially.
+	SpillParallelRuns int64
 	// SpillBytes totals the bytes written to spill run files.
 	SpillBytes int64
 	// SpillMaxRunEntries is the largest per-run distinct-key count any
 	// spilled set's merge observed — the quantity the run sizing bounds to
-	// keep one run's map within CountOptions.MemBudget.
-	SpillMaxRunEntries int
+	// keep one run's map within each count worker's share of
+	// CountOptions.MemBudget.
+	SpillMaxRunEntries int64
 }

@@ -1,0 +1,92 @@
+package core
+
+// Micro-benchmark and equivalence pin for the dense count loop
+// (addKeysDense): the shipped loop hoists the bounds check into the
+// key-validity compare and unrolls the gather-increment four keys per
+// iteration; the reference below is the straight-line PR 2 loop it
+// replaced. BenchmarkDenseCount records the win (BENCH_pr5.json).
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// addKeysDenseRef is the pre-PR 5 reference loop, kept in the test file as
+// the differential oracle and the benchmark baseline.
+func addKeysDenseRef(counts []int32, keys []uint64, distinct int) int {
+	for _, key := range keys {
+		if key == InvalidKey {
+			continue
+		}
+		if counts[key] == 0 {
+			distinct++
+		}
+		counts[key]++
+	}
+	return distinct
+}
+
+// denseBenchKeys builds a key vector over a radix-sized space with the
+// given NULL rate and heavy aliasing (duplicates within one block must
+// increment sequentially in both loops).
+func denseBenchKeys(n, radix int, nullRate float64, seed uint64) []uint64 {
+	rng := rand.New(rand.NewPCG(seed, 0xDE45E))
+	keys := make([]uint64, n)
+	for i := range keys {
+		if nullRate > 0 && rng.Float64() < nullRate {
+			keys[i] = InvalidKey
+		} else {
+			keys[i] = uint64(rng.IntN(radix))
+		}
+	}
+	return keys
+}
+
+func TestAddKeysDenseMatchesReference(t *testing.T) {
+	for _, tc := range []struct {
+		n, radix int
+		nullRate float64
+	}{
+		{0, 16, 0},
+		{1, 1, 0},
+		{3, 7, 0.5}, // tail-only (below the unroll width)
+		{4096, 64, 0},
+		{4097, 64, 0.2},
+		{10000, 1 << 14, 0.05},
+		{5000, 2, 0}, // extreme aliasing
+	} {
+		keys := denseBenchKeys(tc.n, tc.radix, tc.nullRate, uint64(tc.n)+1)
+		want := make([]int32, tc.radix)
+		got := make([]int32, tc.radix)
+		wd := addKeysDenseRef(want, keys, 3)
+		gd := addKeysDense(got, keys, 3)
+		if wd != gd {
+			t.Fatalf("n=%d radix=%d: distinct %d, want %d", tc.n, tc.radix, gd, wd)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("n=%d radix=%d: counts[%d] = %d, want %d", tc.n, tc.radix, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func BenchmarkDenseCount(b *testing.B) {
+	const rows, radix = 1 << 20, 1 << 16
+	keys := denseBenchKeys(rows, radix, 0.02, 9)
+	counts := make([]int32, radix)
+	b.Run("baseline", func(b *testing.B) {
+		b.SetBytes(rows * 8)
+		for i := 0; i < b.N; i++ {
+			clear(counts)
+			_ = addKeysDenseRef(counts, keys, 0)
+		}
+	})
+	b.Run("unrolled", func(b *testing.B) {
+		b.SetBytes(rows * 8)
+		for i := 0; i < b.N; i++ {
+			clear(counts)
+			_ = addKeysDense(counts, keys, 0)
+		}
+	})
+}

@@ -37,15 +37,28 @@
 //     (Keyer.KeyBlock decodes a row block one member column at a time).
 //   - bytes: key spaces overflowing uint64 fall back to byte-string keys
 //     with the original per-row loop.
-//   - spill: byte-key sets whose estimated map footprint exceeds
-//     CountOptions.MemBudget — the unbounded-domain, out-of-core case —
-//     run the external group-by (spillcount.go over internal/spill): keys
-//     hash-partition into K on-disk runs sized so one run's map fits the
-//     budget, runs are counted one at a time with the map kernel, and
-//     counts merge with the exact cap-abort of label sizing (runs hold
-//     disjoint keys, so the distinct total is a monotone sum). Fused
-//     frontier scans exclude such sets and size them through spill scans
-//     afterwards, in frontier order. No budget means the tier is off.
+//   - uint64 spill: map-kernel sets (uint64 keys beyond the dense tier)
+//     whose estimated map footprint exceeds CountOptions.MemBudget run the
+//     external group-by with fixed-width 8-byte records — the common
+//     over-budget case once domains multiply; count maps stay
+//     map[uint64]int, no per-key string materialization. The dense kernel
+//     is exempt: its flat state is bounded by the dense slot limit.
+//   - byte spill: byte-key sets over the budget — the unbounded-domain,
+//     out-of-core case — spill 2-bytes-per-member records.
+//
+// Both spill formats share the machinery (spillcount.go over
+// internal/spill): keys hash-partition into K on-disk runs sized so one
+// run's map fits each counting worker's share of the budget, the
+// key-disjoint runs are counted K-way in parallel with a shared atomic
+// distinct total (exact cap-abort across workers), and counts merge with
+// the exact cap-abort of label sizing (per-run counts are final and the
+// distinct total is a monotone sum). Fused frontier scans exclude spilled
+// sets and size them through spill scans afterwards, in frontier order.
+// Budgeted builds are bounded end to end: a result map that models over
+// the budget is not materialized — the PC retains its runs and serves
+// Size/LookupVals/Each merge-on-read (spilledpc.go), streaming runs
+// through a pinned hot-run cache; ReleaseSpill (or, as a safety net, the
+// GC) removes the runs. No budget means the tier is off.
 //
 // Orthogonally, pccache.go and refinebatch.go reuse work across lattice
 // levels. A RefinablePC retains the row→group assignment of its group-by,

@@ -131,6 +131,20 @@ func (l *Label) EstimateRow(vals []uint16, attrs lattice.AttrSet) float64 {
 	return est
 }
 
+// ReleaseSpill removes the on-disk runs behind any merge-on-read index the
+// label holds — the PC section and every lazily built marginal. A no-op
+// for fully in-memory labels; callers that discard budgeted labels eagerly
+// (the search's evaluation phase keeps only the best candidate) call it so
+// temp usage is bounded deterministically rather than by the GC.
+func (l *Label) ReleaseSpill() {
+	l.pc.ReleaseSpill()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, pc := range l.marginals {
+		pc.ReleaseSpill()
+	}
+}
+
 // marginal returns a PC over sub ⊂ S, building and caching it on first use.
 // Marginals are built from the dataset (not by summing the parent PC) so
 // that rows that are NULL in S \ sub are still counted, which Definition

@@ -55,15 +55,19 @@ type CountOptions struct {
 	Pool *VecPool
 
 	// MemBudget, when positive, bounds the estimated in-memory grouping
-	// state of a single group-by in bytes. Byte-key sets (mixed-radix key
-	// overflowing uint64 — the unbounded-domain case) whose estimated map
-	// footprint exceeds the budget are routed to the external-memory spill
-	// tier (spillcount.go): keys hash-partition into on-disk runs sized so
-	// one run's map fits the budget, and runs are counted one at a time.
-	// Results are bit-identical to the in-memory kernels. Zero means
-	// unlimited (never spill). The uint64 and dense kernels are not
-	// governed by this knob: their state is bounded by the key space the
-	// dense/map selection rules already cap.
+	// state of a single group-by in bytes. Map-kernel sets — uint64 keys
+	// beyond the dense tier as well as byte-string keys overflowing uint64
+	// — whose estimated map footprint exceeds the budget are routed to the
+	// external-memory spill tier (spillcount.go): keys hash-partition into
+	// on-disk runs (fixed-width uint64 records or byte records, matching
+	// the key encoding) sized so one run's map fits each counting worker's
+	// share of the budget, and the key-disjoint runs are counted K-way in
+	// parallel. Budgeted builds are bounded end to end: a result map that
+	// models over the budget is not materialized — the PC keeps its runs
+	// and serves lookups merge-on-read. Results are bit-identical to the
+	// in-memory kernels. Zero means unlimited (never spill). The dense
+	// kernel is not governed by this knob: its state is bounded by the
+	// dense slot limit the selection rules already cap.
 	MemBudget int64
 
 	// SpillDir overrides where spill run files are written; empty means
@@ -103,8 +107,9 @@ func BuildPCParallel(d *dataset.Dataset, s lattice.AttrSet, opts CountOptions) *
 func LabelSizeParallel(d *dataset.Dataset, s lattice.AttrSet, cap int, opts CountOptions) (size int, within bool) {
 	if opts.MemBudget > 0 {
 		k := NewKeyer(d, s)
-		if runs, spillOK := opts.spillFor(k, d.NumRows()); spillOK {
-			if sz, w, ok := labelSizeSpill(k, datasetCols(d), d.NumRows(), opts.scanWorkers(d.NumRows()), runs, opts, cap); ok {
+		workers := opts.scanWorkers(d.NumRows())
+		if runs, format, spillOK := opts.spillFor(k, d.NumRows(), workers); spillOK {
+			if sz, w, ok := labelSizeSpill(k, datasetCols(d), d.NumRows(), workers, runs, format, opts, cap); ok {
 				return sz, w
 			}
 		}
@@ -139,12 +144,13 @@ type fusedSet struct {
 // Callers with very large frontiers should batch (package search uses
 // batches of a few hundred sets).
 //
-// Under a CountOptions.MemBudget, byte-key sets whose estimated map
-// footprint exceeds the budget do not join the fused in-memory scan at
-// all — their seen-sets are exactly the unbounded state the budget
-// forbids. They are sized afterwards, one external spill group-by each, in
-// frontier order (deterministic for every worker count); all other sets
-// scan fused as usual.
+// Under a CountOptions.MemBudget, map-kernel sets (uint64 or byte keys)
+// whose estimated map footprint exceeds the budget do not join the fused
+// in-memory scan at all — their seen-sets are exactly the unbounded state
+// the budget forbids. They are sized afterwards, one external spill
+// group-by each (uint64 or byte record format, matching the key encoding,
+// with K-way parallel run counting), in frontier order (deterministic for
+// every worker count); all other sets scan fused as usual.
 func LabelSizesFused(d *dataset.Dataset, sets []lattice.AttrSet, cap int, opts CountOptions) (sizes []int, within []bool) {
 	if opts.MemBudget > 0 {
 		if si, ok := planSpilledSets(d, sets, opts); ok {
@@ -156,9 +162,10 @@ func LabelSizesFused(d *dataset.Dataset, sets []lattice.AttrSet, cap int, opts C
 
 // spilledSet is one frontier set routed to the external-memory tier.
 type spilledSet struct {
-	idx  int
-	runs int
-	k    *Keyer // built during planning, reused by the spill scan
+	idx    int
+	runs   int
+	format spillFormat
+	k      *Keyer // built during planning, reused by the spill scan
 }
 
 // planSpilledSets applies the spill predicate to a frontier; ok is false
@@ -166,10 +173,11 @@ type spilledSet struct {
 // path with zero overhead beyond the predicate).
 func planSpilledSets(d *dataset.Dataset, sets []lattice.AttrSet, opts CountOptions) (spilled []spilledSet, ok bool) {
 	rows := d.NumRows()
+	workers := opts.scanWorkers(rows)
 	for i, s := range sets {
 		k := NewKeyer(d, s)
-		if runs, spillOK := opts.spillFor(k, rows); spillOK {
-			spilled = append(spilled, spilledSet{idx: i, runs: runs, k: k})
+		if runs, format, spillOK := opts.spillFor(k, rows, workers); spillOK {
+			spilled = append(spilled, spilledSet{idx: i, runs: runs, format: format, k: k})
 		}
 	}
 	return spilled, len(spilled) > 0
@@ -203,7 +211,7 @@ func labelSizesSplit(d *dataset.Dataset, sets []lattice.AttrSet, cap int, opts C
 	cols := datasetCols(d)
 	workers := opts.scanWorkers(rows)
 	for _, sp := range spilled {
-		sz, w, ok := labelSizeSpill(sp.k, cols, rows, workers, sp.runs, opts, cap)
+		sz, w, ok := labelSizeSpill(sp.k, cols, rows, workers, sp.runs, sp.format, opts, cap)
 		if !ok {
 			// Disk trouble: in-memory fallback for this one set, identical
 			// result at unbounded memory.

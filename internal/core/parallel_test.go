@@ -113,6 +113,8 @@ func testCountOptions(workers int) CountOptions {
 // pcRepr names the storage representation a PC landed on.
 func pcRepr(pc *PC) string {
 	switch {
+	case pc.sp != nil:
+		return "spilled"
 	case pc.dz != nil:
 		return "dense"
 	case pc.u != nil:

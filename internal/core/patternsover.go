@@ -18,6 +18,7 @@ func PatternsOver(d *dataset.Dataset, s lattice.AttrSet) *PatternSet {
 // through the sharded counting engine.
 func PatternsOverOpts(d *dataset.Dataset, s lattice.AttrSet, opts CountOptions) *PatternSet {
 	pc := BuildPCParallel(d, s, opts)
+	defer pc.ReleaseSpill() // transient index: drop merge-on-read runs eagerly
 	n := d.NumAttrs()
 	ps := &PatternSet{stride: n}
 	pc.Each(n, func(vals []uint16, c int) bool {

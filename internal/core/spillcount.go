@@ -1,150 +1,329 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"pcbl/internal/spill"
 	"pcbl/internal/workpool"
 )
 
-// External-memory tier of the counting engine. Attribute sets on the
-// byte-string fallback are the unbounded-domain case: their grouping state
-// is one map entry per distinct byte key, with nothing but the row count
-// bounding it. When CountOptions.MemBudget is set and the estimated
-// footprint of that map exceeds it, kernel dispatch routes the set here:
-// the scan hash-partitions the byte keys into K on-disk runs (K sized so
-// one run's map fits the budget), each run is counted with the ordinary
-// map kernel, and counts merge across runs with the exact cap-abort of
-// label sizing — runs hold disjoint keys, so per-run counts are final and
-// the distinct total is a monotone sum. Results are bit-identical to
-// BuildPC / LabelSize for every worker count (spillcount_test.go).
+// External-memory tier of the counting engine. Attribute sets beyond the
+// dense kernel carry grouping state proportional to their distinct-key
+// count — one map entry per group, with nothing but the row count (or a
+// huge key space) bounding it. When CountOptions.MemBudget is set and the
+// estimated footprint of that map exceeds it, kernel dispatch routes the
+// set here: the scan hash-partitions its keys into K on-disk runs, runs
+// are counted with the ordinary map kernels — K-way parallel across
+// workers, since runs hold disjoint keys — and counts merge across runs
+// with the exact cap-abort of label sizing (per-run counts are final and
+// the distinct total is a monotone sum). Two record formats cover the two
+// over-budget kernels: fixed-width 8-byte uint64 records for sets whose
+// mixed-radix key fits uint64 (the common case once domains multiply), and
+// 2-bytes-per-member byte-string records for keys that overflow it.
+// Results are bit-identical to BuildPC / LabelSize for every worker count
+// and both formats (spillcount_test.go).
 //
-// Only the grouping state spills: a materialized PC still holds the final
-// distinct keys in memory (they are the result), but sizing — the bulk of
-// enumeration work — runs in budget-bounded memory, and builds no longer
-// hold every transient duplicate key's probe alongside the result map.
+// Builds are budget-bounded end to end: when the counted result itself
+// models within the budget it is materialized as an ordinary in-memory PC,
+// and otherwise the PC keeps the on-disk runs and serves
+// Size/LookupVals/Each by streaming them (merge-on-read, spilledpc.go) —
+// the scan's careful budget is no longer blown by the result map.
 // Refinement (pccache.go, refinebatch.go) never spills: its compact spaces
-// are bounded by the in-bound parent's group count times one domain, so it
+// are bounded by an in-bound parent's group count times one domain, so it
 // is in-memory by construction.
+
+// spillFormat names the fixed-width record encoding a spilled set uses.
+type spillFormat uint8
+
+const (
+	// spillFmtBytes spills 2-bytes-per-member byte-string records (key
+	// overflows uint64) counted into map[string]int.
+	spillFmtBytes spillFormat = iota
+	// spillFmtU64 spills fixed-width 8-byte little-endian uint64 records
+	// (mixed-radix key fits uint64) counted into map[uint64]int.
+	spillFmtU64
+)
 
 // spillEntryBytes is the deterministic per-distinct-key cost estimate of
 // the byte map kernel: string header, map bucket share and bookkeeping
 // dominate the key bytes themselves.
 const spillEntryBytes = 64
 
+// spillEntryBytesU64 is the per-distinct-key estimate of the uint64 map
+// kernel: bucket share and bookkeeping, no string header or key bytes.
+const spillEntryBytesU64 = 48
+
+// spillRecWidthU64 is the fixed uint64 record width.
+const spillRecWidthU64 = 8
+
 // maxSpillRuns caps the partition fan-out (file handles and write
 // buffers); beyond it a run may exceed the budget, which degrades peak
 // memory gracefully rather than failing.
 const maxSpillRuns = 512
 
-// spillFootprint estimates the in-memory byte-map footprint of a group-by
-// with the given record width, taking distinct <= rows as the (worst-case,
-// deterministic) bound the dispatch decision needs.
-func spillFootprint(rows, recWidth int) int64 {
-	return int64(rows) * int64(recWidth+spillEntryBytes)
+// spillFootprint estimates the in-memory map footprint of a group-by with
+// the given distinct-key bound, record width and per-entry model.
+func spillFootprint(distinct, recWidth, entryBytes int) int64 {
+	return int64(distinct) * int64(recWidth+entryBytes)
 }
 
-// spillFor decides whether a byte-key group-by must spill under the
-// options' memory budget, and the run count K that keeps one run's
-// estimated map within it. The decision is deterministic from (rows,
-// keyer, budget), so every entry point picks the same tier for the same
-// inputs — the same property the dense/map/bytes selection has.
-func (o CountOptions) spillFor(k *Keyer, rows int) (runs int, ok bool) {
-	if o.MemBudget <= 0 || k.Fits() || rows == 0 {
-		return 0, false
+// recWidth returns the on-disk record width of a format for a keyer.
+func (f spillFormat) recWidth(k *Keyer) int {
+	if f == spillFmtU64 {
+		return spillRecWidthU64
 	}
-	fp := spillFootprint(rows, 2*len(k.members))
+	return 2 * len(k.members)
+}
+
+// entryBytes returns the per-distinct-key in-memory cost model of a
+// format's count map (key payload plus map bookkeeping).
+func (f spillFormat) entryBytes(k *Keyer) int64 {
+	if f == spillFmtU64 {
+		return spillRecWidthU64 + spillEntryBytesU64
+	}
+	return int64(2*len(k.members) + spillEntryBytes)
+}
+
+// spillFor decides whether a group-by must spill under the options' memory
+// budget, which record format it spills with, and the run count K that
+// keeps one run's estimated map within each count worker's share of the
+// budget — parallel run counting holds one live run map per worker, so K
+// scales with the worker count and the total stays near the budget. The
+// decision is deterministic from (rows, keyer, budget, workers), so every
+// entry point picks the same tier for the same inputs — the same property
+// the dense/map/bytes selection has. Dense-keyable sets never spill: their
+// flat count state is bounded by the dense slot limit, not the row count.
+func (o CountOptions) spillFor(k *Keyer, rows, countWorkers int) (runs int, format spillFormat, ok bool) {
+	if o.MemBudget <= 0 || rows == 0 {
+		return 0, spillFmtBytes, false
+	}
+	var fp int64
+	if k.Fits() {
+		if _, dense := denseRadix(k, rows, o.denseLimit()); dense {
+			return 0, spillFmtBytes, false
+		}
+		format = spillFmtU64
+		distinct := rows
+		if r, _ := k.Radix(); r < uint64(rows) {
+			distinct = int(r) // the key space itself bounds the map
+		}
+		fp = spillFootprint(distinct, spillRecWidthU64, spillEntryBytesU64)
+	} else {
+		format = spillFmtBytes
+		fp = spillFootprint(rows, 2*len(k.members), spillEntryBytes)
+	}
 	if fp <= o.MemBudget {
-		return 0, false
+		return 0, spillFmtBytes, false
 	}
-	runs = int((fp + o.MemBudget - 1) / o.MemBudget)
+	if countWorkers < 1 {
+		countWorkers = 1
+	}
+	share := o.MemBudget / int64(countWorkers)
+	if share < 1 {
+		share = 1
+	}
+	runs = int((fp + share - 1) / share)
 	if runs > maxSpillRuns {
 		runs = maxSpillRuns
 	}
-	return runs, true
+	return runs, format, true
 }
 
-// spillScan is the shared external group-by pass: the partition phase
-// shards rows across workers (each worker streams its chunk's byte keys
-// into a private ShardWriter; partition files are append-shared, which is
-// safe because flushes are whole records and group-by is order-blind), and
-// the count phase folds the runs sequentially. With build set the merged
-// map is returned (cap must be -1, matching BuildPC); otherwise only the
-// size. ok is false when the disk was not usable — the caller falls back
-// to the in-memory kernel, trading the budget for correctness.
-func spillScan(k *Keyer, cols [][]uint16, rows, workers, runs int, opts CountOptions, cap int, build bool) (m map[string]int, size int, within, ok bool) {
-	w, err := spill.NewWriter(spill.Config{
-		RecWidth: 2 * len(k.members),
-		Runs:     runs,
-		Dir:      opts.SpillDir,
-		Pool:     opts.Pool,
-	})
-	if err != nil {
-		return nil, 0, false, false
+// addSpill accumulates one spilled scan's counters. Updates are atomic so
+// scans sharing a ScanStats may run on concurrent goroutines (the label
+// evaluation phase scores candidates in parallel).
+func (st *ScanStats) addSpill(s spill.Stats, format spillFormat, countWorkers int) {
+	if st == nil {
+		return
 	}
-	// Cleanup is deferred before anything else so the run files are
-	// removed on success, cap-abort, error and panic alike.
-	defer w.Cleanup()
+	atomic.AddInt64(&st.Spilled, 1)
+	if format == spillFmtU64 {
+		atomic.AddInt64(&st.SpilledU64, 1)
+	}
+	atomic.AddInt64(&st.SpillRuns, int64(s.Runs))
+	if countWorkers > 1 {
+		atomic.AddInt64(&st.SpillParallelRuns, int64(s.Runs))
+	}
+	atomic.AddInt64(&st.SpillBytes, s.BytesWritten)
+	for {
+		cur := atomic.LoadInt64(&st.SpillMaxRunEntries)
+		if int64(s.MaxRunEntries) <= cur ||
+			atomic.CompareAndSwapInt64(&st.SpillMaxRunEntries, cur, int64(s.MaxRunEntries)) {
+			return
+		}
+	}
+}
 
+// spillPartition is the shared partition phase: rows shard across workers,
+// each worker streaming its chunk's keys into a private ShardWriter —
+// columnar uint64 key blocks for the u64 format, per-row byte keys for the
+// byte format. Partition files are append-shared, which is safe because
+// flushes are whole records and group-by is order-blind.
+func spillPartition(w *spill.Writer, k *Keyer, cols [][]uint16, rows, workers int, format spillFormat, pool *VecPool) error {
 	errs := make([]error, workers)
 	workpool.RunChunks(rows, workers, func(wk, lo, hi int) {
 		sw := w.Shard()
-		var buf []byte
-		for r := lo; r < hi; r++ {
-			b, keyOK := k.AppendBytesRow(buf[:0], cols, r)
-			buf = b
-			if keyOK {
-				sw.Add(b)
+		if format == spillFmtU64 {
+			keys := pool.Uint64(keyBlockRows, false)
+			for blo := lo; blo < hi; blo += keyBlockRows {
+				bhi := min(blo+keyBlockRows, hi)
+				k.KeyBlock(cols, blo, bhi, keys)
+				for _, key := range keys[:bhi-blo] {
+					if key != InvalidKey {
+						sw.AddU64(key)
+					}
+				}
+			}
+			pool.PutUint64(keys)
+		} else {
+			var buf []byte
+			for r := lo; r < hi; r++ {
+				b, keyOK := k.AppendBytesRow(buf[:0], cols, r)
+				buf = b
+				if keyOK {
+					sw.Add(b)
+				}
 			}
 		}
 		errs[wk] = sw.Close()
 	})
 	for _, e := range errs {
 		if e != nil {
-			return nil, 0, false, false
+			return e
 		}
 	}
-
-	var emit func(run int, counts map[string]int) bool
-	if build {
-		m = make(map[string]int)
-		emit = func(_ int, counts map[string]int) bool {
-			for key, c := range counts {
-				m[key] = c // runs are key-disjoint: plain inserts
-			}
-			return true
-		}
-	}
-	size, within, err = w.CountRuns(cap, emit)
-	if err != nil {
-		return nil, 0, false, false
-	}
-	if opts.Stats != nil {
-		st := w.Stats()
-		opts.Stats.Spilled++
-		opts.Stats.SpillRuns += st.Runs
-		opts.Stats.SpillBytes += st.BytesWritten
-		if st.MaxRunEntries > opts.Stats.SpillMaxRunEntries {
-			opts.Stats.SpillMaxRunEntries = st.MaxRunEntries
-		}
-	}
-	return m, size, within, true
+	return nil
 }
 
-// buildPCSpill is the external-memory BuildPC kernel: bit-identical to
-// buildPCBytes, with grouping state bounded by the budget instead of the
-// key space. Disk trouble falls back to the in-memory kernel.
-func buildPCSpill(k *Keyer, cols [][]uint16, rows, workers, runs int, opts CountOptions) *PC {
-	m, _, _, ok := spillScan(k, cols, rows, workers, runs, opts, -1, true)
-	if !ok {
-		return buildPCBytes(k, cols, rows, workers)
+// countMerge folds the runs of a build-mode spill scan: runs merge into
+// one map while the modeled merged footprint stays within the budget; the
+// first run that would cross it drops the partial merge and the scan
+// continues counting only (total size plus per-run sizes, which the
+// merge-on-read representation needs). Prefix sums of the positive per-run
+// sizes cross the budget iff the total does, so the materialize-or-stream
+// outcome is independent of the (parallel) run completion order. A nil
+// returned map means "stream": the result models over budget.
+func countMerge[K comparable](
+	count func(cap, workers int, emit func(run int, counts map[K]int) bool) (int, bool, error),
+	workers int, budget, entry int64, runSizes []int,
+) (merged map[K]int, size int, err error) {
+	merged = make(map[K]int)
+	over := false
+	size, _, err = count(-1, workers, func(run int, counts map[K]int) bool {
+		runSizes[run] = len(counts)
+		if !over {
+			if int64(len(merged)+len(counts))*entry > budget {
+				over, merged = true, nil
+			} else {
+				for key, c := range counts {
+					merged[key] = c // runs are key-disjoint: plain inserts
+				}
+			}
+		}
+		return true
+	})
+	return merged, size, err
+}
+
+// buildPCSpill is the external-memory BuildPC kernel: bit-identical to the
+// in-memory kernels, with grouping state bounded by the budget instead of
+// the key space. When the counted result models within the budget it
+// materializes as an ordinary map PC (one disk pass); otherwise the PC
+// retains the on-disk runs and serves lookups merge-on-read. Disk trouble
+// falls back to the in-memory kernel, trading the budget for correctness.
+func buildPCSpill(k *Keyer, cols [][]uint16, rows, workers, runs int, format spillFormat, opts CountOptions) *PC {
+	if pc, ok := buildPCSpillScan(k, cols, rows, workers, runs, format, opts); ok {
+		return pc
 	}
-	return &PC{keyer: k, s: m}
+	if format == spillFmtU64 {
+		return buildPCMap(k, cols, rows, workers)
+	}
+	return buildPCBytes(k, cols, rows, workers)
+}
+
+func buildPCSpillScan(k *Keyer, cols [][]uint16, rows, workers, runs int, format spillFormat, opts CountOptions) (pc *PC, ok bool) {
+	w, err := spill.NewWriter(spill.Config{
+		RecWidth: format.recWidth(k),
+		Runs:     runs,
+		Dir:      opts.SpillDir,
+		Pool:     opts.Pool,
+	})
+	if err != nil {
+		return nil, false
+	}
+	// Cleanup runs on every exit — success, error and panic alike — except
+	// when the result keeps the runs for merge-on-read reading (the
+	// spilledPC then owns the writer and its directory).
+	keep := false
+	defer func() {
+		if !keep {
+			w.Cleanup()
+		}
+	}()
+	if err := spillPartition(w, k, cols, rows, workers, format, opts.Pool); err != nil {
+		return nil, false
+	}
+
+	countWorkers := workpool.Resolve(workers, runs)
+	entry := format.entryBytes(k)
+	runSizes := make([]int, runs)
+	pc = &PC{keyer: k}
+	if format == spillFmtU64 {
+		m, size, err := countMerge(w.CountRunsU64, workers, opts.MemBudget, entry, runSizes)
+		if err != nil {
+			return nil, false
+		}
+		opts.Stats.addSpill(w.Stats(), format, countWorkers)
+		if m != nil {
+			pc.u = m
+			return pc, true
+		}
+		keep = true
+		pc.sp = newSpilledPC(w, k, format, size, runSizes, opts.MemBudget)
+		return pc, true
+	}
+	m, size, err := countMerge(w.CountRuns, workers, opts.MemBudget, entry, runSizes)
+	if err != nil {
+		return nil, false
+	}
+	opts.Stats.addSpill(w.Stats(), format, countWorkers)
+	if m != nil {
+		pc.s = m
+		return pc, true
+	}
+	keep = true
+	pc.sp = newSpilledPC(w, k, format, size, runSizes, opts.MemBudget)
+	return pc, true
 }
 
 // labelSizeSpill is the external-memory LabelSize kernel: exactly the
 // sequential cap-abort contract, with peak memory bounded by one run's map
-// instead of the distinct-key count. ok is false on disk trouble (the
-// caller falls back to an in-memory scan).
-func labelSizeSpill(k *Keyer, cols [][]uint16, rows, workers, runs int, opts CountOptions, cap int) (size int, within, ok bool) {
-	_, size, within, ok = spillScan(k, cols, rows, workers, runs, opts, cap, false)
-	return size, within, ok
+// per counting worker instead of the distinct-key count. ok is false on
+// disk trouble (the caller falls back to an in-memory scan).
+func labelSizeSpill(k *Keyer, cols [][]uint16, rows, workers, runs int, format spillFormat, opts CountOptions, cap int) (size int, within, ok bool) {
+	w, err := spill.NewWriter(spill.Config{
+		RecWidth: format.recWidth(k),
+		Runs:     runs,
+		Dir:      opts.SpillDir,
+		Pool:     opts.Pool,
+	})
+	if err != nil {
+		return 0, false, false
+	}
+	// Deferred before anything else so the run files are removed on
+	// success, cap-abort, error and panic alike.
+	defer w.Cleanup()
+	if err := spillPartition(w, k, cols, rows, workers, format, opts.Pool); err != nil {
+		return 0, false, false
+	}
+	if format == spillFmtU64 {
+		size, within, err = w.CountRunsU64(cap, workers, nil)
+	} else {
+		size, within, err = w.CountRuns(cap, workers, nil)
+	}
+	if err != nil {
+		return 0, false, false
+	}
+	opts.Stats.addSpill(w.Stats(), format, workpool.Resolve(workers, runs))
+	return size, within, true
 }

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"pcbl/internal/spill"
+)
+
+// spilledPC is the merge-on-read PC representation: a pattern-count index
+// whose merged map modeled over CountOptions.MemBudget, so instead of
+// materializing it the index retains its on-disk spill runs and serves the
+// PC consumer surface (Size / LookupVals / Each) by streaming them. Size
+// is precomputed during the build's count pass; Each rebuilds one run's
+// map at a time into a reused scratch map; LookupVals routes a key to the
+// single run that can hold it (the same hash partition every occurrence
+// took) and consults that run's map.
+//
+// Reads are budget-bounded: a pinned hot-run cache admits run maps while
+// their modeled footprint fits the budget, and one floating slot holds the
+// most recently loaded run beyond it, so peak read memory is roughly the
+// budget plus one run map (~2x MemBudget worst case) — never the whole
+// distinct-key space. Lookups are serialized under a mutex (the label
+// evaluation phase probes labels from concurrent workers).
+//
+// The on-disk runs live until ReleaseSpill is called; a GC cleanup is
+// attached as a safety net so an unreferenced spilled PC still removes its
+// private temp directory. Using a released spilled PC panics.
+type spilledPC struct {
+	w        *spill.Writer
+	keyer    *Keyer
+	u64      bool // uint64 record format (vs byte-string)
+	size     int  // total distinct patterns, exact
+	runSizes []int
+	entry    int64 // modeled bytes per cached map entry
+	budget   int64 // pinned hot-run cache budget
+
+	mu       sync.Mutex
+	hotU     map[int]map[uint64]int
+	hotS     map[int]map[string]int
+	hotCost  int64 // modeled bytes pinned in the hot cache
+	curRun   int   // floating slot: most recent non-pinned run (-1 = none)
+	curU     map[uint64]int
+	curS     map[string]int
+	released bool
+	cleanup  runtime.Cleanup
+}
+
+func newSpilledPC(w *spill.Writer, k *Keyer, format spillFormat, size int, runSizes []int, budget int64) *spilledPC {
+	sp := &spilledPC{
+		w:        w,
+		keyer:    k,
+		u64:      format == spillFmtU64,
+		size:     size,
+		runSizes: runSizes,
+		entry:    format.entryBytes(k),
+		budget:   budget,
+		curRun:   -1,
+	}
+	if sp.u64 {
+		sp.hotU = make(map[int]map[uint64]int)
+	} else {
+		sp.hotS = make(map[int]map[string]int)
+	}
+	// Safety net: when the PC is dropped without ReleaseSpill, the GC
+	// still removes the run files. The argument is the writer (not sp), so
+	// the cleanup does not keep sp reachable.
+	sp.cleanup = runtime.AddCleanup(sp, func(w *spill.Writer) { w.Cleanup() }, w)
+	return sp
+}
+
+// release frees the on-disk runs and the cached maps. Idempotent.
+func (sp *spilledPC) release() {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.released {
+		return
+	}
+	sp.released = true
+	sp.cleanup.Stop()
+	sp.w.Cleanup()
+	sp.hotU, sp.hotS, sp.curU, sp.curS = nil, nil, nil, nil
+	sp.curRun = -1
+}
+
+func (sp *spilledPC) checkLive() {
+	if sp.released {
+		panic("core: use of a released spilled PC")
+	}
+}
+
+// runMapU returns run's count map, loading (and possibly pinning) it on a
+// miss. Callers hold sp.mu.
+func (sp *spilledPC) runMapU(run int) map[uint64]int {
+	sp.checkLive()
+	if m, ok := sp.hotU[run]; ok {
+		return m
+	}
+	if run == sp.curRun {
+		return sp.curU
+	}
+	m := make(map[uint64]int, sp.runSizes[run])
+	if err := sp.w.ScanRun(run, func(rec []byte) bool {
+		m[binary.LittleEndian.Uint64(rec)]++
+		return true
+	}); err != nil {
+		// The runs were written by this process and read errors are not
+		// recoverable into a correct count; surface loudly rather than
+		// silently returning zero counts.
+		panic(fmt.Sprintf("core: spilled PC run read failed: %v", err))
+	}
+	if cost := int64(len(m)) * sp.entry; sp.hotCost+cost <= sp.budget {
+		sp.hotU[run] = m
+		sp.hotCost += cost
+	} else {
+		sp.curRun, sp.curU = run, m
+	}
+	return m
+}
+
+// runMapS is runMapU for the byte-string record format.
+func (sp *spilledPC) runMapS(run int) map[string]int {
+	sp.checkLive()
+	if m, ok := sp.hotS[run]; ok {
+		return m
+	}
+	if run == sp.curRun {
+		return sp.curS
+	}
+	m := make(map[string]int, sp.runSizes[run])
+	if err := sp.w.ScanRun(run, func(rec []byte) bool {
+		m[string(rec)]++
+		return true
+	}); err != nil {
+		panic(fmt.Sprintf("core: spilled PC run read failed: %v", err))
+	}
+	if cost := int64(len(m)) * sp.entry; sp.hotCost+cost <= sp.budget {
+		sp.hotS[run] = m
+		sp.hotCost += cost
+	} else {
+		sp.curRun, sp.curS = run, m
+	}
+	return m
+}
+
+// lookupVals implements PC.LookupVals for the spilled representation.
+func (sp *spilledPC) lookupVals(vals []uint16) int {
+	if sp.u64 {
+		key, ok := sp.keyer.KeyVals(vals)
+		if !ok {
+			return 0
+		}
+		run := sp.w.RunOfU64(key)
+		sp.mu.Lock()
+		defer sp.mu.Unlock()
+		return sp.runMapU(run)[key]
+	}
+	var buf [128]byte
+	b, ok := sp.keyer.AppendBytesVals(buf[:0], vals)
+	if !ok {
+		return 0
+	}
+	run := sp.w.RunOf(b)
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.runMapS(run)[string(b)]
+}
+
+// each implements PC.Each for the spilled representation: runs stream one
+// at a time, pinned runs straight from the cache and the rest through a
+// scratch map reused (cleared) across runs, so peak iteration memory is
+// one run's map. fn must not re-enter this PC (the lock is held across the
+// iteration).
+func (sp *spilledPC) each(n int, fn func(vals []uint16, count int) bool) {
+	vals := make([]uint16, n)
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sp.checkLive()
+	if sp.u64 {
+		var scratch map[uint64]int
+		for run := range sp.runSizes {
+			if sp.runSizes[run] == 0 {
+				continue
+			}
+			m, ok := sp.hotU[run]
+			if !ok && run == sp.curRun {
+				m, ok = sp.curU, true
+			}
+			if !ok {
+				if scratch == nil {
+					scratch = make(map[uint64]int)
+				} else {
+					clear(scratch)
+				}
+				if err := sp.w.ScanRun(run, func(rec []byte) bool {
+					scratch[binary.LittleEndian.Uint64(rec)]++
+					return true
+				}); err != nil {
+					panic(fmt.Sprintf("core: spilled PC run read failed: %v", err))
+				}
+				m = scratch
+			}
+			for key, c := range m {
+				sp.keyer.Decode(key, vals)
+				if !fn(vals, c) {
+					return
+				}
+			}
+		}
+		return
+	}
+	var scratch map[string]int
+	for run := range sp.runSizes {
+		if sp.runSizes[run] == 0 {
+			continue
+		}
+		m, ok := sp.hotS[run]
+		if !ok && run == sp.curRun {
+			m, ok = sp.curS, true
+		}
+		if !ok {
+			if scratch == nil {
+				scratch = make(map[string]int)
+			} else {
+				clear(scratch)
+			}
+			if err := sp.w.ScanRun(run, func(rec []byte) bool {
+				scratch[string(rec)]++
+				return true
+			}); err != nil {
+				panic(fmt.Sprintf("core: spilled PC run read failed: %v", err))
+			}
+			m = scratch
+		}
+		for key, c := range m {
+			sp.keyer.DecodeBytes(key, vals)
+			if !fn(vals, c) {
+				return
+			}
+		}
+	}
+}

@@ -70,14 +70,18 @@ type Options struct {
 	CacheBudget int64
 
 	// MemBudget bounds the in-memory grouping state of a single raw
-	// group-by in bytes (core.CountOptions.MemBudget): byte-key candidates
-	// whose estimated map footprint exceeds it are scheduled onto external
-	// spill scans — hash-partitioned on-disk runs counted one at a time —
-	// instead of joining the fused in-memory scan. Refinement stays
-	// in-memory-only: its compact spaces are bounded by an in-bound
-	// parent's group count times one attribute domain, so the budget never
-	// applies there. Zero means unlimited. Results are identical either
-	// way; Stats.SpilledSets/SpillRuns/SpillBytes report the tier's use.
+	// group-by in bytes (core.CountOptions.MemBudget): map- and byte-key
+	// candidates whose estimated map footprint exceeds it are scheduled
+	// onto external spill scans — hash-partitioned on-disk runs (uint64 or
+	// byte record format, matching the key encoding) counted K-way in
+	// parallel — instead of joining the fused in-memory scan, and budgeted
+	// label builds whose result map models over the budget keep their runs
+	// and serve lookups merge-on-read. Refinement stays in-memory-only:
+	// its compact spaces are bounded by an in-bound parent's group count
+	// times one attribute domain, so the budget never applies there. Zero
+	// means unlimited. Results are identical either way;
+	// Stats.SpilledSets/SpilledU64Sets/SpillRuns/SpillParallelRuns/
+	// SpillBytes report the tier's use.
 	MemBudget int64
 
 	// SpillDir overrides where spill run files are written (system temp
@@ -126,11 +130,18 @@ type Stats struct {
 	// flat-array kernel rather than a hash map.
 	DenseSets int
 	// SpilledSets counts raw-scanned sets the engine routed to the
-	// external-memory spill group-by (byte-key sets over
+	// external-memory spill group-by (map- or byte-key sets over
 	// Options.MemBudget). Zero on fully in-memory runs.
 	SpilledSets int
+	// SpilledU64Sets counts the subset of SpilledSets spilled with the
+	// fixed-width uint64 record format (mixed-radix key fits uint64); the
+	// remainder spilled byte-string records.
+	SpilledU64Sets int
 	// SpillRuns totals the on-disk partitions those sets were split into.
 	SpillRuns int
+	// SpillParallelRuns totals the runs counted by multi-worker (parallel)
+	// run-counting phases.
+	SpillParallelRuns int
 	// SpillBytes totals the bytes written to spill run files.
 	SpillBytes int64
 	// SearchTime covers candidate enumeration (label-size computation).
@@ -399,8 +410,10 @@ func (z *levelSizer) sizeLevel(sets []lattice.AttrSet, visit func(s lattice.Attr
 	z.stats.ScannedSets += len(z.scanSets)
 	z.stats.BatchRefines += len(z.batches)
 	z.stats.DenseSets = z.scan.Dense
-	z.stats.SpilledSets = z.scan.Spilled
-	z.stats.SpillRuns = z.scan.SpillRuns
+	z.stats.SpilledSets = int(z.scan.Spilled)
+	z.stats.SpilledU64Sets = int(z.scan.SpilledU64)
+	z.stats.SpillRuns = int(z.scan.SpillRuns)
+	z.stats.SpillParallelRuns = int(z.scan.SpillParallelRuns)
 	z.stats.SpillBytes = z.scan.SpillBytes
 	z.stats.PoolHits, z.stats.PoolMisses = z.pool.Stats()
 	for i, s := range sets {
@@ -778,11 +791,20 @@ func finish(d *dataset.Dataset, ps *core.PatternSet, cands []lattice.AttrSet, op
 		}
 	}
 	if bestIdx < 0 { // all cut off: re-evaluate the first exactly
+		results[0].label.ReleaseSpill() // replaced below
 		l := core.BuildLabelOpts(d, cands[0], co)
 		maxErr, scanned := core.MaxAbsError(l, ps, core.MaxErrOptions{Sorted: opts.FastEval, Workers: 1})
 		results[0] = scored{0, cands[0], l, maxErr, scanned, true}
 		stats.PatternsScanned += int64(scanned)
 		bestIdx = 0
+	}
+	// Only the winning label survives; under a memory budget the losers may
+	// hold merge-on-read spill runs on disk — drop those eagerly instead of
+	// waiting for the GC.
+	for i := range results {
+		if i != bestIdx {
+			results[i].label.ReleaseSpill()
+		}
 	}
 	stats.EvalTime = time.Since(evalStart)
 

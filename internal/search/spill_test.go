@@ -14,14 +14,16 @@ import (
 	"testing"
 
 	"pcbl/internal/dataset"
+	"pcbl/internal/lattice"
 )
 
 // spillSearchDataset builds a 4-attribute dataset whose full-set key
 // overflows uint64 (65000^4 > 2^63), so the level-4 candidate takes the
-// byte-string fallback, while pairs and triples stay uint64-keyable.
-func spillSearchDataset(t *testing.T) *dataset.Dataset {
+// byte-string fallback, while pairs and triples stay uint64-keyable (and,
+// being beyond the dense tier, spill with uint64 records under a budget).
+func spillSearchDataset(t *testing.T, rows int) *dataset.Dataset {
 	t.Helper()
-	const rows, attrs, domain = 3000, 4, 65000
+	const attrs, domain = 4, 65000
 	names := make([]string, attrs)
 	for i := range names {
 		names[i] = fmt.Sprintf("a%d", i)
@@ -52,7 +54,7 @@ func spillSearchDataset(t *testing.T) *dataset.Dataset {
 }
 
 func TestSearchSpillIdentity(t *testing.T) {
-	d := spillSearchDataset(t)
+	d := spillSearchDataset(t, 3000)
 	const bound = 4000
 	// Raw-scan-only baseline, unbudgeted: every candidate in memory.
 	base, baseStats, err := Enumerate(d, Options{Bound: bound, Workers: 1, DisableRefine: true})
@@ -88,6 +90,20 @@ func TestSearchSpillIdentity(t *testing.T) {
 		if stats.SpillBytes == 0 {
 			t.Fatalf("workers=%d: spill reported zero bytes written", workers)
 		}
+		// Per-format split: under this budget the uint64-keyable pairs and
+		// triples spill with uint64 records while the full set spills byte
+		// records — both formats must be represented and counted apart.
+		if stats.SpilledU64Sets == 0 || stats.SpilledU64Sets >= stats.SpilledSets {
+			t.Fatalf("workers=%d: SpilledU64Sets=%d of SpilledSets=%d, want both formats present",
+				workers, stats.SpilledU64Sets, stats.SpilledSets)
+		}
+		// At 3000 rows the engine's per-worker row floor resolves every
+		// scan to one effective worker, so run counting stays sequential
+		// regardless of the requested workers (the parallel case is pinned
+		// by TestSearchSpillParallelRuns on a larger dataset).
+		if stats.SpillParallelRuns != 0 {
+			t.Fatalf("workers=%d: SpillParallelRuns = %d on a sub-floor dataset, want 0", workers, stats.SpillParallelRuns)
+		}
 		ents, err := os.ReadDir(dir)
 		if err != nil {
 			t.Fatal(err)
@@ -102,6 +118,61 @@ func TestSearchSpillIdentity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	checkRefined(t, base, refined, refStats)
+}
+
+// TestSearchSpillParallelRuns pins the K-way parallel count phase through
+// the search path: on a dataset large enough to clear the per-worker row
+// floor, a multi-worker budgeted enumeration counts its spill runs in
+// parallel (and still reproduces the single-worker candidates exactly).
+func TestSearchSpillParallelRuns(t *testing.T) {
+	d := spillSearchDataset(t, 20000)
+	const bound = 25000
+	budget := int64(200 << 10)
+	base, baseStats, err := Enumerate(d, Options{
+		Bound: bound, Workers: 1, DisableRefine: true,
+		MemBudget: budget, SpillDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseStats.SpilledSets == 0 || baseStats.SpillParallelRuns != 0 {
+		t.Fatalf("workers=1 baseline: SpilledSets=%d SpillParallelRuns=%d, want spills counted sequentially",
+			baseStats.SpilledSets, baseStats.SpillParallelRuns)
+	}
+	dir := t.TempDir()
+	got, stats, err := Enumerate(d, Options{
+		Bound: bound, Workers: 8, DisableRefine: true,
+		MemBudget: budget, SpillDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(base) {
+		t.Fatalf("workers=8: %d candidates, want %d", len(got), len(base))
+	}
+	for i := range got {
+		if got[i] != base[i] {
+			t.Fatalf("workers=8: candidate %d = %v, want %v", i, got[i], base[i])
+		}
+	}
+	if stats.SpilledSets == 0 || stats.SpillParallelRuns == 0 {
+		t.Fatalf("workers=8: SpilledSets=%d SpillParallelRuns=%d, want parallel-counted spills",
+			stats.SpilledSets, stats.SpillParallelRuns)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("%d spill entries left behind", len(ents))
+	}
+}
+
+// checkRefined asserts a refinement-enabled budgeted run reproduced the
+// baseline candidates through the in-memory refinement tiers.
+func checkRefined(t *testing.T, base, refined []lattice.AttrSet, refStats Stats) {
+	t.Helper()
 	if len(refined) != len(base) {
 		t.Fatalf("refined run: %d candidates, want %d", len(refined), len(base))
 	}

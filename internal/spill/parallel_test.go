@@ -1,0 +1,216 @@
+package spill
+
+// Tests for the uint64 record format and the parallel K-way run-counting
+// phase: format round trips, partition-routing consistency, and the
+// temp-file lifecycle under success, cap-abort and injected panics with
+// multiple counting workers.
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+// genU64 produces n uint64 records drawn from a pool of distinct keys,
+// plus the reference count map.
+func genU64(n, distinct int, seed uint64) (keys []uint64, ref map[uint64]int) {
+	rng := rand.New(rand.NewPCG(seed, 0x64B17))
+	pool := make([]uint64, distinct)
+	for i := range pool {
+		pool[i] = rng.Uint64()<<16 | uint64(i) // distinct by construction
+	}
+	ref = make(map[uint64]int)
+	keys = make([]uint64, n)
+	for i := range keys {
+		k := pool[rng.IntN(distinct)]
+		keys[i] = k
+		ref[k]++
+	}
+	return keys, ref
+}
+
+func TestGroupByU64MatchesReference(t *testing.T) {
+	keys, ref := genU64(20000, 700, 13)
+	for _, runs := range []int{1, 5} {
+		for _, workers := range []int{1, 2, 8} {
+			t.Run(fmt.Sprintf("runs=%d_workers=%d", runs, workers), func(t *testing.T) {
+				w, err := NewWriter(Config{RecWidth: 8, Runs: runs, Dir: t.TempDir()})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer w.Cleanup()
+				var wg sync.WaitGroup
+				errs := make([]error, 2)
+				for s := 0; s < 2; s++ {
+					wg.Add(1)
+					go func(s int) {
+						defer wg.Done()
+						sw := w.Shard()
+						for i := s; i < len(keys); i += 2 {
+							sw.AddU64(keys[i])
+						}
+						errs[s] = sw.Close()
+					}(s)
+				}
+				wg.Wait()
+				for _, err := range errs {
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+				got := make(map[uint64]int)
+				size, within, err := w.CountRunsU64(-1, workers, func(run int, m map[uint64]int) bool {
+					for k, c := range m {
+						if _, dup := got[k]; dup {
+							t.Fatalf("key emitted by two runs: partition not disjoint")
+						}
+						if w.RunOfU64(k) != run {
+							t.Fatalf("RunOfU64 = %d for a key counted in run %d", w.RunOfU64(k), run)
+						}
+						got[k] = c
+					}
+					return true
+				})
+				if err != nil || !within || size != len(ref) {
+					t.Fatalf("CountRunsU64: size=%d within=%v err=%v, want %d distinct", size, within, err, len(ref))
+				}
+				for k, c := range ref {
+					if got[k] != c {
+						t.Fatalf("key %d: got count %d, want %d", k, got[k], c)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestU64CapAbort pins the parallel cap contract on the uint64 format at
+// every boundary, for 1 and many counting workers.
+func TestU64CapAbort(t *testing.T) {
+	keys, ref := genU64(6000, 211, 17)
+	distinct := len(ref)
+	for _, workers := range []int{1, 8} {
+		for _, cap := range []int{0, distinct - 1, distinct, distinct + 1} {
+			w, err := NewWriter(Config{RecWidth: 8, Runs: 6, Dir: t.TempDir()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sw := w.Shard()
+			for _, k := range keys {
+				sw.AddU64(k)
+			}
+			if err := sw.Close(); err != nil {
+				t.Fatal(err)
+			}
+			size, within, err := w.CountRunsU64(cap, workers, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if distinct > cap {
+				if within || size != cap+1 {
+					t.Fatalf("workers=%d cap=%d: got (%d, %v), want (%d, false)", workers, cap, size, within, cap+1)
+				}
+			} else if !within || size != distinct {
+				t.Fatalf("workers=%d cap=%d: got (%d, %v), want (%d, true)", workers, cap, size, within, distinct)
+			}
+			w.Cleanup()
+			assertEmptyDir(t, w, "after u64 cap-abort cleanup")
+		}
+	}
+}
+
+// TestScanRunRoundTrip pins the merge-on-read reading surface: ScanRun
+// streams exactly the records of one run, every record routes back to its
+// run via RunOf, and concatenating all runs reproduces the reference
+// multiset.
+func TestScanRunRoundTrip(t *testing.T) {
+	const width = 5
+	recs, ref := genRecords(8000, 300, width, 21)
+	w, err := NewWriter(Config{RecWidth: width, Runs: 4, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Cleanup()
+	writeAll(t, w, recs, 2)
+	got := make(map[string]int)
+	for run := 0; run < w.NumRuns(); run++ {
+		if err := w.ScanRun(run, func(rec []byte) bool {
+			if w.RunOf(rec) != run {
+				t.Fatalf("record in run %d routes to run %d", run, w.RunOf(rec))
+			}
+			got[string(rec)]++
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != len(ref) {
+		t.Fatalf("scanned %d distinct records, want %d", len(got), len(ref))
+	}
+	for k, c := range ref {
+		if got[k] != c {
+			t.Fatalf("record multiplicity mismatch: got %d, want %d", got[k], c)
+		}
+	}
+}
+
+// TestParallelCountLifecycle pins the temp-file lifecycle of parallel run
+// counting: the private directory is removed after a successful count,
+// after a cap-abort, and when a panic injected into emit unwinds through
+// the caller's deferred Cleanup — with multiple counting workers in every
+// case.
+func TestParallelCountLifecycle(t *testing.T) {
+	const workers = 4
+	build := func(t *testing.T) *Writer {
+		t.Helper()
+		recs, _ := genRecords(4000, 260, 4, 23)
+		w, err := NewWriter(Config{RecWidth: 4, Runs: 8, Dir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		writeAll(t, w, recs, 2)
+		return w
+	}
+
+	t.Run("success", func(t *testing.T) {
+		w := build(t)
+		if _, _, err := w.CountRuns(-1, workers, nil); err != nil {
+			t.Fatal(err)
+		}
+		w.Cleanup()
+		assertEmptyDir(t, w, "after parallel success")
+	})
+
+	t.Run("cap-abort", func(t *testing.T) {
+		w := build(t)
+		size, within, err := w.CountRuns(3, workers, nil)
+		if err != nil || within || size != 4 {
+			t.Fatalf("cap-abort: got (%d, %v, %v), want (4, false, nil)", size, within, err)
+		}
+		w.Cleanup()
+		assertEmptyDir(t, w, "after parallel cap-abort")
+	})
+
+	t.Run("panic", func(t *testing.T) {
+		var w *Writer
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Fatal("expected the injected panic to reach the caller")
+				}
+			}()
+			w = build(t)
+			defer w.Cleanup()
+			w.CountRuns(-1, workers, func(run int, m map[string]int) bool {
+				panic("injected mid-merge failure")
+			})
+		}()
+		assertEmptyDir(t, w, "after panic unwound through the deferred cleanup")
+		// The writer must stay usable for error reporting after a recovered
+		// panic (no lock left held).
+		if _, _, err := w.CountRuns(-1, workers, nil); err == nil {
+			t.Fatal("CountRuns after Cleanup should error")
+		}
+	})
+}

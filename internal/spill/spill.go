@@ -2,18 +2,28 @@
 // engine: a partitioned on-disk group-by for datasets whose grouping state
 // would not fit the caller's memory budget.
 //
-// The byte-key map kernel in internal/core holds one map entry per distinct
-// group for the whole scan — unbounded-domain attribute sets can make that
-// state arbitrarily large. The spill group-by bounds it: fixed-width key
-// records are hash-partitioned into K on-disk runs during the scan, and the
-// runs are then counted one at a time with an ordinary in-memory map. The
-// hash partition sends every occurrence of a key to the same run, so runs
-// hold disjoint key sets, per-run counts are exact final counts, and the
-// total distinct count is the plain sum over runs — which is what makes the
-// cap-abort of label sizing exact across runs: the running total is
-// monotone, and the scan stops the moment it proves the bound breached.
-// Peak grouping memory is one run's map (the caller picks K so a run's
-// estimated footprint fits its budget) instead of the whole key space.
+// The map kernels in internal/core hold one map entry per distinct group
+// for the whole scan — unbounded-domain attribute sets can make that state
+// arbitrarily large. The spill group-by bounds it: fixed-width key records
+// are hash-partitioned into K on-disk runs during the scan, and the runs
+// are then counted with ordinary in-memory maps. The hash partition sends
+// every occurrence of a key to the same run, so runs hold disjoint key
+// sets, per-run counts are exact final counts, and the total distinct
+// count is the plain sum over runs — which is what makes the cap-abort of
+// label sizing exact across runs: the running total is monotone, and the
+// scan stops the moment it proves the bound breached. Peak grouping memory
+// is one run's map per counting worker (the caller picks K so a run's
+// estimated footprint fits its per-worker budget share) instead of the
+// whole key space.
+//
+// Two record encodings share the machinery: opaque RecWidth-byte records
+// counted into map[string]int (CountRuns), and fixed-width 8-byte
+// little-endian uint64 records counted into map[uint64]int (AddU64 /
+// CountRunsU64) for key spaces that fit uint64 but whose map state is over
+// budget. Run counting is parallel: runs are key-disjoint, so CountRuns
+// splits them K-way across workers with a shared atomic distinct total for
+// exact cross-worker cap-abort, and each worker reuses one pooled map and
+// read chunk across its runs.
 //
 // The package is deliberately below internal/core in the import order: it
 // deals only in opaque fixed-width byte records, so core can select it from
@@ -22,15 +32,19 @@
 package spill
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/maphash"
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
+
+	"pcbl/internal/workpool"
 )
 
 // BufPool supplies reusable byte buffers for the writer's partition buffers
-// and the run reader's chunk buffer. *core.VecPool satisfies it; a nil-safe
+// and the run readers' chunk buffers. *core.VecPool satisfies it; a nil-safe
 // implementation (or a nil Config.Pool) degrades to plain allocation.
 type BufPool interface {
 	GetBytes(n int) []byte
@@ -39,10 +53,13 @@ type BufPool interface {
 
 // Config describes one spill group-by.
 type Config struct {
-	// RecWidth is the fixed record width in bytes. Required, > 0.
+	// RecWidth is the fixed record width in bytes. Required, > 0. Callers
+	// using the uint64 record format (AddU64/CountRunsU64) must set it to 8.
 	RecWidth int
 	// Runs is the number of hash partitions K. Required, >= 1. Callers
-	// size it so one run's estimated in-memory map fits their budget.
+	// size it so one run's estimated in-memory map fits each counting
+	// worker's share of their budget (CountRuns keeps one run map live per
+	// worker).
 	Runs int
 	// Dir is the parent directory for the run files; the writer creates
 	// (and on Cleanup removes) a private subdirectory under it. Empty
@@ -77,14 +94,15 @@ var hashSeed = maphash.MakeSeed()
 
 // Writer partitions fixed-width records into K on-disk runs. Create one
 // with NewWriter, obtain one ShardWriter per producing goroutine, and after
-// all shards are closed call CountRuns; always Cleanup (it is idempotent
-// and safe to defer before any error handling, including panics).
+// all shards are closed call CountRuns (or CountRunsU64); always Cleanup
+// (it is idempotent and safe to defer before any error handling, including
+// panics).
 type Writer struct {
 	cfg   Config
 	dir   string
 	files []*os.File
 	mus   []sync.Mutex
-	wmu   sync.Mutex // guards written/records accumulation from shard flushes
+	wmu   sync.Mutex // guards stats accumulation from shards and count workers
 	stats Stats
 	done  bool
 }
@@ -142,6 +160,23 @@ func defaultBufBytes(runs int) int {
 	return b
 }
 
+// NumRuns returns the partition count K.
+func (w *Writer) NumRuns() int { return w.cfg.Runs }
+
+// RunOf returns the partition a record routes to. Every occurrence of a
+// key lands in the same run; merge-on-read consumers use it to locate the
+// single run that can hold a looked-up key.
+func (w *Writer) RunOf(rec []byte) int {
+	return int(maphash.Bytes(hashSeed, rec) % uint64(w.cfg.Runs))
+}
+
+// RunOfU64 is RunOf for the uint64 record format.
+func (w *Writer) RunOfU64(key uint64) int {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], key)
+	return w.RunOf(b[:])
+}
+
 // Shard returns a writer-local view for one producing goroutine: Add is not
 // safe for concurrent use on a single ShardWriter, but any number of shards
 // may add concurrently. Close flushes and returns the shard's buffers to
@@ -173,7 +208,7 @@ func (s *ShardWriter) Add(rec []byte) {
 		s.err = fmt.Errorf("spill: record length %d, want %d", len(rec), s.w.cfg.RecWidth)
 		return
 	}
-	run := int(maphash.Bytes(hashSeed, rec) % uint64(s.w.cfg.Runs))
+	run := s.w.RunOf(rec)
 	if len(s.bufs[run])+len(rec) > cap(s.bufs[run]) {
 		s.flush(run)
 		if s.err != nil {
@@ -182,6 +217,15 @@ func (s *ShardWriter) Add(rec []byte) {
 	}
 	s.bufs[run] = append(s.bufs[run], rec...)
 	s.recs++
+}
+
+// AddU64 appends one uint64 record in the fixed 8-byte little-endian
+// encoding. The writer must have been configured with RecWidth 8; the
+// partition assignment matches RunOfU64.
+func (s *ShardWriter) AddU64(key uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], key)
+	s.Add(b[:])
 }
 
 func (s *ShardWriter) flush(run int) {
@@ -225,69 +269,207 @@ func (s *ShardWriter) Close() error {
 // memory stays fixed no matter how large a run file grew.
 const readChunkBytes = 256 << 10
 
-// CountRuns counts each run with an in-memory map and reports the total
-// distinct-record count with exactly the sequential cap-abort contract of
-// label sizing: when cap >= 0 and the total distinct count exceeds cap,
-// counting stops and the result is (cap+1, false). emit, when non-nil, is
-// invoked once per fully counted run while its map is still live — the
-// caller merges (runs are key-disjoint, so plain inserts suffice) or just
-// observes; returning false stops early with the counts so far. The run
-// maps are never retained by the Writer, so peak memory is one run's map
-// plus a fixed read chunk.
-func (w *Writer) CountRuns(cap int, emit func(run int, counts map[string]int) bool) (size int, within bool, err error) {
+// chunkLen rounds the read chunk down to whole records, with a one-record
+// floor so pathologically wide records still stream.
+func (w *Writer) chunkLen() int {
+	n := readChunkBytes - readChunkBytes%w.cfg.RecWidth
+	if n < w.cfg.RecWidth {
+		n = w.cfg.RecWidth
+	}
+	return n
+}
+
+// scanRun streams run r's records through chunk, invoking fn once per
+// record (the slice is only valid for the duration of the call). fn
+// returning false aborts the scan. Reads go through ReadAt at explicit
+// offsets, so any number of scans — of the same or different runs — may
+// proceed concurrently without sharing file positions.
+func (w *Writer) scanRun(run int, chunk []byte, fn func(rec []byte) bool) (aborted bool, err error) {
+	f := w.files[run]
+	var off int64
+	for {
+		n, rerr := f.ReadAt(chunk, off)
+		if rerr != nil && rerr != io.EOF {
+			return false, rerr
+		}
+		// ReadAt fills the whole chunk unless it hit EOF or an error, so a
+		// ragged tail can only appear on the final chunk.
+		if n%w.cfg.RecWidth != 0 {
+			return false, fmt.Errorf("spill: run %d truncated mid-record (%d trailing bytes)", run, n%w.cfg.RecWidth)
+		}
+		for o := 0; o < n; o += w.cfg.RecWidth {
+			if !fn(chunk[o : o+w.cfg.RecWidth]) {
+				return true, nil
+			}
+		}
+		off += int64(n)
+		if rerr == io.EOF {
+			return false, nil
+		}
+	}
+}
+
+// ScanRun streams one run's raw records through a pooled chunk buffer.
+// Safe for concurrent use (distinct or identical runs); merge-on-read
+// consumers rebuild single-run maps through it.
+func (w *Writer) ScanRun(run int, fn func(rec []byte) bool) error {
+	if w.done {
+		return fmt.Errorf("spill: ScanRun after Cleanup")
+	}
+	if run < 0 || run >= len(w.files) {
+		return fmt.Errorf("spill: run %d out of range [0, %d)", run, len(w.files))
+	}
+	chunk := getBuf(w.cfg.Pool, w.chunkLen())
+	defer putBuf(w.cfg.Pool, chunk)
+	_, err := w.scanRun(run, chunk, fn)
+	return err
+}
+
+// CountRuns counts each run with an in-memory map[string]int and reports
+// the total distinct-record count with exactly the sequential cap-abort
+// contract of label sizing: when cap >= 0 and the total distinct count
+// exceeds cap, counting stops and the result is (cap+1, false).
+//
+// Runs hold disjoint keys, so they are counted independently: with
+// workers > 1 the runs are split K-way across worker goroutines, each
+// reusing one map and one pooled read chunk across its runs, and the
+// distinct total is a shared atomic counter — a new key anywhere bumps it,
+// so every worker observes the exact monotone global count and the
+// cap-abort fires at precisely the insert that proves the bound breached,
+// regardless of scheduling. Results are identical for every worker count.
+//
+// emit, when non-nil, is invoked once per fully counted run while its map
+// is still live — the caller merges (runs are key-disjoint, so plain
+// inserts suffice) or just observes; returning false stops early with the
+// counts so far. emit calls are serialized under an internal lock, but run
+// completion order is unspecified with workers > 1, and the map is reused
+// for the worker's next run: emit must not retain it. A panic in emit (or
+// anywhere in a counting worker) is re-raised on the calling goroutine, so
+// the caller's deferred Cleanup still runs.
+func (w *Writer) CountRuns(cap, workers int, emit func(run int, counts map[string]int) bool) (size int, within bool, err error) {
+	return countRuns(w, cap, workers, addRecBytes, emit)
+}
+
+// CountRunsU64 is CountRuns for the uint64 record format: 8-byte
+// little-endian records counted into map[uint64]int — no per-key string
+// materialization, the same cap-abort and parallelism contract.
+func (w *Writer) CountRunsU64(cap, workers int, emit func(run int, counts map[uint64]int) bool) (size int, within bool, err error) {
+	return countRuns(w, cap, workers, addRecU64, emit)
+}
+
+// addRecBytes and addRecU64 fold one record into a run map, reporting
+// whether it was a new distinct key. The string form relies on the
+// compiler's map[string(b)] key optimization for the duplicate case.
+func addRecBytes(m map[string]int, rec []byte) bool {
+	before := len(m)
+	m[string(rec)]++
+	return len(m) != before
+}
+
+func addRecU64(m map[uint64]int, rec []byte) bool {
+	before := len(m)
+	m[binary.LittleEndian.Uint64(rec)]++
+	return len(m) != before
+}
+
+// countRuns is the shared, format-generic run-counting engine behind
+// CountRuns and CountRunsU64.
+func countRuns[K comparable](w *Writer, capN, workers int, add func(map[K]int, []byte) bool, emit func(run int, counts map[K]int) bool) (size int, within bool, err error) {
 	if w.done {
 		return 0, false, fmt.Errorf("spill: CountRuns after Cleanup")
 	}
-	chunk := getBuf(w.cfg.Pool, readChunkBytes-readChunkBytes%w.cfg.RecWidth)
-	defer putBuf(w.cfg.Pool, chunk)
-	total := 0
-	for run, f := range w.files {
-		if _, err := f.Seek(0, io.SeekStart); err != nil {
-			return 0, false, err
-		}
-		m := make(map[string]int)
-		for {
-			n, rerr := io.ReadFull(f, chunk)
-			if rerr == io.EOF {
-				break
+	workers = workpool.Resolve(workers, len(w.files))
+	var (
+		total    atomic.Int64 // distinct keys counted so far, across workers
+		exceeded atomic.Bool  // cap proven breached
+		stopped  atomic.Bool  // emit asked to stop
+	)
+	errs := make([]error, workers)
+	panics := make([]any, workers)
+	workpool.RunChunks(len(w.files), workers, func(wk, lo, hi int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panics[wk] = r
+				stopped.Store(true)
 			}
-			if rerr == io.ErrUnexpectedEOF && n%w.cfg.RecWidth != 0 {
-				return 0, false, fmt.Errorf("spill: run %d truncated mid-record (%d trailing bytes)", run, n%w.cfg.RecWidth)
+		}()
+		chunk := getBuf(w.cfg.Pool, w.chunkLen())
+		defer putBuf(w.cfg.Pool, chunk)
+		var m map[K]int
+		for run := lo; run < hi; run++ {
+			if exceeded.Load() || stopped.Load() {
+				return
 			}
-			if rerr != nil && rerr != io.ErrUnexpectedEOF {
-				return 0, false, rerr
+			if m == nil {
+				m = make(map[K]int)
+			} else {
+				clear(m)
 			}
-			for off := 0; off < n; off += w.cfg.RecWidth {
-				rec := chunk[off : off+w.cfg.RecWidth]
-				before := len(m)
-				m[string(rec)]++
-				if len(m) != before && cap >= 0 && total+len(m) > cap {
+			aborted, err := w.scanRun(run, chunk, func(rec []byte) bool {
+				if add(m, rec) && capN >= 0 && total.Add(1) > int64(capN) {
 					// This insert proved the global distinct count out of
 					// bound (runs are disjoint, so the total is monotone).
-					return cap + 1, false, nil
+					exceeded.Store(true)
+					return false
 				}
+				return true
+			})
+			if err != nil {
+				errs[wk] = err
+				return
 			}
-			if rerr == io.ErrUnexpectedEOF {
-				break
+			if aborted {
+				return
+			}
+			if capN < 0 {
+				total.Add(int64(len(m)))
+			}
+			// wmu serializes emit and the MaxRunEntries update (shard
+			// writers are closed by count time, so the lock is otherwise
+			// uncontended). The deferred unlock keeps the writer usable
+			// when a panic in emit is recovered by the caller.
+			cont := func() bool {
+				w.wmu.Lock()
+				defer w.wmu.Unlock()
+				if len(m) > w.stats.MaxRunEntries {
+					w.stats.MaxRunEntries = len(m)
+				}
+				if emit != nil {
+					return emit(run, m)
+				}
+				return true
+			}()
+			if !cont {
+				stopped.Store(true)
+				return
 			}
 		}
-		if len(m) > w.stats.MaxRunEntries {
-			w.stats.MaxRunEntries = len(m)
-		}
-		total += len(m)
-		if cap >= 0 && total > cap {
-			return cap + 1, false, nil
-		}
-		if emit != nil && !emit(run, m) {
-			return total, true, nil
+	})
+	for _, p := range panics {
+		if p != nil {
+			// Re-raise on the caller so its deferred Cleanup (and any outer
+			// recovery) sees the panic exactly as in the sequential path.
+			panic(p)
 		}
 	}
-	return total, true, nil
+	for _, e := range errs {
+		if e != nil {
+			return 0, false, e
+		}
+	}
+	if exceeded.Load() {
+		return capN + 1, false, nil
+	}
+	return int(total.Load()), true, nil
 }
 
 // Stats returns the writer's accumulated counters. Call after the shards
 // are closed (and after CountRuns for MaxRunEntries).
-func (w *Writer) Stats() Stats { return w.stats }
+func (w *Writer) Stats() Stats {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return w.stats
+}
 
 // Dir exposes the private run directory; tests assert its lifecycle.
 func (w *Writer) Dir() string { return w.dir }

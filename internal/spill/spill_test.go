@@ -66,7 +66,10 @@ func TestGroupByMatchesReference(t *testing.T) {
 	recs, ref := genRecords(20000, 900, width, 7)
 	for _, runs := range []int{1, 4, 7} {
 		for _, shards := range []int{1, 2, 8} {
-			t.Run(fmt.Sprintf("runs=%d_shards=%d", runs, shards), func(t *testing.T) {
+			// workers exercises the parallel K-way count phase; results
+			// must be identical for every worker count.
+			workers := shards
+			t.Run(fmt.Sprintf("runs=%d_shards=%d_workers=%d", runs, shards, workers), func(t *testing.T) {
 				w, err := NewWriter(Config{RecWidth: width, Runs: runs, Dir: t.TempDir()})
 				if err != nil {
 					t.Fatal(err)
@@ -75,7 +78,7 @@ func TestGroupByMatchesReference(t *testing.T) {
 				writeAll(t, w, recs, shards)
 				got := make(map[string]int)
 				seenRuns := 0
-				size, within, err := w.CountRuns(-1, func(run int, m map[string]int) bool {
+				size, within, err := w.CountRuns(-1, workers, func(run int, m map[string]int) bool {
 					seenRuns++
 					for k, c := range m {
 						if _, dup := got[k]; dup {
@@ -117,25 +120,27 @@ func TestCapAbort(t *testing.T) {
 	const width = 4
 	recs, ref := genRecords(5000, 137, width, 11)
 	distinct := len(ref)
-	for _, cap := range []int{0, 1, distinct - 1, distinct, distinct + 1, 10 * distinct} {
-		w, err := NewWriter(Config{RecWidth: width, Runs: 5, Dir: t.TempDir()})
-		if err != nil {
-			t.Fatal(err)
-		}
-		writeAll(t, w, recs, 2)
-		size, within, err := w.CountRuns(cap, nil)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if distinct > cap {
-			if within || size != cap+1 {
-				t.Fatalf("cap=%d distinct=%d: got (%d, %v), want (%d, false)", cap, distinct, size, within, cap+1)
+	for _, workers := range []int{1, 2, 8} {
+		for _, cap := range []int{0, 1, distinct - 1, distinct, distinct + 1, 10 * distinct} {
+			w, err := NewWriter(Config{RecWidth: width, Runs: 5, Dir: t.TempDir()})
+			if err != nil {
+				t.Fatal(err)
 			}
-		} else if !within || size != distinct {
-			t.Fatalf("cap=%d distinct=%d: got (%d, %v), want (%d, true)", cap, distinct, size, within, distinct)
+			writeAll(t, w, recs, 2)
+			size, within, err := w.CountRuns(cap, workers, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if distinct > cap {
+				if within || size != cap+1 {
+					t.Fatalf("workers=%d cap=%d distinct=%d: got (%d, %v), want (%d, false)", workers, cap, distinct, size, within, cap+1)
+				}
+			} else if !within || size != distinct {
+				t.Fatalf("workers=%d cap=%d distinct=%d: got (%d, %v), want (%d, true)", workers, cap, distinct, size, within, distinct)
+			}
+			w.Cleanup()
+			assertEmptyDir(t, w, "after cap-abort cleanup")
 		}
-		w.Cleanup()
-		assertEmptyDir(t, w, "after cap-abort cleanup")
 	}
 }
 
@@ -155,7 +160,7 @@ func TestCleanupOnSuccess(t *testing.T) {
 		t.Fatal(err)
 	}
 	writeAll(t, w, recs, 1)
-	if _, _, err := w.CountRuns(-1, nil); err != nil {
+	if _, _, err := w.CountRuns(-1, 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	w.Cleanup()
@@ -237,7 +242,7 @@ func TestBuffersCycleThroughPool(t *testing.T) {
 	}
 	defer w.Cleanup()
 	writeAll(t, w, recs, 2)
-	size, _, err := w.CountRuns(-1, nil)
+	size, _, err := w.CountRuns(-1, 1, nil)
 	if err != nil || size != len(ref) {
 		t.Fatalf("size=%d err=%v, want %d", size, err, len(ref))
 	}

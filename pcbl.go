@@ -219,12 +219,16 @@ type GenerateOptions struct {
 	// reproduce the full pre-dense engine behaviour.
 	DenseLimit int
 	// MemBudget bounds the in-memory grouping state of a single group-by
-	// in bytes. Attribute sets whose mixed-radix key overflows uint64 (the
-	// unbounded-domain case) and whose estimated hash-map footprint
-	// exceeds the budget are counted out-of-core: keys hash-partition into
-	// on-disk runs sized to the budget, counted one run at a time, with
-	// results identical to the in-memory engine. Zero means unlimited.
-	// SearchStats.SpilledSets/SpillRuns/SpillBytes report the tier's use.
+	// in bytes. Attribute sets beyond the dense kernel whose estimated
+	// hash-map footprint exceeds the budget are counted out-of-core: keys
+	// hash-partition into on-disk runs (fixed-width uint64 records when
+	// the mixed-radix key fits uint64, byte records otherwise) sized to
+	// each counting worker's share of the budget, and the key-disjoint
+	// runs are counted in parallel. Label builds are bounded end to end: a
+	// result map that models over the budget stays on disk and is served
+	// merge-on-read. Results are identical to the in-memory engine. Zero
+	// means unlimited. SearchStats.SpilledSets/SpilledU64Sets/SpillRuns/
+	// SpillParallelRuns/SpillBytes report the tier's use.
 	MemBudget int64
 	// SpillDir overrides where spill run files are written (system temp
 	// directory when empty).
