@@ -9,8 +9,16 @@ package pcbl
 
 import (
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"pcbl/internal/core"
@@ -22,6 +30,7 @@ import (
 	"pcbl/internal/pgstats"
 	"pcbl/internal/sampling"
 	"pcbl/internal/search"
+	"pcbl/internal/serve"
 	"pcbl/internal/spill"
 )
 
@@ -773,6 +782,190 @@ func liveHeap() uint64 {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	return ms.HeapAlloc
+}
+
+// --- Concurrent spilled reads and the serve daemon (PR 6) -----------------
+//
+// Recorded baselines live in BENCH_pr6.json. The read-path claim is about
+// concurrency, not single-thread speed: pinned hot runs are served from an
+// immutable snapshot with no lock at all, so lookup throughput should scale
+// with reader count on a multi-core runner. On a single visible CPU the
+// readers=N sweep measures only the coordination overhead (the goroutines
+// time-slice); re-record on a multi-core machine before reading it as a
+// scaling result.
+
+var lookupBenchOnce sync.Once
+var lookupBench struct {
+	pc     *core.PC
+	probes [][]uint16
+}
+var lookupSink atomic.Int64
+
+func lookupBenchSetup(b *testing.B) {
+	b.Helper()
+	lookupBenchOnce.Do(func() {
+		u64SpillOnce.Do(func() { u64SpillData = wideDataset(60000, 8, 40) })
+		d := u64SpillData
+		full := lattice.FullSet(d.NumAttrs())
+		oracle := core.BuildPCParallel(d, full, core.CountOptions{Workers: 1})
+		// Budget one byte under the result's modeled uint64-map footprint:
+		// the build stays merge-on-read while the read side can pin (nearly)
+		// every run into the lock-free hot cache.
+		budget := int64(oracle.Size())*(8+48) - 1
+		pc := core.BuildPCParallel(d, full, core.CountOptions{Workers: 1, MemBudget: budget})
+		if !pc.Spilled() {
+			panic("lookup benchmark build did not stay merge-on-read")
+		}
+		probes := pcProbeVals(d)
+		for _, vals := range probes {
+			_ = pc.LookupVals(vals) // fault the probed runs into the hot cache
+		}
+		lookupBench.pc, lookupBench.probes = pc, probes
+	})
+}
+
+// BenchmarkSpilledPCLookup sweeps concurrent readers over a merge-on-read
+// PC whose runs are pinned: every lookup takes the lock-free hot-snapshot
+// path. hot-frac reports the fraction of spilled reads served by it.
+func BenchmarkSpilledPCLookup(b *testing.B) {
+	lookupBenchSetup(b)
+	pc, probes := lookupBench.pc, lookupBench.probes
+	for _, readers := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("readers=%d", readers), func(b *testing.B) {
+			before, _ := pc.SpillReadStats()
+			b.SetParallelism(readers)
+			b.RunParallel(func(pb *testing.PB) {
+				var total, i int
+				for pb.Next() {
+					total += pc.LookupVals(probes[i%len(probes)])
+					i++
+				}
+				lookupSink.Add(int64(total))
+			})
+			after, _ := pc.SpillReadStats()
+			reads := (after.HotHits + after.FloatingHits + after.RunLoads) -
+				(before.HotHits + before.FloatingHits + before.RunLoads)
+			if reads > 0 {
+				b.ReportMetric(float64(after.HotHits-before.HotHits)/float64(reads), "hot-frac")
+			}
+		})
+	}
+}
+
+var serveBenchOnce sync.Once
+var serveBench struct {
+	ts   *httptest.Server
+	urls []string
+}
+
+// benchServeDataset builds the serve workload: u64-keyable shape whose
+// full-set group-by spills under a 16 KiB budget (the serve-test shape).
+func benchServeDataset(rows, attrs, domain int) *dataset.Dataset {
+	names := make([]string, attrs)
+	for i := range names {
+		names[i] = fmt.Sprintf("a%d", i)
+	}
+	bld := dataset.NewBuilder("servebench", names...)
+	v := uint64(88172645463325252)
+	row := make([]string, attrs)
+	for r := 0; r < rows; r++ {
+		for i := range row {
+			v ^= v << 13
+			v ^= v >> 7
+			v ^= v << 17
+			row[i] = fmt.Sprintf("v%d", v%uint64(domain))
+		}
+		bld.AppendStrings(row...)
+	}
+	d, err := bld.Build()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func serveBenchSetup(b *testing.B) {
+	b.Helper()
+	serveBenchOnce.Do(func() {
+		d := benchServeDataset(4000, 4, 300)
+		l := core.BuildLabelOpts(d, lattice.FullSet(d.NumAttrs()), core.CountOptions{MemBudget: 16 << 10})
+		if !l.PC().Spilled() {
+			panic("serve benchmark label did not spill")
+		}
+		tmp, err := os.MkdirTemp("", "pcbl-serve-bench-")
+		if err != nil {
+			panic(err)
+		}
+		dir := filepath.Join(tmp, "artifact")
+		if err := SaveLabelArtifact(l, dir); err != nil {
+			panic(err)
+		}
+		l.ReleaseSpill()
+		rl, _, err := OpenLabelArtifact(dir)
+		if err != nil {
+			panic(err)
+		}
+		serveBench.ts = httptest.NewServer(serve.NewHandler(rl))
+		step := d.NumRows() / 64
+		for r := 0; r < d.NumRows(); r += step {
+			var parts []string
+			for a := 0; a < d.NumAttrs(); a++ {
+				parts = append(parts, fmt.Sprintf("%s=%s", d.Attr(a).Name(), d.Value(r, a)))
+			}
+			serveBench.urls = append(serveBench.urls,
+				serveBench.ts.URL+"/v1/count?q="+url.QueryEscape(strings.Join(parts, ",")))
+		}
+		// Warm every probed run into the hot cache so the measured requests
+		// exercise the steady-state (lock-free) read path.
+		warm := serveBench.ts.Client()
+		for _, u := range serveBench.urls {
+			resp, err := warm.Get(u)
+			if err != nil {
+				panic(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	})
+}
+
+// BenchmarkServeQPS measures end-to-end request latency of the query daemon
+// over a reopened spilled artifact: keep-alive HTTP clients hitting
+// /v1/count with full-set patterns. ns/op is the inverse of aggregate QPS.
+func BenchmarkServeQPS(b *testing.B) {
+	serveBenchSetup(b)
+	urls := serveBench.urls
+	for _, clients := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			client := &http.Client{Transport: &http.Transport{
+				MaxIdleConns: 4 * clients, MaxIdleConnsPerHost: 4 * clients,
+			}}
+			defer client.CloseIdleConnections()
+			var fails atomic.Int64
+			b.SetParallelism(clients)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					resp, err := client.Get(urls[i%len(urls)])
+					i++
+					if err != nil {
+						fails.Add(1)
+						continue
+					}
+					if resp.StatusCode != http.StatusOK {
+						fails.Add(1)
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			})
+			b.StopTimer()
+			if fails.Load() > 0 {
+				b.Fatalf("%d of %d requests failed", fails.Load(), b.N)
+			}
+		})
+	}
 }
 
 // --- Ablations (design choices called out in DESIGN.md) -------------------

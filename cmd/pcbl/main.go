@@ -6,22 +6,36 @@
 //	pcbl inspect  -in data.csv
 //	pcbl label    -in data.csv -bound 50 [-algo topdown|naive] [-out label.json] [-render]
 //	pcbl estimate -label label.json -pattern "attr=value,attr2=value2"
+//	pcbl save     -in data.csv {-attrs a,b,c | -bound N} -artifact DIR
+//	pcbl load     -artifact DIR
+//	pcbl serve    -artifact DIR [-addr :8077]
 //
 // The gen subcommand materializes the synthetic evaluation datasets so the
 // rest of the pipeline can be exercised on files, like a user's own data.
+// save/load/serve work with the versioned on-disk artifact format (see
+// docs/artifact-format.md): save builds a label — over an explicit attribute
+// set or by running the optimal-label search — and persists it including any
+// merge-on-read spill runs; load summarizes a saved artifact; serve answers
+// count/estimate/marginal queries over HTTP/JSON from a reopened artifact.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"pcbl"
 	"pcbl/internal/datagen"
 	"pcbl/internal/htmlreport"
 	"pcbl/internal/patexpr"
+	"pcbl/internal/serve"
 )
 
 func main() {
@@ -41,6 +55,12 @@ func main() {
 		err = runEstimate(os.Args[2:])
 	case "audit":
 		err = runAudit(os.Args[2:])
+	case "save":
+		err = runSave(os.Args[2:])
+	case "load":
+		err = runLoad(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -62,7 +82,10 @@ subcommands:
   inspect   summarize a CSV dataset (attributes, domains, value counts)
   label     generate an optimal label for a CSV dataset
   estimate  estimate a pattern count from a saved label, without the data
-  audit     flag under-represented attribute-value intersections from a label`)
+  audit     flag under-represented attribute-value intersections from a label
+  save      build a label and persist it as an on-disk artifact directory
+  load      summarize a saved label artifact
+  serve     answer label queries over HTTP/JSON from a saved artifact`)
 }
 
 func runGen(args []string) error {
@@ -151,18 +174,9 @@ func runLabel(args []string) error {
 	memBudgetMB := fs.Int("mem-budget-mb", 0, "group-by memory budget in MiB; attribute sets whose map state models over it are counted via on-disk spill runs, and over-budget result maps stay on disk (merge-on-read) (0 = unlimited)")
 	spillDir := fs.String("spill-dir", "", "directory for spill run files (system temp dir when empty)")
 	fs.Parse(args)
-	if *in == "" {
-		return fmt.Errorf("-in is required")
-	}
-	d, err := pcbl.ReadCSVFile(*in, pcbl.CSVOptions{})
+	d, err := readDataset(*in, *bins)
 	if err != nil {
 		return err
-	}
-	if *bins > 1 {
-		d, err = pcbl.BucketizeAllNumeric(d, pcbl.BucketizeOptions{Bins: *bins, Strategy: pcbl.EqualFrequency})
-		if err != nil {
-			return err
-		}
 	}
 	res, err := pcbl.GenerateLabel(d, pcbl.GenerateOptions{
 		Bound:     *bound,
@@ -220,6 +234,173 @@ func runLabel(args []string) error {
 		fmt.Printf("HTML report written to %s\n", *htmlOut)
 	}
 	return nil
+}
+
+// readDataset loads (and optionally bucketizes) a labeling input. A dataset
+// with zero rows is rejected here, before any label build: every downstream
+// stat would be a meaningless zero, and the artifact/serve path would publish
+// an empty label as if it described data.
+func readDataset(in string, bins int) (*pcbl.Dataset, error) {
+	if in == "" {
+		return nil, fmt.Errorf("-in is required")
+	}
+	d, err := pcbl.ReadCSVFile(in, pcbl.CSVOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if bins > 1 {
+		d, err = pcbl.BucketizeAllNumeric(d, pcbl.BucketizeOptions{Bins: bins, Strategy: pcbl.EqualFrequency})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if d.NumRows() == 0 {
+		return nil, fmt.Errorf("dataset %s has no rows; cannot build a label", in)
+	}
+	return d, nil
+}
+
+func runSave(args []string) error {
+	fs := flag.NewFlagSet("save", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV path (required)")
+	attrsArg := fs.String("attrs", "", "comma-separated label attributes (build L_S for exactly this S)")
+	bound := fs.Int("bound", 0, "search for the optimal label within this size bound instead of -attrs")
+	algo := fs.String("algo", "topdown", "search algorithm when -bound is used: topdown or naive")
+	bins := fs.Int("bins", 5, "bucketize numeric attributes into this many bins (0 disables)")
+	memBudgetMB := fs.Int("mem-budget-mb", 0, "group-by memory budget in MiB (0 = unlimited); over-budget labels persist their on-disk runs into the artifact")
+	spillDir := fs.String("spill-dir", "", "directory for spill run files (system temp dir when empty)")
+	artifactDir := fs.String("artifact", "", "output artifact directory (required; must not exist or be empty)")
+	fs.Parse(args)
+	if *artifactDir == "" {
+		return fmt.Errorf("-artifact is required")
+	}
+	if (*attrsArg == "") == (*bound == 0) {
+		return fmt.Errorf("exactly one of -attrs or -bound is required")
+	}
+	d, err := readDataset(*in, *bins)
+	if err != nil {
+		return err
+	}
+
+	var l *pcbl.Label
+	opts := pcbl.LabelOptions{MemBudget: int64(*memBudgetMB) << 20, SpillDir: *spillDir}
+	if *attrsArg != "" {
+		var names []string
+		for _, n := range strings.Split(*attrsArg, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+		l, err = pcbl.BuildLabelWith(d, opts, names...)
+		if err != nil {
+			return err
+		}
+	} else {
+		res, err := pcbl.GenerateLabel(d, pcbl.GenerateOptions{
+			Bound:     *bound,
+			Algorithm: pcbl.Algorithm(*algo),
+			FastEval:  true,
+			MemBudget: opts.MemBudget,
+			SpillDir:  opts.SpillDir,
+		})
+		if err != nil {
+			return err
+		}
+		l = res.Label
+	}
+	defer l.ReleaseSpill()
+	if err := pcbl.SaveLabelArtifact(l, *artifactDir); err != nil {
+		return err
+	}
+	spilled := ""
+	if l.PC().Spilled() {
+		spilled = " (merge-on-read PC section)"
+	}
+	fmt.Printf("artifact written to %s\n", *artifactDir)
+	fmt.Printf("label attributes: %s\n", strings.Join(labelSetNames(l), ", "))
+	fmt.Printf("label size:       %d over %d rows%s\n", l.Size(), l.Rows(), spilled)
+	return nil
+}
+
+func runLoad(args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	artifactDir := fs.String("artifact", "", "artifact directory (required)")
+	fs.Parse(args)
+	if *artifactDir == "" {
+		return fmt.Errorf("-artifact is required")
+	}
+	l, m, err := pcbl.OpenLabelArtifact(*artifactDir)
+	if err != nil {
+		return err
+	}
+	defer l.ReleaseSpill()
+	fmt.Printf("dataset:          %s (%d rows, %d attributes)\n", m.Dataset, m.TotalRows, len(m.Attrs))
+	fmt.Printf("label attributes: %s\n", strings.Join(m.LabelAttrs, ", "))
+	fmt.Printf("label size:       %d (+%d value counts)\n", l.Size(), l.VCSize())
+	kinds := map[string]int{}
+	for _, pm := range m.PCs {
+		kinds[string(pm.Kind)]++
+	}
+	var parts []string
+	for _, k := range []string{"dense", "u64", "bytes", "spilled-u64", "spilled-bytes"} {
+		if kinds[k] > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", kinds[k], k))
+		}
+	}
+	fmt.Printf("payloads:         %d (%s); format version %d\n", len(m.PCs), strings.Join(parts, ", "), m.FormatVersion)
+	return nil
+}
+
+// serveReady, when non-nil, observes the bound listen address before the
+// server starts accepting; tests use it to reach a :0 listener.
+var serveReady func(addr string)
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	artifactDir := fs.String("artifact", "", "artifact directory (required)")
+	addr := fs.String("addr", ":8077", "HTTP listen address")
+	fs.Parse(args)
+	if *artifactDir == "" {
+		return fmt.Errorf("-artifact is required")
+	}
+	l, m, err := pcbl.OpenLabelArtifact(*artifactDir)
+	if err != nil {
+		return err
+	}
+	defer l.ReleaseSpill()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving label %s over %s (%d rows) on http://%s\n",
+		strings.Join(m.LabelAttrs, ","), m.Dataset, m.TotalRows, ln.Addr())
+	if serveReady != nil {
+		serveReady(ln.Addr().String())
+	}
+
+	srv := &http.Server{Handler: serve.NewHandler(l)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		stop()
+		fmt.Println("shutting down")
+		return srv.Shutdown(context.Background())
+	}
+}
+
+// labelSetNames lists the names of a label's attribute set.
+func labelSetNames(l *pcbl.Label) []string {
+	d := l.Dataset()
+	members := l.Attrs().Members()
+	out := make([]string, len(members))
+	for i, a := range members {
+		out[i] = d.Attr(a).Name()
+	}
+	return out
 }
 
 func runEstimate(args []string) error {

@@ -1,0 +1,141 @@
+package main
+
+// Command-level tests: degenerate inputs must fail with a clear error (not
+// a stats line full of zeros), and the save → load → serve pipeline must
+// answer queries identical to counting the CSV directly.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"pcbl"
+)
+
+// writeCSV writes a small deterministic dataset: 3 attributes whose values
+// cycle at different periods, so every pair combination has a nonzero,
+// non-uniform count.
+func writeCSV(t *testing.T, rows int) string {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("color,shape,size\n")
+	for r := 0; r < rows; r++ {
+		fmt.Fprintf(&sb, "c%d,s%d,z%d\n", r%3, (r/2)%4, (r/5)%2)
+	}
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLabelRejectsZeroRowDataset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.csv")
+	if err := os.WriteFile(path, []byte("a,b,c\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := runLabel([]string{"-in", path})
+	if err == nil || !strings.Contains(err.Error(), "no rows") {
+		t.Fatalf("runLabel on a zero-row dataset: %v, want a no-rows error", err)
+	}
+	if err := runSave([]string{"-in", path, "-attrs", "a,b", "-artifact", t.TempDir() + "/a"}); err == nil ||
+		!strings.Contains(err.Error(), "no rows") {
+		t.Fatalf("runSave on a zero-row dataset: %v, want a no-rows error", err)
+	}
+}
+
+func TestSaveRejectsUnknownAttribute(t *testing.T) {
+	path := writeCSV(t, 60)
+	err := runSave([]string{"-in", path, "-bins", "0", "-attrs", "color,nosuch", "-artifact", t.TempDir() + "/a"})
+	if err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Fatalf("runSave with an unknown attribute: %v, want an error naming it", err)
+	}
+}
+
+func TestSaveRequiresExactlyOneMode(t *testing.T) {
+	path := writeCSV(t, 60)
+	for _, args := range [][]string{
+		{"-in", path, "-artifact", t.TempDir() + "/a"},                                    // neither
+		{"-in", path, "-attrs", "color", "-bound", "10", "-artifact", t.TempDir() + "/b"}, // both
+		{"-in", path, "-attrs", "color"},                                                  // no -artifact
+	} {
+		if err := runSave(args); err == nil {
+			t.Errorf("runSave(%v) succeeded, want usage error", args)
+		}
+	}
+}
+
+func TestSaveLoadServeRoundTrip(t *testing.T) {
+	path := writeCSV(t, 120)
+	dir := filepath.Join(t.TempDir(), "artifact")
+	if err := runSave([]string{"-in", path, "-bins", "0", "-attrs", "color,shape", "-artifact", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runLoad([]string{"-artifact", dir}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ground truth straight from the CSV.
+	d, err := pcbl.ReadCSVFile(path, pcbl.CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pcbl.NewPattern(d, map[string]string{"color": "c1", "shape": "s2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pcbl.Count(d, p)
+	if want == 0 {
+		t.Fatal("probe pattern has zero count; choose another")
+	}
+
+	ready := make(chan string, 1)
+	serveReady = func(addr string) { ready <- addr }
+	defer func() { serveReady = nil }()
+	served := make(chan error, 1)
+	go func() { served <- runServe([]string{"-artifact", dir, "-addr", "127.0.0.1:0"}) }()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-served:
+		t.Fatalf("serve exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not start listening")
+	}
+
+	resp, err := http.Get("http://" + addr + "/v1/count?q=color%3Dc1%2Cshape%3Ds2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cr struct {
+		Count int `json:"count"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&cr)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Count != want {
+		t.Fatalf("served count %d, want %d (CSV ground truth)", cr.Count, want)
+	}
+
+	// SIGINT must shut the daemon down cleanly.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serve shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not shut down on SIGINT")
+	}
+}

@@ -1,0 +1,437 @@
+// Package artifact persists pattern count–based labels as versioned
+// on-disk artifacts: a label built once becomes a directory that any later
+// process — in particular the `pcbl serve` daemon — reopens and queries
+// without access to the original dataset.
+//
+// An artifact directory holds one manifest.json plus one payload per
+// pattern-count index (the label's PC section first, then every
+// materialized marginal index):
+//
+//   - manifest.json — format version, dataset schema (attribute names and
+//     active domains), the VC section (per-value counts), the label's
+//     attribute set, and a descriptor per PC payload.
+//   - pc-NNN.bin — an in-memory representation serialized directly:
+//     the dense path as a raw little-endian int32 slab, the uint64 and
+//     byte-string map paths as sorted fixed-width (key, int64 count)
+//     entries.
+//   - pc-NNN-runs/ — a merge-on-read (spilled) representation: the
+//     build's own run files, adopted into the artifact by rename instead
+//     of being re-counted, exactly as internal/spill wrote them. The
+//     partition-routing hash is fixed, so a reopened artifact routes
+//     point lookups to the same single run the build spilled them into.
+//
+// Numbers in binary payloads are little-endian. The manifest is written
+// last, so a directory with a readable manifest is a complete artifact.
+// See docs/artifact-format.md for the byte-level layout.
+package artifact
+
+import (
+	"bufio"
+	"cmp"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+
+	"pcbl/internal/core"
+	"pcbl/internal/dataset"
+	"pcbl/internal/lattice"
+	"pcbl/internal/spill"
+)
+
+// FormatVersion is the artifact layout version this package reads and
+// writes. Readers reject other versions.
+const FormatVersion = 1
+
+// manifestName is the artifact's index file, written last.
+const manifestName = "manifest.json"
+
+// PC payload kinds.
+const (
+	kindDense        = "dense"
+	kindU64          = "u64"
+	kindBytes        = "bytes"
+	kindSpilledU64   = "spilled-u64"
+	kindSpilledBytes = "spilled-bytes"
+)
+
+// Manifest is the artifact's JSON index.
+type Manifest struct {
+	FormatVersion int `json:"format_version"`
+
+	// Dataset schema: enough to rebuild the attribute dictionaries (and
+	// thus keyers and pattern parsing) without any row data.
+	Dataset   string     `json:"dataset"`
+	TotalRows int        `json:"total_rows"`
+	Attrs     []AttrMeta `json:"attributes"`
+
+	// LabelAttrs names the attribute set S of the PC section.
+	LabelAttrs []string `json:"label_attrs"`
+
+	// PCs describes the payloads: PCs[0] is the label's PC section, the
+	// rest are materialized marginal indexes.
+	PCs []PCMeta `json:"pcs"`
+}
+
+// AttrMeta is one attribute's schema plus its VC entries: Counts[i] is
+// c_D({A = Domain[i]}), the count of value identifier i+1.
+type AttrMeta struct {
+	Name   string   `json:"name"`
+	Domain []string `json:"domain"`
+	Counts []int    `json:"counts"`
+}
+
+// PCMeta describes one pattern-count payload.
+type PCMeta struct {
+	Attrs []string `json:"attrs"`
+	Kind  string   `json:"kind"`
+
+	// File is the payload for the in-memory kinds.
+	File string `json:"file,omitempty"`
+	// Distinct is the dense kind's nonzero-slot count.
+	Distinct int `json:"distinct,omitempty"`
+	// Entries is the map kinds' entry count.
+	Entries int `json:"entries,omitempty"`
+
+	// Spilled kinds: the adopted run directory and the read-path metadata.
+	Dir      string `json:"dir,omitempty"`
+	RecWidth int    `json:"rec_width,omitempty"`
+	Size     int    `json:"size,omitempty"`
+	RunSizes []int  `json:"run_sizes,omitempty"`
+	Budget   int64  `json:"budget,omitempty"`
+}
+
+// Save writes label l as an artifact at dir, which must not yet exist (or
+// be an empty directory). Spilled pattern-count indexes are not
+// re-counted: their on-disk runs are adopted — moved — into the artifact,
+// after which l itself serves reads from the artifact's files and l's
+// ReleaseSpill no longer deletes them. The manifest is written last, so a
+// crash mid-save leaves a directory without one: incomplete by
+// construction. Save requires exclusive access to l (no concurrent reads
+// while run files relocate).
+func Save(l *core.Label, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	if ents, err := os.ReadDir(dir); err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	} else if len(ents) != 0 {
+		return fmt.Errorf("artifact: directory %s is not empty", dir)
+	}
+
+	d := l.Dataset()
+	m := &Manifest{
+		FormatVersion: FormatVersion,
+		Dataset:       d.Name(),
+		TotalRows:     l.Rows(),
+		Attrs:         make([]AttrMeta, d.NumAttrs()),
+	}
+	for a := 0; a < d.NumAttrs(); a++ {
+		attr := d.Attr(a)
+		dom := attr.Domain()
+		counts := make([]int, len(dom))
+		for i := range dom {
+			counts[i] = l.ValueCount(a, uint16(i+1))
+		}
+		m.Attrs[a] = AttrMeta{Name: attr.Name(), Domain: dom, Counts: counts}
+	}
+	m.LabelAttrs = attrNames(d, l.Attrs())
+
+	if err := savePC(m, l.PC(), d, dir); err != nil {
+		return err
+	}
+	var merr error
+	l.EachMarginal(func(sub lattice.AttrSet, pc *core.PC) {
+		if merr == nil {
+			merr = savePC(m, pc, d, dir)
+		}
+	})
+	if merr != nil {
+		return merr
+	}
+
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	return nil
+}
+
+// savePC serializes one PC payload and appends its descriptor to m.
+func savePC(m *Manifest, pc *core.PC, d *dataset.Dataset, dir string) error {
+	idx := len(m.PCs)
+	meta := PCMeta{Attrs: attrNames(d, pc.Attrs())}
+	r := pc.Repr()
+	switch {
+	case r.Spill != nil:
+		sr := r.Spill
+		meta.Dir = fmt.Sprintf("pc-%03d-runs", idx)
+		runDir := filepath.Join(dir, meta.Dir)
+		if err := os.Mkdir(runDir, 0o755); err != nil {
+			return fmt.Errorf("artifact: %w", err)
+		}
+		if err := sr.Writer.AdoptInto(runDir); err != nil {
+			return fmt.Errorf("artifact: %w", err)
+		}
+		if sr.U64 {
+			meta.Kind = kindSpilledU64
+			meta.RecWidth = 8
+		} else {
+			meta.Kind = kindSpilledBytes
+			meta.RecWidth = 2 * pc.Attrs().Size()
+		}
+		meta.Size = sr.Size
+		meta.RunSizes = sr.RunSizes
+		meta.Budget = sr.Budget
+	default:
+		meta.File = fmt.Sprintf("pc-%03d.bin", idx)
+		f, err := os.Create(filepath.Join(dir, meta.File))
+		if err != nil {
+			return fmt.Errorf("artifact: %w", err)
+		}
+		w := bufio.NewWriter(f)
+		switch {
+		case r.Dense != nil:
+			meta.Kind = kindDense
+			meta.Distinct = r.Distinct
+			buf := make([]byte, 4)
+			for _, c := range r.Dense {
+				binary.LittleEndian.PutUint32(buf, uint32(c))
+				w.Write(buf)
+			}
+		case r.U != nil:
+			meta.Kind = kindU64
+			meta.Entries = len(r.U)
+			keys := make([]uint64, 0, len(r.U))
+			for k := range r.U {
+				keys = append(keys, k)
+			}
+			slices.Sort(keys)
+			buf := make([]byte, 16)
+			for _, k := range keys {
+				binary.LittleEndian.PutUint64(buf, k)
+				binary.LittleEndian.PutUint64(buf[8:], uint64(int64(r.U[k])))
+				w.Write(buf)
+			}
+		default:
+			meta.Kind = kindBytes
+			meta.Entries = len(r.S)
+			meta.RecWidth = 2 * pc.Attrs().Size()
+			keys := make([]string, 0, len(r.S))
+			for k := range r.S {
+				if len(k) != meta.RecWidth {
+					f.Close()
+					return fmt.Errorf("artifact: byte key width %d, want %d", len(k), meta.RecWidth)
+				}
+				keys = append(keys, k)
+			}
+			slices.SortFunc(keys, cmp.Compare)
+			buf := make([]byte, 8)
+			for _, k := range keys {
+				w.WriteString(k)
+				binary.LittleEndian.PutUint64(buf, uint64(int64(r.S[k])))
+				w.Write(buf)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return fmt.Errorf("artifact: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("artifact: %w", err)
+		}
+	}
+	m.PCs = append(m.PCs, meta)
+	return nil
+}
+
+// Open reads an artifact directory and reconstructs its label: a
+// schema-only dataset (dictionaries, zero rows), the PC section — spilled
+// payloads reopen their adopted run files read-only and stream on demand,
+// exactly as the building process served them — and every persisted
+// marginal index. The returned manifest describes what was loaded.
+func Open(dir string) (*core.Label, *Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, nil, fmt.Errorf("artifact: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, nil, fmt.Errorf("artifact: bad manifest: %w", err)
+	}
+	if m.FormatVersion != FormatVersion {
+		return nil, nil, fmt.Errorf("artifact: format version %d, this build reads %d", m.FormatVersion, FormatVersion)
+	}
+	if len(m.PCs) == 0 {
+		return nil, nil, fmt.Errorf("artifact: manifest has no PC payloads")
+	}
+
+	// Rebuild the schema-only dataset: dictionaries in persisted order, so
+	// value identifiers — and therefore every serialized key — line up.
+	names := make([]string, len(m.Attrs))
+	for i, am := range m.Attrs {
+		names[i] = am.Name
+	}
+	bld := dataset.NewBuilder(m.Dataset, names...)
+	for a, am := range m.Attrs {
+		for _, v := range am.Domain {
+			if _, err := bld.InternValue(a, v); err != nil {
+				return nil, nil, fmt.Errorf("artifact: %w", err)
+			}
+		}
+	}
+	d, err := bld.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("artifact: %w", err)
+	}
+
+	vc := make([][]int, len(m.Attrs))
+	for a, am := range m.Attrs {
+		if len(am.Counts) != len(am.Domain) {
+			return nil, nil, fmt.Errorf("artifact: attribute %q has %d counts for %d values", am.Name, len(am.Counts), len(am.Domain))
+		}
+		vc[a] = am.Counts
+	}
+
+	s, err := lattice.FromNames(names, m.LabelAttrs...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("artifact: %w", err)
+	}
+
+	pcs := make([]*core.PC, len(m.PCs))
+	for i, pm := range m.PCs {
+		pc, err := openPC(d, pm, dir)
+		if err != nil {
+			// Release spilled payloads already reopened; their writers
+			// don't own the artifact's files, so this only closes
+			// descriptors.
+			for _, p := range pcs[:i] {
+				p.ReleaseSpill()
+			}
+			return nil, nil, err
+		}
+		pcs[i] = pc
+	}
+	if got := attrNames(d, pcs[0].Attrs()); !slices.Equal(got, m.LabelAttrs) {
+		return nil, nil, fmt.Errorf("artifact: PC payload 0 covers %v, manifest says %v", got, m.LabelAttrs)
+	}
+
+	l := core.NewLabelFromParts(d, m.TotalRows, s, pcs[0], vc)
+	for i, pc := range pcs[1:] {
+		sub := pc.Attrs()
+		if !sub.ProperSubsetOf(s) {
+			return nil, nil, fmt.Errorf("artifact: marginal payload %d covers %v, not a proper subset of %v", i+1, m.PCs[i+1].Attrs, m.LabelAttrs)
+		}
+		l.PutMarginal(sub, pc)
+	}
+	return l, &m, nil
+}
+
+// openPC loads one PC payload.
+func openPC(d *dataset.Dataset, pm PCMeta, dir string) (*core.PC, error) {
+	s, err := lattice.FromNames(d.AttrNames(), pm.Attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	r := core.PCRepr{Attrs: s}
+	switch pm.Kind {
+	case kindSpilledU64, kindSpilledBytes:
+		w, err := spill.Open(filepath.Join(dir, pm.Dir), pm.RecWidth, len(pm.RunSizes), nil)
+		if err != nil {
+			return nil, fmt.Errorf("artifact: %w", err)
+		}
+		r.Spill = &core.SpillRepr{
+			Writer:   w,
+			U64:      pm.Kind == kindSpilledU64,
+			Size:     pm.Size,
+			RunSizes: pm.RunSizes,
+			Budget:   pm.Budget,
+		}
+	case kindDense:
+		data, err := os.ReadFile(filepath.Join(dir, pm.File))
+		if err != nil {
+			return nil, fmt.Errorf("artifact: %w", err)
+		}
+		if len(data)%4 != 0 {
+			return nil, fmt.Errorf("artifact: dense payload %s is %d bytes, not a whole int32 slab", pm.File, len(data))
+		}
+		slab := make([]int32, len(data)/4)
+		for i := range slab {
+			slab[i] = int32(binary.LittleEndian.Uint32(data[4*i:]))
+		}
+		r.Dense, r.Distinct = slab, pm.Distinct
+	case kindU64:
+		m := make(map[uint64]int, pm.Entries)
+		err := readEntries(filepath.Join(dir, pm.File), 16, func(rec []byte) {
+			m[binary.LittleEndian.Uint64(rec)] = int(int64(binary.LittleEndian.Uint64(rec[8:])))
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(m) != pm.Entries {
+			return nil, fmt.Errorf("artifact: payload %s holds %d entries, manifest says %d", pm.File, len(m), pm.Entries)
+		}
+		r.U = m
+	case kindBytes:
+		if pm.RecWidth <= 0 {
+			return nil, fmt.Errorf("artifact: byte payload %s without a record width", pm.File)
+		}
+		m := make(map[string]int, pm.Entries)
+		err := readEntries(filepath.Join(dir, pm.File), pm.RecWidth+8, func(rec []byte) {
+			m[string(rec[:pm.RecWidth])] = int(int64(binary.LittleEndian.Uint64(rec[pm.RecWidth:])))
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(m) != pm.Entries {
+			return nil, fmt.Errorf("artifact: payload %s holds %d entries, manifest says %d", pm.File, len(m), pm.Entries)
+		}
+		r.S = m
+	default:
+		return nil, fmt.Errorf("artifact: unknown PC kind %q", pm.Kind)
+	}
+	pc, err := core.PCFromRepr(d, r)
+	if err != nil {
+		if r.Spill != nil {
+			r.Spill.Writer.Cleanup()
+		}
+		return nil, err
+	}
+	return pc, nil
+}
+
+// readEntries streams a payload file of fixed-width entries through fn.
+func readEntries(path string, width int, fn func(rec []byte)) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	rec := make([]byte, width)
+	for {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("artifact: payload %s: %w", path, err)
+		}
+		fn(rec)
+	}
+}
+
+// attrNames resolves an attribute set to names in member order.
+func attrNames(d *dataset.Dataset, s lattice.AttrSet) []string {
+	members := s.Members()
+	out := make([]string, len(members))
+	for i, a := range members {
+		out[i] = d.Attr(a).Name()
+	}
+	return out
+}

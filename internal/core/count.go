@@ -84,6 +84,16 @@ func (pc *PC) ReleaseSpill() {
 	}
 }
 
+// SpillReadStats reports the read-path counters of a merge-on-read index:
+// lock-free pinned-run hits, floating-slot hits, and run-file loads. ok is
+// false for in-memory representations, which have no read path to meter.
+func (pc *PC) SpillReadStats() (stats SpillReadStats, ok bool) {
+	if pc == nil || pc.sp == nil {
+		return SpillReadStats{}, false
+	}
+	return pc.sp.readStats(), true
+}
+
 // LookupVals returns the count of the pattern whose member values appear in
 // the dense identifier slice vals; 0 when the pattern is absent (count 0) or
 // any member slot is NULL.

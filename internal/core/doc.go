@@ -60,6 +60,23 @@
 // through a pinned hot-run cache; ReleaseSpill (or, as a safety net, the
 // GC) removes the runs. No budget means the tier is off.
 //
+// The merge-on-read read path is built for concurrent readers (the label
+// serving daemon of internal/serve): there is no per-lookup mutex. Pinned
+// hot runs live in an immutable map snapshot swapped in by copy-on-write
+// through an atomic pointer, so steady-state lookups are lock-free map
+// probes; a per-run load lock serializes only the first fault of each run
+// (concurrent readers of *different* cold runs load in parallel); a small
+// admission lock guards the hot-cache cost accounting and the single
+// floating (unpinned) slot, and is never held across I/O; and a liveness
+// RWMutex arbitrates the release/lookup race — readers hold the read side
+// across the released-check plus file scan, release takes the write side,
+// and a lookup racing a completed ReleaseSpill fails with the documented
+// "use of a released spilled PC" panic rather than undefined behaviour.
+// No lock is held across user callbacks (Each/Marginalize), so callbacks
+// may re-enter the same PC. The locking model is spelled out on spilledPC
+// (spilledpc.go) and hammered by the race-matrix tests in
+// spilledpc_concurrent_test.go.
+//
 // Orthogonally, pccache.go and refinebatch.go reuse work across lattice
 // levels. A RefinablePC retains the row→group assignment of its group-by,
 // so the index (or just the label size) of S ∪ {a} follows from a

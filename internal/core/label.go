@@ -20,7 +20,15 @@ type Label struct {
 	d     *dataset.Dataset
 	attrs lattice.AttrSet
 	pc    *PC
+	rows  int          // |D|; kept apart from d so artifact labels survive a schema-only dataset
 	copts CountOptions // engine options shared by lazy marginal builds
+
+	// fromPC marks a label reopened from an artifact: its dataset is
+	// schema-only (zero rows), so lazy marginals are summed from the PC
+	// section instead of rescanning — identical on NULL-free data, and the
+	// artifact additionally persists every dataset-built marginal the
+	// in-process label had materialized.
+	fromPC bool
 
 	// VC-derived tables, precomputed for estimation speed.
 	fracs [][]float64 // fracs[a][id-1] = c_D({A=v}) / Σ_u c_D({A=u})
@@ -44,6 +52,7 @@ func BuildLabelOpts(d *dataset.Dataset, s lattice.AttrSet, opts CountOptions) *L
 		d:         d,
 		attrs:     s,
 		pc:        BuildPCParallel(d, s, opts),
+		rows:      d.NumRows(),
 		copts:     opts,
 		fracs:     make([][]float64, d.NumAttrs()),
 		vc:        make([][]int, d.NumAttrs()),
@@ -56,6 +65,41 @@ func BuildLabelOpts(d *dataset.Dataset, s lattice.AttrSet, opts CountOptions) *L
 	return l
 }
 
+// NewLabelFromParts assembles a label from deserialized pieces — the
+// constructor behind internal/artifact. d may be schema-only (attribute
+// dictionaries with zero rows): rows carries |D| and vc carries the VC
+// section, so estimation never consults the dataset's row data. The label
+// serves lazy marginals by summing the PC section (see Label.fromPC);
+// callers restore previously materialized marginals with PutMarginal.
+func NewLabelFromParts(d *dataset.Dataset, rows int, s lattice.AttrSet, pc *PC, vc [][]int) *Label {
+	l := &Label{
+		d:         d,
+		attrs:     s,
+		pc:        pc,
+		rows:      rows,
+		copts:     CountOptions{},
+		fromPC:    true,
+		fracs:     make([][]float64, d.NumAttrs()),
+		vc:        vc,
+		marginals: make(map[lattice.AttrSet]*PC),
+	}
+	for a := 0; a < d.NumAttrs(); a++ {
+		counts := vc[a]
+		var total int64
+		for _, c := range counts {
+			total += int64(c)
+		}
+		fr := make([]float64, len(counts))
+		if total > 0 {
+			for i, c := range counts {
+				fr[i] = float64(c) / float64(total)
+			}
+		}
+		l.fracs[a] = fr
+	}
+	return l
+}
+
 // Dataset returns the dataset the label was built from.
 func (l *Label) Dataset() *dataset.Dataset { return l.d }
 
@@ -64,6 +108,64 @@ func (l *Label) Attrs() lattice.AttrSet { return l.attrs }
 
 // Size returns |PC| = |P_S|, the label size.
 func (l *Label) Size() int { return l.pc.Size() }
+
+// Rows returns |D|, the row count of the dataset the label was built from.
+// Unlike Dataset().NumRows() it survives artifact round-trips, where the
+// attached dataset is schema-only.
+func (l *Label) Rows() int { return l.rows }
+
+// Count returns the exact restricted count c_D(p|S ∩ Attr(p)) when p
+// constrains only attributes of S — the full PC section for Attr(p) = S, a
+// marginal index for Attr(p) ⊂ S, |D| for the empty pattern. ok is false
+// when p constrains an attribute outside S (use Estimate there: the count
+// is then approximated, not exact).
+func (l *Label) Count(p Pattern) (count int, ok bool) {
+	if !p.attrs.Diff(l.attrs).IsEmpty() {
+		return 0, false
+	}
+	switch {
+	case p.attrs == l.attrs:
+		return l.pc.LookupVals(p.vals), true
+	case p.attrs.IsEmpty():
+		return l.rows, true
+	default:
+		return l.marginal(p.attrs).LookupVals(p.vals), true
+	}
+}
+
+// MarginalPC returns the pattern-count index over sub ⊆ S: the label's PC
+// section for sub = S, a (lazily built, cached) marginal index for proper
+// subsets. ok is false when sub reaches outside S. Query services use it
+// to enumerate restricted-count distributions.
+func (l *Label) MarginalPC(sub lattice.AttrSet) (pc *PC, ok bool) {
+	if !sub.SubsetOf(l.attrs) || sub.IsEmpty() {
+		return nil, false
+	}
+	if sub == l.attrs {
+		return l.pc, true
+	}
+	return l.marginal(sub), true
+}
+
+// EachMarginal invokes fn for every materialized marginal index, holding
+// the label's marginal lock: fn must not probe the label. Serialization
+// uses it to persist the lazily built indexes alongside the PC section.
+func (l *Label) EachMarginal(fn func(sub lattice.AttrSet, pc *PC)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for sub, pc := range l.marginals {
+		fn(sub, pc)
+	}
+}
+
+// PutMarginal installs a deserialized marginal index for sub ⊂ S, so a
+// reopened label answers those lookups from the persisted index instead of
+// re-deriving it.
+func (l *Label) PutMarginal(sub lattice.AttrSet, pc *PC) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.marginals[sub] = pc
+}
 
 // PC returns the label's pattern-count index.
 func (l *Label) PC() *PC { return l.pc }
@@ -113,7 +215,7 @@ func (l *Label) EstimateRow(vals []uint16, attrs lattice.AttrSet) float64 {
 	case inter == l.attrs:
 		base = float64(l.pc.LookupVals(vals))
 	case inter.IsEmpty():
-		base = float64(l.d.NumRows())
+		base = float64(l.rows)
 	default:
 		base = float64(l.marginal(inter).LookupVals(vals))
 	}
@@ -149,14 +251,23 @@ func (l *Label) ReleaseSpill() {
 // Marginals are built from the dataset (not by summing the parent PC) so
 // that rows that are NULL in S \ sub are still counted, which Definition
 // 2.11 requires: c_D(p|S1) counts every tuple satisfying the restricted
-// pattern.
+// pattern. Artifact-backed labels (fromPC) have no row data to rescan and
+// sum the PC section instead — identical on NULL-free data, and marginals
+// the building process had already materialized from the dataset are
+// persisted and restored verbatim (PutMarginal), so those stay exact
+// either way.
 func (l *Label) marginal(sub lattice.AttrSet) *PC {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if pc, ok := l.marginals[sub]; ok {
 		return pc
 	}
-	pc := BuildPCParallel(l.d, sub, l.copts)
+	var pc *PC
+	if l.fromPC {
+		pc = l.pc.Marginalize(l.d, sub)
+	} else {
+		pc = BuildPCParallel(l.d, sub, l.copts)
+	}
 	l.marginals[sub] = pc
 	return pc
 }

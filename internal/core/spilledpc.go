@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"pcbl/internal/spill"
 )
@@ -13,17 +14,39 @@ import (
 // whose merged map modeled over CountOptions.MemBudget, so instead of
 // materializing it the index retains its on-disk spill runs and serves the
 // PC consumer surface (Size / LookupVals / Each) by streaming them. Size
-// is precomputed during the build's count pass; Each rebuilds one run's
-// map at a time into a reused scratch map; LookupVals routes a key to the
-// single run that can hold it (the same hash partition every occurrence
-// took) and consults that run's map.
+// is precomputed during the build's count pass; Each streams one run's map
+// at a time; LookupVals routes a key to the single run that can hold it
+// (the same hash partition every occurrence took) and consults that run's
+// map.
 //
 // Reads are budget-bounded: a pinned hot-run cache admits run maps while
 // their modeled footprint fits the budget, and one floating slot holds the
 // most recently loaded run beyond it, so peak read memory is roughly the
 // budget plus one run map (~2x MemBudget worst case) — never the whole
-// distinct-key space. Lookups are serialized under a mutex (the label
-// evaluation phase probes labels from concurrent workers).
+// distinct-key space.
+//
+// Locking model (a label is built once and consulted by many concurrent
+// readers, so the read path must not serialize):
+//
+//   - The hot cache is an immutable snapshot behind an atomic pointer,
+//     republished copy-on-write when a run is pinned. Run maps are never
+//     mutated after load, so lookups that hit a pinned run take no lock at
+//     all — the read-mostly fast path.
+//   - A per-run load mutex serializes loading any one run, so concurrent
+//     misses on the same run perform one file scan, while misses on
+//     different runs load in parallel.
+//   - A small admission mutex guards the floating slot and the hot-cost
+//     accounting — the only remaining shared-write section, held for a few
+//     pointer updates, never across I/O.
+//   - A liveness RWMutex makes release atomic with run reads: loads hold
+//     the read side across the released-check and the file scan, release
+//     takes the write side before deleting the run files. A lookup racing
+//     ReleaseSpill therefore either completes or fails with the documented
+//     "use of a released spilled PC" panic — never a raw file-read error.
+//
+// No lock is held while user callbacks run: Each fetches each run's map
+// and then iterates it lock-free, so the callback may freely probe the
+// same PC (Marginalize does exactly that via Each + LookupVals).
 //
 // The on-disk runs live until ReleaseSpill is called; a GC cleanup is
 // attached as a safety net so an unreferenced spilled PC still removes its
@@ -37,15 +60,141 @@ type spilledPC struct {
 	entry    int64 // modeled bytes per cached map entry
 	budget   int64 // pinned hot-run cache budget
 
-	mu       sync.Mutex
-	hotU     map[int]map[uint64]int
-	hotS     map[int]map[string]int
-	hotCost  int64 // modeled bytes pinned in the hot cache
-	curRun   int   // floating slot: most recent non-pinned run (-1 = none)
-	curU     map[uint64]int
-	curS     map[string]int
-	released bool
+	liveMu   sync.RWMutex // read side: run-file access; write side: release
+	released atomic.Bool
 	cleanup  runtime.Cleanup
+
+	stats spillReadStats
+
+	ru *runStore[uint64]
+	rs *runStore[string]
+}
+
+// spillReadStats counts read-path events on a spilled PC; the atomic
+// counters are safe to bump from the lock-free fast path.
+type spillReadStats struct {
+	hotHits   atomic.Int64
+	floatHits atomic.Int64
+	runLoads  atomic.Int64
+}
+
+// SpillReadStats is a point-in-time snapshot of a spilled PC's read-path
+// counters: lock-free pinned-run hits, floating-slot hits, and run-file
+// loads (each load is one full scan of a run file).
+type SpillReadStats struct {
+	HotHits      int64
+	FloatingHits int64
+	RunLoads     int64
+}
+
+// runStore caches one spilled PC's per-run count maps for one key type.
+// Maps are immutable once published; see the locking model on spilledPC.
+type runStore[K comparable] struct {
+	sp  *spilledPC
+	dec func(rec []byte) K
+
+	hot atomic.Pointer[map[int]map[K]int] // immutable snapshot, copy-on-write
+
+	loadMu []sync.Mutex // per run: serializes loading that run
+
+	admit   sync.Mutex // guards hotCost, curRun, cur; never held across I/O
+	hotCost int64      // modeled bytes pinned in the hot cache
+	curRun  int        // floating slot: most recent non-pinned run (-1 = none)
+	cur     map[K]int
+}
+
+func newRunStore[K comparable](sp *spilledPC, dec func(rec []byte) K) *runStore[K] {
+	rs := &runStore[K]{
+		sp:     sp,
+		dec:    dec,
+		loadMu: make([]sync.Mutex, len(sp.runSizes)),
+		curRun: -1,
+	}
+	empty := make(map[int]map[K]int)
+	rs.hot.Store(&empty)
+	return rs
+}
+
+// get returns run's count map, loading (and possibly pinning) it on a
+// miss. The returned map is immutable and remains valid even after the
+// floating slot moves on — callers may iterate it without any lock.
+func (rs *runStore[K]) get(run int) map[K]int {
+	if m, ok := (*rs.hot.Load())[run]; ok {
+		rs.sp.stats.hotHits.Add(1)
+		return m
+	}
+	rs.loadMu[run].Lock()
+	defer rs.loadMu[run].Unlock()
+	// Re-check under the run's load lock: a concurrent miss on the same
+	// run may have pinned it while we waited.
+	if m, ok := (*rs.hot.Load())[run]; ok {
+		rs.sp.stats.hotHits.Add(1)
+		return m
+	}
+	rs.admit.Lock()
+	if run == rs.curRun {
+		m := rs.cur
+		rs.admit.Unlock()
+		rs.sp.stats.floatHits.Add(1)
+		return m
+	}
+	rs.admit.Unlock()
+	m := rs.load(run)
+	rs.place(run, m)
+	return m
+}
+
+// load scans run's file into a fresh map. The liveness read-lock is held
+// across the released-check and the scan, so a concurrent release cannot
+// delete the files mid-read: a lookup racing ReleaseSpill either completes
+// or panics with the documented message.
+func (rs *runStore[K]) load(run int) map[K]int {
+	sp := rs.sp
+	sp.liveMu.RLock()
+	defer sp.liveMu.RUnlock()
+	sp.checkLive()
+	m := make(map[K]int, sp.runSizes[run])
+	if err := sp.w.ScanRun(run, func(rec []byte) bool {
+		m[rs.dec(rec)]++
+		return true
+	}); err != nil {
+		// The runs were written by this process and read errors are not
+		// recoverable into a correct count; surface loudly rather than
+		// silently returning zero counts.
+		panic(fmt.Sprintf("core: spilled PC run read failed: %v", err))
+	}
+	sp.stats.runLoads.Add(1)
+	return m
+}
+
+// place admits a freshly loaded run map: pinned into the hot snapshot when
+// the modeled cost fits the budget, otherwise into the floating slot.
+// Callers hold loadMu[run], so no other goroutine is placing the same run.
+func (rs *runStore[K]) place(run int, m map[K]int) {
+	cost := int64(len(m)) * rs.sp.entry
+	rs.admit.Lock()
+	defer rs.admit.Unlock()
+	if rs.hotCost+cost <= rs.sp.budget {
+		old := *rs.hot.Load()
+		next := make(map[int]map[K]int, len(old)+1)
+		for r, rm := range old {
+			next[r] = rm
+		}
+		next[run] = m
+		rs.hot.Store(&next)
+		rs.hotCost += cost
+	} else {
+		rs.curRun, rs.cur = run, m
+	}
+}
+
+// drop empties the store during release.
+func (rs *runStore[K]) drop() {
+	empty := make(map[int]map[K]int)
+	rs.hot.Store(&empty)
+	rs.admit.Lock()
+	rs.curRun, rs.cur, rs.hotCost = -1, nil, 0
+	rs.admit.Unlock()
 }
 
 func newSpilledPC(w *spill.Writer, k *Keyer, format spillFormat, size int, runSizes []int, budget int64) *spilledPC {
@@ -57,12 +206,11 @@ func newSpilledPC(w *spill.Writer, k *Keyer, format spillFormat, size int, runSi
 		runSizes: runSizes,
 		entry:    format.entryBytes(k),
 		budget:   budget,
-		curRun:   -1,
 	}
 	if sp.u64 {
-		sp.hotU = make(map[int]map[uint64]int)
+		sp.ru = newRunStore(sp, func(rec []byte) uint64 { return binary.LittleEndian.Uint64(rec) })
 	} else {
-		sp.hotS = make(map[int]map[string]int)
+		sp.rs = newRunStore(sp, func(rec []byte) string { return string(rec) })
 	}
 	// Safety net: when the PC is dropped without ReleaseSpill, the GC
 	// still removes the run files. The argument is the writer (not sp), so
@@ -71,138 +219,73 @@ func newSpilledPC(w *spill.Writer, k *Keyer, format spillFormat, size int, runSi
 	return sp
 }
 
-// release frees the on-disk runs and the cached maps. Idempotent.
+// release frees the on-disk runs and the cached maps. Idempotent. The
+// liveness write-lock excludes every in-flight run read, so the files are
+// only deleted once no reader is inside a scan.
 func (sp *spilledPC) release() {
-	sp.mu.Lock()
-	defer sp.mu.Unlock()
-	if sp.released {
+	sp.liveMu.Lock()
+	defer sp.liveMu.Unlock()
+	if sp.released.Swap(true) {
 		return
 	}
-	sp.released = true
 	sp.cleanup.Stop()
 	sp.w.Cleanup()
-	sp.hotU, sp.hotS, sp.curU, sp.curS = nil, nil, nil, nil
-	sp.curRun = -1
+	if sp.ru != nil {
+		sp.ru.drop()
+	}
+	if sp.rs != nil {
+		sp.rs.drop()
+	}
 }
 
 func (sp *spilledPC) checkLive() {
-	if sp.released {
+	if sp.released.Load() {
 		panic("core: use of a released spilled PC")
 	}
 }
 
-// runMapU returns run's count map, loading (and possibly pinning) it on a
-// miss. Callers hold sp.mu.
-func (sp *spilledPC) runMapU(run int) map[uint64]int {
-	sp.checkLive()
-	if m, ok := sp.hotU[run]; ok {
-		return m
+// readStats snapshots the read-path counters.
+func (sp *spilledPC) readStats() SpillReadStats {
+	return SpillReadStats{
+		HotHits:      sp.stats.hotHits.Load(),
+		FloatingHits: sp.stats.floatHits.Load(),
+		RunLoads:     sp.stats.runLoads.Load(),
 	}
-	if run == sp.curRun {
-		return sp.curU
-	}
-	m := make(map[uint64]int, sp.runSizes[run])
-	if err := sp.w.ScanRun(run, func(rec []byte) bool {
-		m[binary.LittleEndian.Uint64(rec)]++
-		return true
-	}); err != nil {
-		// The runs were written by this process and read errors are not
-		// recoverable into a correct count; surface loudly rather than
-		// silently returning zero counts.
-		panic(fmt.Sprintf("core: spilled PC run read failed: %v", err))
-	}
-	if cost := int64(len(m)) * sp.entry; sp.hotCost+cost <= sp.budget {
-		sp.hotU[run] = m
-		sp.hotCost += cost
-	} else {
-		sp.curRun, sp.curU = run, m
-	}
-	return m
 }
 
-// runMapS is runMapU for the byte-string record format.
-func (sp *spilledPC) runMapS(run int) map[string]int {
-	sp.checkLive()
-	if m, ok := sp.hotS[run]; ok {
-		return m
-	}
-	if run == sp.curRun {
-		return sp.curS
-	}
-	m := make(map[string]int, sp.runSizes[run])
-	if err := sp.w.ScanRun(run, func(rec []byte) bool {
-		m[string(rec)]++
-		return true
-	}); err != nil {
-		panic(fmt.Sprintf("core: spilled PC run read failed: %v", err))
-	}
-	if cost := int64(len(m)) * sp.entry; sp.hotCost+cost <= sp.budget {
-		sp.hotS[run] = m
-		sp.hotCost += cost
-	} else {
-		sp.curRun, sp.curS = run, m
-	}
-	return m
-}
-
-// lookupVals implements PC.LookupVals for the spilled representation.
+// lookupVals implements PC.LookupVals for the spilled representation. Safe
+// for any number of concurrent callers; hits on pinned runs are lock-free.
 func (sp *spilledPC) lookupVals(vals []uint16) int {
 	if sp.u64 {
 		key, ok := sp.keyer.KeyVals(vals)
 		if !ok {
 			return 0
 		}
-		run := sp.w.RunOfU64(key)
-		sp.mu.Lock()
-		defer sp.mu.Unlock()
-		return sp.runMapU(run)[key]
+		return sp.ru.get(sp.w.RunOfU64(key))[key]
 	}
 	var buf [128]byte
 	b, ok := sp.keyer.AppendBytesVals(buf[:0], vals)
 	if !ok {
 		return 0
 	}
-	run := sp.w.RunOf(b)
-	sp.mu.Lock()
-	defer sp.mu.Unlock()
-	return sp.runMapS(run)[string(b)]
+	return sp.rs.get(sp.w.RunOf(b))[string(b)]
 }
 
 // each implements PC.Each for the spilled representation: runs stream one
-// at a time, pinned runs straight from the cache and the rest through a
-// scratch map reused (cleared) across runs, so peak iteration memory is
-// one run's map. fn must not re-enter this PC (the lock is held across the
-// iteration).
+// at a time, pinned runs straight from the cache and the rest through
+// freshly loaded maps that pass through the floating slot, so live
+// iteration memory stays one non-pinned run map. No lock is held while fn
+// runs — the run maps are immutable once fetched — so fn may re-enter this
+// PC (LookupVals, Each, Marginalize) freely.
 func (sp *spilledPC) each(n int, fn func(vals []uint16, count int) bool) {
-	vals := make([]uint16, n)
-	sp.mu.Lock()
-	defer sp.mu.Unlock()
 	sp.checkLive()
+	vals := make([]uint16, n)
 	if sp.u64 {
-		var scratch map[uint64]int
 		for run := range sp.runSizes {
 			if sp.runSizes[run] == 0 {
 				continue
 			}
-			m, ok := sp.hotU[run]
-			if !ok && run == sp.curRun {
-				m, ok = sp.curU, true
-			}
-			if !ok {
-				if scratch == nil {
-					scratch = make(map[uint64]int)
-				} else {
-					clear(scratch)
-				}
-				if err := sp.w.ScanRun(run, func(rec []byte) bool {
-					scratch[binary.LittleEndian.Uint64(rec)]++
-					return true
-				}); err != nil {
-					panic(fmt.Sprintf("core: spilled PC run read failed: %v", err))
-				}
-				m = scratch
-			}
-			for key, c := range m {
+			for key, c := range sp.ru.get(run) {
 				sp.keyer.Decode(key, vals)
 				if !fn(vals, c) {
 					return
@@ -211,30 +294,11 @@ func (sp *spilledPC) each(n int, fn func(vals []uint16, count int) bool) {
 		}
 		return
 	}
-	var scratch map[string]int
 	for run := range sp.runSizes {
 		if sp.runSizes[run] == 0 {
 			continue
 		}
-		m, ok := sp.hotS[run]
-		if !ok && run == sp.curRun {
-			m, ok = sp.curS, true
-		}
-		if !ok {
-			if scratch == nil {
-				scratch = make(map[string]int)
-			} else {
-				clear(scratch)
-			}
-			if err := sp.w.ScanRun(run, func(rec []byte) bool {
-				scratch[string(rec)]++
-				return true
-			}); err != nil {
-				panic(fmt.Sprintf("core: spilled PC run read failed: %v", err))
-			}
-			m = scratch
-		}
-		for key, c := range m {
+		for key, c := range sp.rs.get(run) {
 			sp.keyer.DecodeBytes(key, vals)
 			if !fn(vals, c) {
 				return

@@ -1,0 +1,250 @@
+// Package serve exposes a pattern count–based label over HTTP/JSON: the
+// query daemon behind `pcbl serve`. A label is built once and consulted
+// many times as dataset metadata — the paper's consumption model — so the
+// handler is read-only and serves any number of concurrent clients; the
+// underlying PC read path (including merge-on-read spilled indexes) is
+// concurrent by design.
+//
+// Endpoints (all GET):
+//
+//	/healthz             liveness probe
+//	/v1/label            label metadata: dataset, attributes, size, bound
+//	/v1/count?q=EXPR     exact restricted count c_D(p|S∩Attr(p)); the
+//	                     pattern must constrain only label attributes
+//	/v1/estimate?q=EXPR  Est(p, L) for an arbitrary pattern (Definition
+//	                     2.11); exact when Attr(p) ⊆ S
+//	/v1/marginal?attrs=a,b  the full count distribution over a subset of
+//	                     the label attributes
+//	/v1/stats            read-path counters of a spilled PC section
+//
+// Pattern expressions use the internal/patexpr grammar, e.g.
+// q=gender=Female,race=Hispanic (URL-encoded). Errors return JSON
+// {"error": "..."} with a 4xx status.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"pcbl/internal/core"
+	"pcbl/internal/dataset"
+	"pcbl/internal/lattice"
+	"pcbl/internal/patexpr"
+)
+
+// Handler answers label queries. Create with NewHandler.
+type Handler struct {
+	l   *core.Label
+	d   *dataset.Dataset
+	mux *http.ServeMux
+}
+
+// NewHandler wraps a label (typically reopened from an artifact, but any
+// in-process label works) in the HTTP query surface.
+func NewHandler(l *core.Label) *Handler {
+	h := &Handler{l: l, d: l.Dataset(), mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /healthz", h.healthz)
+	h.mux.HandleFunc("GET /v1/label", h.label)
+	h.mux.HandleFunc("GET /v1/count", h.count)
+	h.mux.HandleFunc("GET /v1/estimate", h.estimate)
+	h.mux.HandleFunc("GET /v1/marginal", h.marginal)
+	h.mux.HandleFunc("GET /v1/stats", h.stats)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// AttrInfo is one attribute's schema in the /v1/label response.
+type AttrInfo struct {
+	Name       string `json:"name"`
+	DomainSize int    `json:"domain_size"`
+}
+
+// LabelInfo is the /v1/label response.
+type LabelInfo struct {
+	Dataset    string     `json:"dataset"`
+	TotalRows  int        `json:"total_rows"`
+	Attributes []AttrInfo `json:"attributes"`
+	LabelAttrs []string   `json:"label_attrs"`
+	Size       int        `json:"size"`
+	VCSize     int        `json:"vc_size"`
+	Spilled    bool       `json:"spilled"`
+}
+
+func (h *Handler) label(w http.ResponseWriter, r *http.Request) {
+	info := LabelInfo{
+		Dataset:    h.d.Name(),
+		TotalRows:  h.l.Rows(),
+		Attributes: make([]AttrInfo, h.d.NumAttrs()),
+		LabelAttrs: h.attrNames(h.l.Attrs()),
+		Size:       h.l.Size(),
+		VCSize:     h.l.VCSize(),
+		Spilled:    h.l.PC().Spilled(),
+	}
+	for i := range info.Attributes {
+		a := h.d.Attr(i)
+		info.Attributes[i] = AttrInfo{Name: a.Name(), DomainSize: a.DomainSize()}
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// parsePattern resolves the q parameter into a pattern over the label's
+// schema. A missing q is the empty pattern.
+func (h *Handler) parsePattern(r *http.Request) (core.Pattern, error) {
+	assign, err := patexpr.Parse(r.FormValue("q"))
+	if err != nil {
+		return core.Pattern{}, err
+	}
+	return core.NewPattern(h.d, assign)
+}
+
+// CountResult is the /v1/count response.
+type CountResult struct {
+	Pattern map[string]string `json:"pattern"`
+	Count   int               `json:"count"`
+	// Restricted reports whether the pattern was a proper subset of the
+	// label attributes (served by a marginal index) rather than the full
+	// set.
+	Restricted bool `json:"restricted"`
+}
+
+func (h *Handler) count(w http.ResponseWriter, r *http.Request) {
+	p, err := h.parsePattern(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	c, ok := h.l.Count(p)
+	if !ok {
+		writeErr(w, http.StatusUnprocessableEntity,
+			"pattern constrains attributes outside the label set %v; use /v1/estimate", h.attrNames(h.l.Attrs()))
+		return
+	}
+	writeJSON(w, http.StatusOK, CountResult{
+		Pattern:    h.patternAssign(p),
+		Count:      c,
+		Restricted: p.Attrs() != h.l.Attrs(),
+	})
+}
+
+// EstimateResult is the /v1/estimate response.
+type EstimateResult struct {
+	Pattern  map[string]string `json:"pattern"`
+	Estimate float64           `json:"estimate"`
+	// Exact reports Attr(p) ⊆ S: the estimate is then a true count.
+	Exact bool `json:"exact"`
+}
+
+func (h *Handler) estimate(w http.ResponseWriter, r *http.Request) {
+	p, err := h.parsePattern(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EstimateResult{
+		Pattern:  h.patternAssign(p),
+		Estimate: h.l.Estimate(p),
+		Exact:    p.Attrs().Diff(h.l.Attrs()).IsEmpty(),
+	})
+}
+
+// MarginalEntry is one pattern of a /v1/marginal distribution.
+type MarginalEntry struct {
+	Pattern map[string]string `json:"pattern"`
+	Count   int               `json:"count"`
+}
+
+// MarginalResult is the /v1/marginal response.
+type MarginalResult struct {
+	Attrs    []string        `json:"attrs"`
+	Patterns []MarginalEntry `json:"patterns"`
+}
+
+func (h *Handler) marginal(w http.ResponseWriter, r *http.Request) {
+	raw := strings.TrimSpace(r.FormValue("attrs"))
+	if raw == "" {
+		writeErr(w, http.StatusBadRequest, "missing attrs parameter (comma-separated label attributes)")
+		return
+	}
+	parts := strings.Split(raw, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	sub, err := lattice.FromNames(h.d.AttrNames(), parts...)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	pc, ok := h.l.MarginalPC(sub)
+	if !ok {
+		writeErr(w, http.StatusUnprocessableEntity,
+			"attrs must be a non-empty subset of the label set %v", h.attrNames(h.l.Attrs()))
+		return
+	}
+	res := MarginalResult{Attrs: h.attrNames(sub), Patterns: make([]MarginalEntry, 0, pc.Size())}
+	members := sub.Members()
+	pc.Each(h.d.NumAttrs(), func(vals []uint16, count int) bool {
+		assign := make(map[string]string, len(members))
+		for _, a := range members {
+			assign[h.d.Attr(a).Name()] = h.d.Attr(a).Value(vals[a])
+		}
+		res.Patterns = append(res.Patterns, MarginalEntry{Pattern: assign, Count: count})
+		return true
+	})
+	writeJSON(w, http.StatusOK, res)
+}
+
+// StatsResult is the /v1/stats response: read-path counters of the PC
+// section when it is merge-on-read (all zero otherwise).
+type StatsResult struct {
+	Spilled      bool  `json:"spilled"`
+	HotHits      int64 `json:"hot_hits"`
+	FloatingHits int64 `json:"floating_hits"`
+	RunLoads     int64 `json:"run_loads"`
+}
+
+func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
+	res := StatsResult{}
+	if st, ok := h.l.PC().SpillReadStats(); ok {
+		res.Spilled = true
+		res.HotHits = st.HotHits
+		res.FloatingHits = st.FloatingHits
+		res.RunLoads = st.RunLoads
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (h *Handler) attrNames(s lattice.AttrSet) []string {
+	members := s.Members()
+	out := make([]string, len(members))
+	for i, a := range members {
+		out[i] = h.d.Attr(a).Name()
+	}
+	return out
+}
+
+func (h *Handler) patternAssign(p core.Pattern) map[string]string {
+	out := make(map[string]string, p.Attrs().Size())
+	for _, a := range p.Attrs().Members() {
+		out[h.d.Attr(a).Name()] = h.d.Attr(a).Value(p.ValueID(a))
+	}
+	return out
+}

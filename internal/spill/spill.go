@@ -34,7 +34,6 @@ package spill
 import (
 	"encoding/binary"
 	"fmt"
-	"hash/maphash"
 	"io"
 	"os"
 	"sync"
@@ -86,11 +85,34 @@ type Stats struct {
 	MaxRunEntries int
 }
 
-// hashSeed is a process-wide maphash seed so every shard of every writer
-// partitions a given key identically within one process. (The seed is
-// random per process; partition assignment never affects results, only
-// how records distribute across run files.)
-var hashSeed = maphash.MakeSeed()
+// fnv64Offset and fnv64Prime are the FNV-1a 64-bit parameters of the
+// partition-routing hash.
+const (
+	fnv64Offset = 14695981039346656037
+	fnv64Prime  = 1099511628211
+)
+
+// routeHash is the fixed, process-independent partition hash: FNV-1a over
+// the record bytes followed by a murmur-style 64-bit finisher. The finisher
+// spreads FNV's weakly mixed low bits so the modulo-K partition stays
+// balanced even on dense packed keys; the fixed parameters make routing
+// deterministic across processes, which is what lets a run directory
+// adopted into a label artifact keep answering single-run lookups after a
+// read-only reopen in another process. Partition assignment never affects
+// results, only how records distribute across run files.
+func routeHash(rec []byte) uint64 {
+	h := uint64(fnv64Offset)
+	for _, b := range rec {
+		h ^= uint64(b)
+		h *= fnv64Prime
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
 
 // Writer partitions fixed-width records into K on-disk runs. Create one
 // with NewWriter, obtain one ShardWriter per producing goroutine, and after
@@ -100,6 +122,7 @@ var hashSeed = maphash.MakeSeed()
 type Writer struct {
 	cfg   Config
 	dir   string
+	owns  bool // created the run files; Cleanup deletes them and the dir
 	files []*os.File
 	mus   []sync.Mutex
 	wmu   sync.Mutex // guards stats accumulation from shards and count workers
@@ -132,12 +155,13 @@ func NewWriter(cfg Config) (*Writer, error) {
 	w := &Writer{
 		cfg:   cfg,
 		dir:   dir,
+		owns:  true,
 		files: make([]*os.File, cfg.Runs),
 		mus:   make([]sync.Mutex, cfg.Runs),
 	}
 	w.stats.Runs = cfg.Runs
 	for i := range w.files {
-		f, err := os.Create(fmt.Sprintf("%s/run-%04d", dir, i))
+		f, err := os.Create(runPath(dir, i))
 		if err != nil {
 			w.Cleanup()
 			return nil, err
@@ -145,6 +169,118 @@ func NewWriter(cfg Config) (*Writer, error) {
 		w.files[i] = f
 	}
 	return w, nil
+}
+
+// runPath names run i inside dir; NewWriter, Open and AdoptInto agree on
+// the layout.
+func runPath(dir string, i int) string { return fmt.Sprintf("%s/run-%04d", dir, i) }
+
+// Open reopens an existing run directory read-only — the reverse of
+// AdoptInto, used to serve a label artifact's spilled PCs without
+// re-counting. The directory must hold runs files named as NewWriter
+// creates them, every file a whole number of recWidth-byte records. The
+// returned writer does not own the files: Cleanup closes the descriptors
+// but leaves the directory intact, and shard writes are not supported.
+func Open(dir string, recWidth, runs int, pool BufPool) (*Writer, error) {
+	if recWidth <= 0 {
+		return nil, fmt.Errorf("spill: record width must be positive, got %d", recWidth)
+	}
+	if runs < 1 {
+		return nil, fmt.Errorf("spill: run count must be >= 1, got %d", runs)
+	}
+	w := &Writer{
+		cfg:   Config{RecWidth: recWidth, Runs: runs, BufBytes: defaultBufBytes(runs), Pool: pool},
+		dir:   dir,
+		files: make([]*os.File, runs),
+		mus:   make([]sync.Mutex, runs),
+	}
+	w.stats.Runs = runs
+	for i := range w.files {
+		f, err := os.Open(runPath(dir, i))
+		if err != nil {
+			w.Cleanup()
+			return nil, err
+		}
+		w.files[i] = f
+		fi, err := f.Stat()
+		if err != nil {
+			w.Cleanup()
+			return nil, err
+		}
+		if fi.Size()%int64(recWidth) != 0 {
+			w.Cleanup()
+			return nil, fmt.Errorf("spill: run %d truncated mid-record (%d trailing bytes)", i, fi.Size()%int64(recWidth))
+		}
+		w.stats.BytesWritten += fi.Size()
+		w.stats.RecordsSpilled += fi.Size() / int64(recWidth)
+	}
+	return w, nil
+}
+
+// AdoptInto relocates the run files into dst (an existing directory) and
+// hands their ownership to it: the writer keeps serving scans and lookups
+// from the new location, and Cleanup thereafter closes descriptors without
+// deleting anything. Owned files move by rename — the open descriptors
+// stay valid because the inodes do not change — with a copy-and-reopen
+// fallback when rename cannot cross the filesystem boundary; a writer that
+// does not own its files (already adopted, or reopened with Open) copies
+// instead, so adopting the same runs into a second artifact never steals
+// them from the first. Must not run concurrently with scans or shard
+// writes.
+func (w *Writer) AdoptInto(dst string) error {
+	if w.done {
+		return fmt.Errorf("spill: AdoptInto after Cleanup")
+	}
+	ownedDir := w.owns
+	for i := range w.files {
+		dstPath := runPath(dst, i)
+		if w.owns {
+			if err := os.Rename(runPath(w.dir, i), dstPath); err == nil {
+				continue
+			}
+			// Rename failed (typically EXDEV: dst on another filesystem);
+			// fall through to copying this run.
+		}
+		if err := w.copyRun(i, dstPath); err != nil {
+			return fmt.Errorf("spill: adopting run %d: %w", i, err)
+		}
+	}
+	if ownedDir {
+		os.RemoveAll(w.dir)
+	}
+	w.dir = dst
+	w.owns = false
+	return nil
+}
+
+// copyRun copies run i's bytes to dstPath through the already-open
+// descriptor and swaps the writer's descriptor to the copy.
+func (w *Writer) copyRun(i int, dstPath string) error {
+	f := w.files[i]
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(dstPath)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, io.NewSectionReader(f, 0, fi.Size())); err != nil {
+		out.Close()
+		os.Remove(dstPath)
+		return err
+	}
+	if err := out.Close(); err != nil {
+		os.Remove(dstPath)
+		return err
+	}
+	nf, err := os.Open(dstPath)
+	if err != nil {
+		return err
+	}
+	f.Close()
+	w.files[i] = nf
+	return nil
 }
 
 // defaultBufBytes keeps a shard's total buffer memory (K buffers) around a
@@ -165,9 +301,11 @@ func (w *Writer) NumRuns() int { return w.cfg.Runs }
 
 // RunOf returns the partition a record routes to. Every occurrence of a
 // key lands in the same run; merge-on-read consumers use it to locate the
-// single run that can hold a looked-up key.
+// single run that can hold a looked-up key. The routing hash is fixed (see
+// routeHash), so a writer reopened from an adopted run directory routes
+// identically to the writer that spilled the records.
 func (w *Writer) RunOf(rec []byte) int {
-	return int(maphash.Bytes(hashSeed, rec) % uint64(w.cfg.Runs))
+	return int(routeHash(rec) % uint64(w.cfg.Runs))
 }
 
 // RunOfU64 is RunOf for the uint64 record format.
@@ -474,10 +612,13 @@ func (w *Writer) Stats() Stats {
 // Dir exposes the private run directory; tests assert its lifecycle.
 func (w *Writer) Dir() string { return w.dir }
 
-// Cleanup closes and deletes every run file and the private directory. It
-// is idempotent and safe after partial construction, so callers defer it
-// immediately after NewWriter — covering success, cap-abort, error and
-// panic exits alike.
+// Cleanup closes every run file, and — when the writer owns them (created
+// by NewWriter and not relocated by AdoptInto) — deletes the files and the
+// private directory. It is idempotent and safe after partial construction,
+// so callers defer it immediately after NewWriter — covering success,
+// cap-abort, error and panic exits alike. On writers reopened with Open or
+// relocated with AdoptInto it only closes descriptors: the adopted
+// directory belongs to the artifact.
 func (w *Writer) Cleanup() {
 	if w.done {
 		return
@@ -489,7 +630,9 @@ func (w *Writer) Cleanup() {
 			w.files[i] = nil
 		}
 	}
-	os.RemoveAll(w.dir)
+	if w.owns {
+		os.RemoveAll(w.dir)
+	}
 }
 
 func getBuf(p BufPool, n int) []byte {

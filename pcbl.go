@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"pcbl/internal/artifact"
 	"pcbl/internal/core"
 	"pcbl/internal/dataset"
 	"pcbl/internal/htmlreport"
@@ -290,3 +291,51 @@ func EncodeLabel(l *Label) ([]byte, error) { return l.Portable().Encode() }
 // DecodeLabel parses a label previously produced by EncodeLabel. The result
 // can estimate pattern counts without access to the original dataset.
 func DecodeLabel(data []byte) (*PortableLabel, error) { return core.DecodePortableLabel(data) }
+
+// LabelOptions configures the counting engine behind BuildLabelWith. The
+// fields mirror the engine knobs of GenerateOptions (see there for the full
+// semantics); the zero value matches BuildLabel.
+type LabelOptions struct {
+	// Workers bounds group-by parallelism (0 = NumCPU).
+	Workers int
+	// DenseLimit overrides the dense-kernel threshold (0 = engine default,
+	// negative forces the hash-map kernels).
+	DenseLimit int
+	// MemBudget bounds in-memory grouping state in bytes; over-budget
+	// results stay on disk and are served merge-on-read (0 = unlimited).
+	MemBudget int64
+	// SpillDir overrides where spill runs are written (system temp when
+	// empty).
+	SpillDir string
+}
+
+// BuildLabelWith is BuildLabel with explicit engine options — the
+// constructor behind `pcbl save` when the label attributes are given rather
+// than searched for.
+func BuildLabelWith(d *Dataset, opts LabelOptions, attrNames ...string) (*Label, error) {
+	s, err := AttrSetOf(d, attrNames...)
+	if err != nil {
+		return nil, err
+	}
+	return core.BuildLabelOpts(d, s, core.CountOptions{
+		Workers:    opts.Workers,
+		DenseLimit: opts.DenseLimit,
+		MemBudget:  opts.MemBudget,
+		SpillDir:   opts.SpillDir,
+	}), nil
+}
+
+// LabelManifest describes a saved label artifact (see docs/artifact-format.md).
+type LabelManifest = artifact.Manifest
+
+// SaveLabelArtifact writes the label — PC section, VC section, and every
+// materialized marginal index, with spilled payloads relocated rather than
+// re-counted — into dir as a versioned on-disk artifact. dir must not exist
+// or be empty. The source label stays fully usable afterwards.
+func SaveLabelArtifact(l *Label, dir string) error { return artifact.Save(l, dir) }
+
+// OpenLabelArtifact reopens a saved label artifact read-only. The returned
+// label answers Count/Estimate/Marginal queries bit-identically to the
+// label that was saved; call ReleaseSpill when done if the artifact carries
+// merge-on-read payloads (this does not delete the artifact's files).
+func OpenLabelArtifact(dir string) (*Label, *LabelManifest, error) { return artifact.Open(dir) }
