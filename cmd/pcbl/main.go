@@ -30,6 +30,7 @@ import (
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
 	"pcbl"
 	"pcbl/internal/datagen"
@@ -202,6 +203,10 @@ func runLabel(args []string) error {
 			res.Stats.SpilledSets-res.Stats.SpilledU64Sets, res.Stats.SpilledU64Sets,
 			res.Stats.SpillRuns, res.Stats.SpillParallelRuns,
 			float64(res.Stats.SpillBytes)/(1<<20))
+	}
+	if res.Stats.SpillFallbacks > 0 {
+		fmt.Printf("spill fallbacks:  %d sets hit disk trouble and were counted in memory (budget not honored)\n",
+			res.Stats.SpillFallbacks)
 	}
 	if *render {
 		eval := pcbl.Evaluate(res.Label, nil)
@@ -377,7 +382,18 @@ func runServe(args []string) error {
 		serveReady(ln.Addr().String())
 	}
 
-	srv := &http.Server{Handler: serve.NewHandler(l)}
+	// A hardened server: header/read/write deadlines bound slow-loris
+	// clients, and the byte cap bounds request bodies (every endpoint is a
+	// GET with query parameters; 1 MiB is generous). The handler itself
+	// recovers panics and degrades to 503 on spill read failures, so a
+	// corrupted artifact slows answers down — it does not kill the daemon.
+	srv := &http.Server{
+		Handler:           http.MaxBytesHandler(serve.NewHandler(l), 1<<20),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	done := make(chan error, 1)

@@ -7,47 +7,72 @@
 // pattern-count index (the label's PC section first, then every
 // materialized marginal index):
 //
-//   - manifest.json — format version, dataset schema (attribute names and
-//     active domains), the VC section (per-value counts), the label's
-//     attribute set, and a descriptor per PC payload.
+//   - manifest.json — a self-checksummed envelope around the manifest:
+//     format version, dataset schema (attribute names and active domains),
+//     the VC section (per-value counts), the label's attribute set, and a
+//     descriptor per PC payload carrying that payload's CRC32C and length.
 //   - pc-NNN.bin — an in-memory representation serialized directly:
 //     the dense path as a raw little-endian int32 slab, the uint64 and
 //     byte-string map paths as sorted fixed-width (key, int64 count)
-//     entries.
+//     entries. The section checksum in the manifest covers the whole file.
 //   - pc-NNN-runs/ — a merge-on-read (spilled) representation: the
 //     build's own run files, adopted into the artifact by rename instead
-//     of being re-counted, exactly as internal/spill wrote them. The
+//     of being re-counted, exactly as internal/spill wrote them — with
+//     per-flush CRC32C frames that the run scans verify. The
 //     partition-routing hash is fixed, so a reopened artifact routes
 //     point lookups to the same single run the build spilled them into.
 //
-// Numbers in binary payloads are little-endian. The manifest is written
-// last, so a directory with a readable manifest is a complete artifact.
-// See docs/artifact-format.md for the byte-level layout.
+// Saves are crash-safe: payload bytes are fsynced, then the directory,
+// then the manifest lands by atomic rename (tmp + fsync + rename + dir
+// fsync). The manifest rename is the commit point — a crash at any earlier
+// instant leaves a directory without a manifest, which Open rejects with
+// ErrIncomplete, and a crash after it leaves a complete, durable artifact.
+// Open validates the manifest eagerly (structure and self-checksum, with
+// typed errors) and payload data as it is read: file payloads verify their
+// section checksum when loaded, spilled runs verify each frame as it is
+// scanned. Format v1 artifacts (no checksums, raw run files) still open
+// read-only and are written back as v2 when saved again.
+//
+// Numbers in binary payloads are little-endian. See docs/artifact-format.md
+// for the byte-level layout.
 package artifact
 
 import (
 	"bufio"
+	"bytes"
 	"cmp"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
-	"os"
+	"hash/crc32"
+	"io/fs"
 	"path/filepath"
 	"slices"
+	"strings"
 
 	"pcbl/internal/core"
 	"pcbl/internal/dataset"
+	"pcbl/internal/iofault"
 	"pcbl/internal/lattice"
 	"pcbl/internal/spill"
 )
 
-// FormatVersion is the artifact layout version this package reads and
-// writes. Readers reject other versions.
-const FormatVersion = 1
+// FormatVersion is the artifact layout version this package writes.
+// Readers accept it and formatVersionV1 (read-compat).
+const FormatVersion = 2
 
-// manifestName is the artifact's index file, written last.
+// formatVersionV1 is the original layout: bare JSON manifest, no
+// checksums, raw (unframed) spill runs.
+const formatVersionV1 = 1
+
+// manifestName is the artifact's index file; its atomic rename into place
+// is the save's commit point.
 const manifestName = "manifest.json"
+
+// manifestTmpName is the staging name the manifest is written and fsynced
+// under before the commit rename.
+const manifestTmpName = "manifest.json.tmp"
 
 // PC payload kinds.
 const (
@@ -57,6 +82,67 @@ const (
 	kindSpilledU64   = "spilled-u64"
 	kindSpilledBytes = "spilled-bytes"
 )
+
+// Typed error classes. Every error Open returns wraps exactly one of
+// these (or is an I/O error from the filesystem), so callers can
+// distinguish "not an artifact / crashed save" from "damaged artifact"
+// from "malformed metadata".
+var (
+	// ErrIncomplete marks a directory without a readable manifest: either
+	// not an artifact at all, or a save that crashed before its commit
+	// point. The directory's contents are not trustworthy.
+	ErrIncomplete = errors.New("artifact: incomplete artifact (no manifest)")
+	// ErrCorrupt marks artifact data that failed checksum or length
+	// verification; errors.Is(err, ErrCorrupt) matches every CorruptError.
+	ErrCorrupt = errors.New("artifact: corrupt artifact data")
+	// ErrManifest marks a manifest that parsed but is structurally invalid
+	// (bad version, inconsistent section metadata, duplicate payload
+	// references).
+	ErrManifest = errors.New("artifact: invalid manifest")
+)
+
+// CorruptError reports which artifact file failed verification and how.
+// It wraps ErrCorrupt.
+type CorruptError struct {
+	Path   string // file within the artifact
+	Detail string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("artifact: %s corrupt: %s", e.Path, e.Detail)
+}
+
+// Is reports ErrCorrupt as this error's class.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
+// manifestErr builds an ErrManifest-wrapping error.
+func manifestErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrManifest, fmt.Sprintf(format, args...))
+}
+
+// castagnoli is the CRC32C table shared by every artifact checksum; the
+// same polynomial the spill frames use.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// envelope is the v2 on-disk form of manifest.json: the manifest itself as
+// a raw JSON value plus a CRC32C over its compacted bytes, so the index
+// that describes every other checksum is itself verified.
+type envelope struct {
+	FormatVersion int             `json:"format_version"`
+	CRC32C        uint32          `json:"crc32c"`
+	Manifest      json.RawMessage `json:"manifest"`
+}
+
+// manifestCRC computes the envelope checksum: CRC32C over the compacted
+// (whitespace-normalized) manifest bytes, so the value survives any
+// re-indentation a JSON round trip applies.
+func manifestCRC(raw []byte) (uint32, error) {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		return 0, err
+	}
+	return crc32.Checksum(buf.Bytes(), castagnoli), nil
+}
 
 // Manifest is the artifact's JSON index.
 type Manifest struct {
@@ -95,6 +181,11 @@ type PCMeta struct {
 	Distinct int `json:"distinct,omitempty"`
 	// Entries is the map kinds' entry count.
 	Entries int `json:"entries,omitempty"`
+	// SizeBytes is the payload file's byte length (v2; 0 in v1 manifests).
+	SizeBytes int64 `json:"size_bytes,omitempty"`
+	// Checksum is the CRC32C of the payload file's bytes (v2; 0 in v1
+	// manifests means unverified).
+	Checksum uint32 `json:"crc32c,omitempty"`
 
 	// Spilled kinds: the adopted run directory and the read-path metadata.
 	Dir      string `json:"dir,omitempty"`
@@ -102,21 +193,30 @@ type PCMeta struct {
 	Size     int    `json:"size,omitempty"`
 	RunSizes []int  `json:"run_sizes,omitempty"`
 	Budget   int64  `json:"budget,omitempty"`
+	// Framed reports whether the run files use the checksummed v2 frame
+	// layout; false for raw v1 runs preserved byte-for-byte by a resave.
+	Framed bool `json:"framed,omitempty"`
 }
 
 // Save writes label l as an artifact at dir, which must not yet exist (or
 // be an empty directory). Spilled pattern-count indexes are not
 // re-counted: their on-disk runs are adopted — moved — into the artifact,
 // after which l itself serves reads from the artifact's files and l's
-// ReleaseSpill no longer deletes them. The manifest is written last, so a
-// crash mid-save leaves a directory without one: incomplete by
-// construction. Save requires exclusive access to l (no concurrent reads
-// while run files relocate).
-func Save(l *core.Label, dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// ReleaseSpill no longer deletes them. The save is crash-safe: every
+// payload is fsynced before the manifest commits by atomic rename, so a
+// crash at any point leaves either no manifest (Open rejects with
+// ErrIncomplete) or a complete durable artifact. Save requires exclusive
+// access to l (no concurrent reads while run files relocate).
+func Save(l *core.Label, dir string) error { return SaveFS(l, dir, nil) }
+
+// SaveFS is Save with an explicit filesystem seam; nil means the real OS
+// filesystem. Fault-injection tests script failures and crash points here.
+func SaveFS(l *core.Label, dir string, fsys iofault.FS) error {
+	fsi := iofault.Resolve(fsys)
+	if err := fsi.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("artifact: %w", err)
 	}
-	if ents, err := os.ReadDir(dir); err != nil {
+	if ents, err := fsi.ReadDir(dir); err != nil {
 		return fmt.Errorf("artifact: %w", err)
 	} else if len(ents) != 0 {
 		return fmt.Errorf("artifact: directory %s is not empty", dir)
@@ -140,31 +240,98 @@ func Save(l *core.Label, dir string) error {
 	}
 	m.LabelAttrs = attrNames(d, l.Attrs())
 
-	if err := savePC(m, l.PC(), d, dir); err != nil {
+	if err := savePC(m, l.PC(), d, dir, fsi); err != nil {
 		return err
 	}
 	var merr error
 	l.EachMarginal(func(sub lattice.AttrSet, pc *core.PC) {
 		if merr == nil {
-			merr = savePC(m, pc, d, dir)
+			merr = savePC(m, pc, d, dir, fsi)
 		}
 	})
 	if merr != nil {
 		return merr
 	}
 
-	data, err := json.MarshalIndent(m, "", "  ")
+	return commitManifest(m, dir, fsi)
+}
+
+// commitManifest writes the self-checksummed manifest envelope and makes
+// it — and everything it references — durable: the envelope is staged
+// under a temp name and fsynced, the directory is fsynced so every payload
+// file is reachable, and only then does the atomic rename commit the
+// artifact, followed by a final directory fsync so the commit itself is
+// durable.
+func commitManifest(m *Manifest, dir string, fsi iofault.FS) error {
+	inner, err := json.MarshalIndent(m, "    ", "  ")
 	if err != nil {
 		return fmt.Errorf("artifact: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, manifestName), append(data, '\n'), 0o644); err != nil {
+	crc, err := manifestCRC(inner)
+	if err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	data, err := json.MarshalIndent(&envelope{
+		FormatVersion: FormatVersion,
+		CRC32C:        crc,
+		Manifest:      inner,
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	data = append(data, '\n')
+
+	tmp := filepath.Join(dir, manifestTmpName)
+	f, err := fsi.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("artifact: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("artifact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	if err := fsi.SyncDir(dir); err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	if err := fsi.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	if err := fsi.SyncDir(dir); err != nil {
 		return fmt.Errorf("artifact: %w", err)
 	}
 	return nil
 }
 
-// savePC serializes one PC payload and appends its descriptor to m.
-func savePC(m *Manifest, pc *core.PC, d *dataset.Dataset, dir string) error {
+// crcWriter tees payload bytes into a buffered file writer while
+// accumulating their CRC32C and length for the manifest descriptor.
+type crcWriter struct {
+	w   *bufio.Writer
+	crc uint32
+	n   int64
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc = crc32.Update(cw.crc, castagnoli, p)
+	cw.n += int64(len(p))
+	return cw.w.Write(p)
+}
+
+func (cw *crcWriter) WriteString(s string) (int, error) {
+	cw.crc = crc32.Update(cw.crc, castagnoli, []byte(s))
+	cw.n += int64(len(s))
+	return cw.w.WriteString(s)
+}
+
+// savePC serializes one PC payload — fsynced before return — and appends
+// its descriptor to m.
+func savePC(m *Manifest, pc *core.PC, d *dataset.Dataset, dir string, fsi iofault.FS) error {
 	idx := len(m.PCs)
 	meta := PCMeta{Attrs: attrNames(d, pc.Attrs())}
 	r := pc.Repr()
@@ -173,7 +340,7 @@ func savePC(m *Manifest, pc *core.PC, d *dataset.Dataset, dir string) error {
 		sr := r.Spill
 		meta.Dir = fmt.Sprintf("pc-%03d-runs", idx)
 		runDir := filepath.Join(dir, meta.Dir)
-		if err := os.Mkdir(runDir, 0o755); err != nil {
+		if err := fsi.Mkdir(runDir, 0o755); err != nil {
 			return fmt.Errorf("artifact: %w", err)
 		}
 		if err := sr.Writer.AdoptInto(runDir); err != nil {
@@ -189,13 +356,14 @@ func savePC(m *Manifest, pc *core.PC, d *dataset.Dataset, dir string) error {
 		meta.Size = sr.Size
 		meta.RunSizes = sr.RunSizes
 		meta.Budget = sr.Budget
+		meta.Framed = sr.Writer.Framed()
 	default:
 		meta.File = fmt.Sprintf("pc-%03d.bin", idx)
-		f, err := os.Create(filepath.Join(dir, meta.File))
+		f, err := fsi.Create(filepath.Join(dir, meta.File))
 		if err != nil {
 			return fmt.Errorf("artifact: %w", err)
 		}
-		w := bufio.NewWriter(f)
+		w := &crcWriter{w: bufio.NewWriter(f)}
 		switch {
 		case r.Dense != nil:
 			meta.Kind = kindDense
@@ -239,13 +407,19 @@ func savePC(m *Manifest, pc *core.PC, d *dataset.Dataset, dir string) error {
 				w.Write(buf)
 			}
 		}
-		if err := w.Flush(); err != nil {
+		if err := w.w.Flush(); err != nil {
+			f.Close()
+			return fmt.Errorf("artifact: %w", err)
+		}
+		if err := f.Sync(); err != nil {
 			f.Close()
 			return fmt.Errorf("artifact: %w", err)
 		}
 		if err := f.Close(); err != nil {
 			return fmt.Errorf("artifact: %w", err)
 		}
+		meta.SizeBytes = w.n
+		meta.Checksum = w.crc
 	}
 	m.PCs = append(m.PCs, meta)
 	return nil
@@ -256,20 +430,30 @@ func savePC(m *Manifest, pc *core.PC, d *dataset.Dataset, dir string) error {
 // payloads reopen their adopted run files read-only and stream on demand,
 // exactly as the building process served them — and every persisted
 // marginal index. The returned manifest describes what was loaded.
-func Open(dir string) (*core.Label, *Manifest, error) {
-	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+//
+// The manifest is verified eagerly (structure and, for v2, its
+// self-checksum); payload bytes are verified as they are read. Errors are
+// typed: ErrIncomplete for a missing manifest, ErrManifest for invalid
+// metadata, ErrCorrupt (a CorruptError) for data that fails verification.
+func Open(dir string) (*core.Label, *Manifest, error) { return OpenFS(dir, nil) }
+
+// OpenFS is Open with an explicit filesystem seam; nil means the real OS
+// filesystem.
+func OpenFS(dir string, fsys iofault.FS) (*core.Label, *Manifest, error) {
+	fsi := iofault.Resolve(fsys)
+	data, err := fsi.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil, fmt.Errorf("%w: %s", ErrIncomplete, dir)
+		}
 		return nil, nil, fmt.Errorf("artifact: %w", err)
 	}
-	var m Manifest
-	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, nil, fmt.Errorf("artifact: bad manifest: %w", err)
+	m, err := decodeManifest(data)
+	if err != nil {
+		return nil, nil, err
 	}
-	if m.FormatVersion != FormatVersion {
-		return nil, nil, fmt.Errorf("artifact: format version %d, this build reads %d", m.FormatVersion, FormatVersion)
-	}
-	if len(m.PCs) == 0 {
-		return nil, nil, fmt.Errorf("artifact: manifest has no PC payloads")
+	if err := validateManifest(m); err != nil {
+		return nil, nil, err
 	}
 
 	// Rebuild the schema-only dataset: dictionaries in persisted order, so
@@ -293,9 +477,6 @@ func Open(dir string) (*core.Label, *Manifest, error) {
 
 	vc := make([][]int, len(m.Attrs))
 	for a, am := range m.Attrs {
-		if len(am.Counts) != len(am.Domain) {
-			return nil, nil, fmt.Errorf("artifact: attribute %q has %d counts for %d values", am.Name, len(am.Counts), len(am.Domain))
-		}
 		vc[a] = am.Counts
 	}
 
@@ -306,7 +487,7 @@ func Open(dir string) (*core.Label, *Manifest, error) {
 
 	pcs := make([]*core.PC, len(m.PCs))
 	for i, pm := range m.PCs {
-		pc, err := openPC(d, pm, dir)
+		pc, err := openPC(d, pm, dir, m.FormatVersion, fsi)
 		if err != nil {
 			// Release spilled payloads already reopened; their writers
 			// don't own the artifact's files, so this only closes
@@ -319,22 +500,162 @@ func Open(dir string) (*core.Label, *Manifest, error) {
 		pcs[i] = pc
 	}
 	if got := attrNames(d, pcs[0].Attrs()); !slices.Equal(got, m.LabelAttrs) {
-		return nil, nil, fmt.Errorf("artifact: PC payload 0 covers %v, manifest says %v", got, m.LabelAttrs)
+		return nil, nil, manifestErr("PC payload 0 covers %v, manifest says %v", got, m.LabelAttrs)
 	}
 
 	l := core.NewLabelFromParts(d, m.TotalRows, s, pcs[0], vc)
 	for i, pc := range pcs[1:] {
 		sub := pc.Attrs()
 		if !sub.ProperSubsetOf(s) {
-			return nil, nil, fmt.Errorf("artifact: marginal payload %d covers %v, not a proper subset of %v", i+1, m.PCs[i+1].Attrs, m.LabelAttrs)
+			return nil, nil, manifestErr("marginal payload %d covers %v, not a proper subset of %v", i+1, m.PCs[i+1].Attrs, m.LabelAttrs)
 		}
 		l.PutMarginal(sub, pc)
 	}
-	return l, &m, nil
+	return l, m, nil
 }
 
-// openPC loads one PC payload.
-func openPC(d *dataset.Dataset, pm PCMeta, dir string) (*core.PC, error) {
+// decodeManifest parses manifest.json in either format: the v2
+// self-checksummed envelope, or a bare v1 manifest (no "manifest" member).
+func decodeManifest(data []byte) (*Manifest, error) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("%w: bad JSON: %v", ErrManifest, err)
+	}
+	var m Manifest
+	if len(env.Manifest) == 0 {
+		// Bare manifest: the v1 layout.
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, fmt.Errorf("%w: bad JSON: %v", ErrManifest, err)
+		}
+		if m.FormatVersion != formatVersionV1 {
+			return nil, manifestErr("bare manifest with format version %d, want %d", m.FormatVersion, formatVersionV1)
+		}
+		return &m, nil
+	}
+	if env.FormatVersion != FormatVersion {
+		return nil, manifestErr("envelope format version %d, this build reads %d and %d", env.FormatVersion, formatVersionV1, FormatVersion)
+	}
+	crc, err := manifestCRC(env.Manifest)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad JSON: %v", ErrManifest, err)
+	}
+	if crc != env.CRC32C {
+		return nil, &CorruptError{Path: manifestName,
+			Detail: fmt.Sprintf("manifest checksum mismatch (got %08x, want %08x)", crc, env.CRC32C)}
+	}
+	if err := json.Unmarshal(env.Manifest, &m); err != nil {
+		return nil, fmt.Errorf("%w: bad JSON: %v", ErrManifest, err)
+	}
+	if m.FormatVersion != FormatVersion {
+		return nil, manifestErr("manifest format version %d inside a v%d envelope", m.FormatVersion, FormatVersion)
+	}
+	return &m, nil
+}
+
+// validateManifest rejects structurally inconsistent metadata up front —
+// duplicate payload references, run-size tables that disagree with the
+// declared size, section byte lengths that cannot match their kind —
+// rather than deferring to whatever fails first downstream. All errors
+// wrap ErrManifest.
+func validateManifest(m *Manifest) error {
+	if len(m.PCs) == 0 {
+		return manifestErr("no PC payloads")
+	}
+	for _, am := range m.Attrs {
+		if len(am.Counts) != len(am.Domain) {
+			return manifestErr("attribute %q has %d counts for %d values", am.Name, len(am.Counts), len(am.Domain))
+		}
+	}
+	v2 := m.FormatVersion >= FormatVersion
+	seen := make(map[string]int) // payload file/dir name -> first payload index
+	for i, pm := range m.PCs {
+		switch pm.Kind {
+		case kindDense, kindU64, kindBytes:
+			if err := validateRef(seen, pm.File, i, "file"); err != nil {
+				return err
+			}
+			if pm.Dir != "" {
+				return manifestErr("payload %d kind %q with a run directory", i, pm.Kind)
+			}
+			if pm.Entries < 0 || pm.Distinct < 0 || pm.SizeBytes < 0 {
+				return manifestErr("payload %d has negative section metadata", i)
+			}
+			var width int64
+			switch pm.Kind {
+			case kindDense:
+				if v2 && pm.SizeBytes%4 != 0 {
+					return manifestErr("payload %d dense slab length %d is not a whole number of int32 slots", i, pm.SizeBytes)
+				}
+				if v2 && int64(pm.Distinct) > pm.SizeBytes/4 {
+					return manifestErr("payload %d declares %d nonzero slots in a %d-slot slab", i, pm.Distinct, pm.SizeBytes/4)
+				}
+			case kindU64:
+				width = 16
+			case kindBytes:
+				if pm.RecWidth <= 0 || pm.RecWidth%2 != 0 {
+					return manifestErr("payload %d byte-map record width %d", i, pm.RecWidth)
+				}
+				width = int64(pm.RecWidth) + 8
+			}
+			if v2 && width > 0 && pm.SizeBytes != int64(pm.Entries)*width {
+				return manifestErr("payload %d declares %d entries of %d bytes but a %d-byte section", i, pm.Entries, width, pm.SizeBytes)
+			}
+		case kindSpilledU64, kindSpilledBytes:
+			if err := validateRef(seen, pm.Dir, i, "run directory"); err != nil {
+				return err
+			}
+			if pm.File != "" {
+				return manifestErr("payload %d kind %q with a file", i, pm.Kind)
+			}
+			if pm.Kind == kindSpilledU64 && pm.RecWidth != 8 {
+				return manifestErr("payload %d uint64 spill record width %d, want 8", i, pm.RecWidth)
+			}
+			if pm.Kind == kindSpilledBytes && (pm.RecWidth <= 0 || pm.RecWidth%2 != 0) {
+				return manifestErr("payload %d byte spill record width %d", i, pm.RecWidth)
+			}
+			if len(pm.RunSizes) == 0 {
+				return manifestErr("payload %d spilled with no runs", i)
+			}
+			total := 0
+			for r, n := range pm.RunSizes {
+				if n < 0 {
+					return manifestErr("payload %d run %d has negative size %d", i, r, n)
+				}
+				total += n
+			}
+			if total != pm.Size {
+				return manifestErr("payload %d run sizes sum to %d, manifest says %d", i, total, pm.Size)
+			}
+			if pm.Budget < 0 {
+				return manifestErr("payload %d has negative budget %d", i, pm.Budget)
+			}
+		default:
+			return manifestErr("payload %d has unknown kind %q", i, pm.Kind)
+		}
+	}
+	return nil
+}
+
+// validateRef checks one payload's file or directory reference: present,
+// a plain name inside the artifact directory, and not already claimed by
+// another payload.
+func validateRef(seen map[string]int, name string, idx int, what string) error {
+	if name == "" {
+		return manifestErr("payload %d without a %s", idx, what)
+	}
+	if name != filepath.Base(name) || name == "." || name == ".." || strings.ContainsAny(name, `/\`) {
+		return manifestErr("payload %d %s %q escapes the artifact directory", idx, what, name)
+	}
+	if first, dup := seen[name]; dup {
+		return manifestErr("payloads %d and %d both reference %q", first, idx, name)
+	}
+	seen[name] = idx
+	return nil
+}
+
+// openPC loads one PC payload, verifying file payloads against their
+// section checksum (v2) before decoding.
+func openPC(d *dataset.Dataset, pm PCMeta, dir string, version int, fsi iofault.FS) (*core.PC, error) {
 	s, err := lattice.FromNames(d.AttrNames(), pm.Attrs...)
 	if err != nil {
 		return nil, fmt.Errorf("artifact: %w", err)
@@ -342,8 +663,12 @@ func openPC(d *dataset.Dataset, pm PCMeta, dir string) (*core.PC, error) {
 	r := core.PCRepr{Attrs: s}
 	switch pm.Kind {
 	case kindSpilledU64, kindSpilledBytes:
-		w, err := spill.Open(filepath.Join(dir, pm.Dir), pm.RecWidth, len(pm.RunSizes), nil)
+		framed := pm.Framed && version >= FormatVersion
+		w, err := spill.Open(filepath.Join(dir, pm.Dir), pm.RecWidth, len(pm.RunSizes), framed, nil, fsi)
 		if err != nil {
+			if errors.Is(err, spill.ErrCorrupt) {
+				return nil, &CorruptError{Path: pm.Dir, Detail: err.Error()}
+			}
 			return nil, fmt.Errorf("artifact: %w", err)
 		}
 		r.Spill = &core.SpillRepr{
@@ -354,12 +679,12 @@ func openPC(d *dataset.Dataset, pm PCMeta, dir string) (*core.PC, error) {
 			Budget:   pm.Budget,
 		}
 	case kindDense:
-		data, err := os.ReadFile(filepath.Join(dir, pm.File))
+		data, err := readPayload(dir, pm, version, fsi)
 		if err != nil {
-			return nil, fmt.Errorf("artifact: %w", err)
+			return nil, err
 		}
 		if len(data)%4 != 0 {
-			return nil, fmt.Errorf("artifact: dense payload %s is %d bytes, not a whole int32 slab", pm.File, len(data))
+			return nil, &CorruptError{Path: pm.File, Detail: fmt.Sprintf("%d bytes, not a whole int32 slab", len(data))}
 		}
 		slab := make([]int32, len(data)/4)
 		for i := range slab {
@@ -368,33 +693,30 @@ func openPC(d *dataset.Dataset, pm PCMeta, dir string) (*core.PC, error) {
 		r.Dense, r.Distinct = slab, pm.Distinct
 	case kindU64:
 		m := make(map[uint64]int, pm.Entries)
-		err := readEntries(filepath.Join(dir, pm.File), 16, func(rec []byte) {
+		err := readEntries(dir, pm, version, 16, fsi, func(rec []byte) {
 			m[binary.LittleEndian.Uint64(rec)] = int(int64(binary.LittleEndian.Uint64(rec[8:])))
 		})
 		if err != nil {
 			return nil, err
 		}
 		if len(m) != pm.Entries {
-			return nil, fmt.Errorf("artifact: payload %s holds %d entries, manifest says %d", pm.File, len(m), pm.Entries)
+			return nil, &CorruptError{Path: pm.File, Detail: fmt.Sprintf("holds %d entries, manifest says %d", len(m), pm.Entries)}
 		}
 		r.U = m
 	case kindBytes:
-		if pm.RecWidth <= 0 {
-			return nil, fmt.Errorf("artifact: byte payload %s without a record width", pm.File)
-		}
 		m := make(map[string]int, pm.Entries)
-		err := readEntries(filepath.Join(dir, pm.File), pm.RecWidth+8, func(rec []byte) {
+		err := readEntries(dir, pm, version, pm.RecWidth+8, fsi, func(rec []byte) {
 			m[string(rec[:pm.RecWidth])] = int(int64(binary.LittleEndian.Uint64(rec[pm.RecWidth:])))
 		})
 		if err != nil {
 			return nil, err
 		}
 		if len(m) != pm.Entries {
-			return nil, fmt.Errorf("artifact: payload %s holds %d entries, manifest says %d", pm.File, len(m), pm.Entries)
+			return nil, &CorruptError{Path: pm.File, Detail: fmt.Sprintf("holds %d entries, manifest says %d", len(m), pm.Entries)}
 		}
 		r.S = m
 	default:
-		return nil, fmt.Errorf("artifact: unknown PC kind %q", pm.Kind)
+		return nil, manifestErr("unknown PC kind %q", pm.Kind)
 	}
 	pc, err := core.PCFromRepr(d, r)
 	if err != nil {
@@ -406,24 +728,42 @@ func openPC(d *dataset.Dataset, pm PCMeta, dir string) (*core.PC, error) {
 	return pc, nil
 }
 
-// readEntries streams a payload file of fixed-width entries through fn.
-func readEntries(path string, width int, fn func(rec []byte)) error {
-	f, err := os.Open(path)
+// readPayload reads one payload file whole and verifies its length and
+// CRC32C against the manifest descriptor (v2; v1 payloads carry no
+// checksum and are returned as-is).
+func readPayload(dir string, pm PCMeta, version int, fsi iofault.FS) ([]byte, error) {
+	data, err := fsi.ReadFile(filepath.Join(dir, pm.File))
 	if err != nil {
-		return fmt.Errorf("artifact: %w", err)
+		return nil, fmt.Errorf("artifact: %w", err)
 	}
-	defer f.Close()
-	br := bufio.NewReaderSize(f, 1<<16)
-	rec := make([]byte, width)
-	for {
-		if _, err := io.ReadFull(br, rec); err != nil {
-			if err == io.EOF {
-				return nil
-			}
-			return fmt.Errorf("artifact: payload %s: %w", path, err)
+	if version >= FormatVersion {
+		if int64(len(data)) != pm.SizeBytes {
+			return nil, &CorruptError{Path: pm.File,
+				Detail: fmt.Sprintf("%d bytes, manifest says %d", len(data), pm.SizeBytes)}
 		}
-		fn(rec)
+		if got := crc32.Checksum(data, castagnoli); got != pm.Checksum {
+			return nil, &CorruptError{Path: pm.File,
+				Detail: fmt.Sprintf("section checksum mismatch (got %08x, want %08x)", got, pm.Checksum)}
+		}
 	}
+	return data, nil
+}
+
+// readEntries streams a payload file of fixed-width entries through fn,
+// after whole-file checksum verification.
+func readEntries(dir string, pm PCMeta, version, width int, fsi iofault.FS, fn func(rec []byte)) error {
+	data, err := readPayload(dir, pm, version, fsi)
+	if err != nil {
+		return err
+	}
+	if len(data)%width != 0 {
+		return &CorruptError{Path: pm.File,
+			Detail: fmt.Sprintf("%d bytes, not a whole number of %d-byte entries", len(data), width)}
+	}
+	for off := 0; off < len(data); off += width {
+		fn(data[off : off+width])
+	}
+	return nil
 }
 
 // attrNames resolves an attribute set to names in member order.

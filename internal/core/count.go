@@ -96,10 +96,16 @@ func (pc *PC) SpillReadStats() (stats SpillReadStats, ok bool) {
 
 // LookupVals returns the count of the pattern whose member values appear in
 // the dense identifier slice vals; 0 when the pattern is absent (count 0) or
-// any member slot is NULL.
+// any member slot is NULL. On a merge-on-read index a run read that fails
+// (after one bounded retry) panics; degradation-aware callers use
+// LookupValsE instead.
 func (pc *PC) LookupVals(vals []uint16) int {
 	if pc.sp != nil {
-		return pc.sp.lookupVals(vals)
+		c, err := pc.sp.lookupValsE(vals)
+		if err != nil {
+			panic(err.Error())
+		}
+		return c
 	}
 	if pc.dz != nil {
 		key, ok := pc.keyer.KeyVals(vals)
@@ -123,6 +129,18 @@ func (pc *PC) LookupVals(vals []uint16) int {
 	return pc.s[string(b)]
 }
 
+// LookupValsE is LookupVals with an explicit error path: a merge-on-read
+// index reads run files on demand, and a read that fails — an I/O error or
+// a checksum mismatch, after one bounded retry — returns the error instead
+// of a wrong count. In-memory representations never fail. The serving
+// layer uses this form to degrade gracefully instead of crashing.
+func (pc *PC) LookupValsE(vals []uint16) (int, error) {
+	if pc.sp != nil {
+		return pc.sp.lookupValsE(vals)
+	}
+	return pc.LookupVals(vals), nil
+}
+
 // Lookup returns c_D(p|S) for pattern p: the count of p restricted to S.
 // The pattern must constrain every attribute of S; use a marginal PC (see
 // Label) otherwise.
@@ -130,10 +148,14 @@ func (pc *PC) Lookup(p Pattern) int { return pc.LookupVals(p.vals) }
 
 // Each invokes fn for every stored pattern, passing a dense identifier slice
 // (valid only for the duration of the call) and the pattern's count.
-// Iteration stops early when fn returns false. Order is unspecified.
+// Iteration stops early when fn returns false. Order is unspecified. On a
+// merge-on-read index a failed run read panics; degradation-aware callers
+// use EachE.
 func (pc *PC) Each(n int, fn func(vals []uint16, count int) bool) {
 	if pc.sp != nil {
-		pc.sp.each(n, fn)
+		if err := pc.sp.eachE(n, fn); err != nil {
+			panic(err.Error())
+		}
 		return
 	}
 	vals := make([]uint16, n)
@@ -166,19 +188,42 @@ func (pc *PC) Each(n int, fn func(vals []uint16, count int) bool) {
 	}
 }
 
+// EachE is Each with an explicit error path: a failed run read on a
+// merge-on-read index aborts the iteration and returns the error (fn has
+// then seen a prefix of the entries — discard any partial aggregation).
+func (pc *PC) EachE(n int, fn func(vals []uint16, count int) bool) error {
+	if pc.sp != nil {
+		return pc.sp.eachE(n, fn)
+	}
+	pc.Each(n, fn)
+	return nil
+}
+
 // Marginalize returns the PC over sub ⊆ S computed by summing this index's
 // entries — no dataset rescan. Counts of rows that were NULL in S \ sub are
 // not recovered (they never entered this index); a Label therefore builds
 // marginals from the dataset when NULLs may matter, and from the parent PC
-// otherwise. For NULL-free datasets the two agree (tested).
+// otherwise. For NULL-free datasets the two agree (tested). Summing a
+// merge-on-read index reads run files; a failed read panics — use
+// MarginalizeE to degrade instead.
 func (pc *PC) Marginalize(d *dataset.Dataset, sub lattice.AttrSet) *PC {
+	out, err := pc.MarginalizeE(d, sub)
+	if err != nil {
+		panic(err.Error())
+	}
+	return out
+}
+
+// MarginalizeE is Marginalize with an explicit error path: a failed run
+// read on a merge-on-read parent returns the error and no index.
+func (pc *PC) MarginalizeE(d *dataset.Dataset, sub lattice.AttrSet) (*PC, error) {
 	k := NewKeyer(d, sub)
 	out := &PC{keyer: k}
 	n := d.NumAttrs()
 	if radix, ok := denseRadix(k, d.NumRows(), DefaultDenseLimit); ok {
 		counts := make([]int32, radix)
 		distinct := 0
-		pc.Each(n, func(vals []uint16, c int) bool {
+		if err := pc.EachE(n, func(vals []uint16, c int) bool {
 			if key, ok := k.KeyVals(vals); ok {
 				if counts[key] == 0 {
 					distinct++
@@ -186,32 +231,38 @@ func (pc *PC) Marginalize(d *dataset.Dataset, sub lattice.AttrSet) *PC {
 				counts[key] += int32(c)
 			}
 			return true
-		})
+		}); err != nil {
+			return nil, err
+		}
 		out.dz, out.distinct = counts, distinct
-		return out
+		return out, nil
 	}
 	if k.Fits() {
 		out.u = make(map[uint64]int)
-		pc.Each(n, func(vals []uint16, c int) bool {
+		if err := pc.EachE(n, func(vals []uint16, c int) bool {
 			key, ok := k.KeyVals(vals)
 			if ok {
 				out.u[key] += c
 			}
 			return true
-		})
-		return out
+		}); err != nil {
+			return nil, err
+		}
+		return out, nil
 	}
 	out.s = make(map[string]int)
 	var buf []byte
-	pc.Each(n, func(vals []uint16, c int) bool {
+	if err := pc.EachE(n, func(vals []uint16, c int) bool {
 		b, ok := k.AppendBytesVals(buf[:0], vals)
 		buf = b
 		if ok {
 			out.s[string(b)] += c
 		}
 		return true
-	})
-	return out
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // LabelSize returns |P_S| for attribute set s, the size a label built on s

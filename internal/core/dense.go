@@ -312,4 +312,15 @@ type ScanStats struct {
 	// keep one run's map within each count worker's share of
 	// CountOptions.MemBudget.
 	SpillMaxRunEntries int64
+	// SpillFallbacks counts spill-tier scans that hit disk trouble and
+	// fell back to the unbounded in-memory kernel: results stay correct,
+	// but the memory budget was not honored for those sets.
+	SpillFallbacks int64
+	// SpillReadErrors counts failed run-read attempts on merge-on-read
+	// indexes (each failed scan, including failed retries).
+	SpillReadErrors int64
+	// SpillRetries counts bounded retries of failed merge-on-read run
+	// reads; a retry that succeeds leaves the query answering exactly,
+	// with only these counters recording the incident.
+	SpillRetries int64
 }

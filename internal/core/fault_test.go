@@ -1,0 +1,142 @@
+package core
+
+// Read-path fault injection for the merge-on-read spilled PC: a transient
+// run-read failure must recover through the bounded retry without changing
+// any answer; a persistent failure must surface as a clean error from the
+// E-variant API (and the documented panic from the legacy one) and must
+// not be cached — once the disk heals, the same PC answers again. Every
+// failure and retry is metered in both SpillReadStats and the build's
+// ScanStats.
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"pcbl/internal/dataset"
+	"pcbl/internal/iofault"
+)
+
+// buildSpilledOnFaultFS builds the oracle and a budgeted merge-on-read PC
+// whose run I/O is routed through a FaultFS, plus the ScanStats sink the
+// spilled PC mirrors read errors into.
+func buildSpilledOnFaultFS(t *testing.T, seed uint64) (d *dataset.Dataset, oracle, spilled *PC, ffs *iofault.FaultFS, st *ScanStats) {
+	t.Helper()
+	cfg := diffConfig{rows: 4000, attrs: 4, domain: 300, nullRate: 0.05}
+	d = diffDataset(t, cfg, seed)
+	s := spillSet(t, d)
+	oracle = BuildPC(d, s)
+	ffs = iofault.NewFaultFS(nil)
+	st = &ScanStats{}
+	opts := testCountOptions(2)
+	opts.MemBudget = spillBudgetFor(d, s, 3)
+	opts.SpillDir = t.TempDir()
+	opts.FS = ffs
+	opts.Stats = st
+	spilled = BuildPCParallel(d, s, opts)
+	if !spilled.Spilled() {
+		t.Fatalf("budgeted build did not stay merge-on-read (size %d)", oracle.Size())
+	}
+	return d, oracle, spilled, ffs, st
+}
+
+func spilledProbes(t *testing.T, pc *PC, n int, seed uint64) [][]uint16 {
+	t.Helper()
+	// probeRows needs the dataset; regenerate it deterministically.
+	cfg := diffConfig{rows: 4000, attrs: 4, domain: 300, nullRate: 0.05}
+	return probeRows(diffDataset(t, cfg, seed), n, seed^0xF0)
+}
+
+func TestSpilledReadTransientFaultRetries(t *testing.T) {
+	_, oracle, spilled, ffs, st := buildSpilledOnFaultFS(t, 0xC1)
+	defer spilled.ReleaseSpill()
+	probes := spilledProbes(t, spilled, 200, 0xC1)
+
+	// Fault exactly the next read: the first lookup's run load fails once,
+	// the bounded retry rescans, and the answer comes out unchanged.
+	ffs.FailAt(iofault.OpRead, ffs.Counts()[iofault.OpRead]+1, nil)
+	for i, vals := range probes {
+		got, err := spilled.LookupValsE(vals)
+		if err != nil {
+			t.Fatalf("probe %d: transient fault leaked: %v", i, err)
+		}
+		if want := oracle.LookupVals(vals); got != want {
+			t.Fatalf("probe %d: count %d after retry, oracle %d", i, got, want)
+		}
+	}
+	stats, ok := spilled.SpillReadStats()
+	if !ok {
+		t.Fatal("SpillReadStats unavailable")
+	}
+	if stats.ReadErrors != 1 || stats.Retries != 1 {
+		t.Fatalf("stats = %+v, want exactly one recovered failure", stats)
+	}
+	if atomic.LoadInt64(&st.SpillReadErrors) != 1 || atomic.LoadInt64(&st.SpillRetries) != 1 {
+		t.Fatalf("ScanStats mirror = errors %d retries %d, want 1/1",
+			st.SpillReadErrors, st.SpillRetries)
+	}
+}
+
+func TestSpilledReadPersistentFaultSurfacesAndRecovers(t *testing.T) {
+	_, oracle, spilled, ffs, _ := buildSpilledOnFaultFS(t, 0xC2)
+	defer spilled.ReleaseSpill()
+	probes := spilledProbes(t, spilled, 200, 0xC2)
+
+	ffs.FailFrom(iofault.OpRead, ffs.Counts()[iofault.OpRead]+1, nil)
+	// Nothing is cached yet, so the first probe must hit the dead disk:
+	// a clean error from the E surface, never a wrong count.
+	if _, err := spilled.LookupValsE(probes[0]); err == nil {
+		t.Fatal("lookup on dead disk returned no error")
+	}
+	if err := spilled.EachE(4, func([]uint16, int) bool { return true }); err == nil {
+		t.Fatal("EachE on dead disk returned no error")
+	}
+	stats, _ := spilled.SpillReadStats()
+	if stats.ReadErrors < 2 || stats.Retries < 1 {
+		t.Fatalf("stats = %+v, want the failure plus its failed retry metered", stats)
+	}
+
+	// The legacy no-error surface documents a panic for deep callers.
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("legacy LookupVals on dead disk did not panic")
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, "spilled PC") {
+				t.Fatalf("legacy panic payload %v, want the documented message", r)
+			}
+		}()
+		spilled.LookupVals(probes[0])
+	}()
+
+	// Failed loads are not cached: heal the disk and the same PC answers.
+	ffs.Reset()
+	for i, vals := range probes {
+		got, err := spilled.LookupValsE(vals)
+		if err != nil {
+			t.Fatalf("probe %d: error after disk healed: %v", i, err)
+		}
+		if want := oracle.LookupVals(vals); got != want {
+			t.Fatalf("probe %d: count %d after heal, oracle %d", i, got, want)
+		}
+	}
+}
+
+func TestSpilledMarginalizeSurfacesReadFault(t *testing.T) {
+	d, _, spilled, ffs, _ := buildSpilledOnFaultFS(t, 0xC3)
+	defer spilled.ReleaseSpill()
+	sub := spilled.Attrs()
+	for _, a := range sub.Members() {
+		sub = sub.Remove(a)
+		break
+	}
+	ffs.FailFrom(iofault.OpRead, ffs.Counts()[iofault.OpRead]+1, nil)
+	if _, err := spilled.MarginalizeE(d, sub); err == nil {
+		t.Fatal("MarginalizeE on dead disk returned no error")
+	}
+	ffs.Reset()
+	if _, err := spilled.MarginalizeE(d, sub); err != nil {
+		t.Fatalf("MarginalizeE after heal: %v", err)
+	}
+}

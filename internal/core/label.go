@@ -120,16 +120,34 @@ func (l *Label) Rows() int { return l.rows }
 // when p constrains an attribute outside S (use Estimate there: the count
 // is then approximated, not exact).
 func (l *Label) Count(p Pattern) (count int, ok bool) {
+	count, ok, err := l.CountE(p)
+	if err != nil {
+		panic(err.Error())
+	}
+	return count, ok
+}
+
+// CountE is Count with an explicit error path: a label whose PC section is
+// merge-on-read reads run files on demand, and a failed (once-retried)
+// read returns the error instead of a wrong count. The serving layer uses
+// this form to degrade a request instead of crashing the process.
+func (l *Label) CountE(p Pattern) (count int, ok bool, err error) {
 	if !p.attrs.Diff(l.attrs).IsEmpty() {
-		return 0, false
+		return 0, false, nil
 	}
 	switch {
 	case p.attrs == l.attrs:
-		return l.pc.LookupVals(p.vals), true
+		count, err = l.pc.LookupValsE(p.vals)
+		return count, err == nil, err
 	case p.attrs.IsEmpty():
-		return l.rows, true
+		return l.rows, true, nil
 	default:
-		return l.marginal(p.attrs).LookupVals(p.vals), true
+		m, err := l.marginalE(p.attrs)
+		if err != nil {
+			return 0, false, err
+		}
+		count, err = m.LookupValsE(p.vals)
+		return count, err == nil, err
 	}
 }
 
@@ -138,13 +156,25 @@ func (l *Label) Count(p Pattern) (count int, ok bool) {
 // subsets. ok is false when sub reaches outside S. Query services use it
 // to enumerate restricted-count distributions.
 func (l *Label) MarginalPC(sub lattice.AttrSet) (pc *PC, ok bool) {
+	pc, ok, err := l.MarginalPCE(sub)
+	if err != nil {
+		panic(err.Error())
+	}
+	return pc, ok
+}
+
+// MarginalPCE is MarginalPC with an explicit error path: lazily deriving a
+// marginal from a merge-on-read PC section reads run files, and a failed
+// read returns the error instead of panicking.
+func (l *Label) MarginalPCE(sub lattice.AttrSet) (pc *PC, ok bool, err error) {
 	if !sub.SubsetOf(l.attrs) || sub.IsEmpty() {
-		return nil, false
+		return nil, false, nil
 	}
 	if sub == l.attrs {
-		return l.pc, true
+		return l.pc, true, nil
 	}
-	return l.marginal(sub), true
+	pc, err = l.marginalE(sub)
+	return pc, err == nil, err
 }
 
 // EachMarginal invokes fn for every materialized marginal index, holding
@@ -209,18 +239,46 @@ func (l *Label) Estimate(p Pattern) float64 {
 // per dataset attribute and attrs identifies the constrained slots. The
 // slice is not retained.
 func (l *Label) EstimateRow(vals []uint16, attrs lattice.AttrSet) float64 {
+	est, err := l.EstimateRowE(vals, attrs)
+	if err != nil {
+		panic(err.Error())
+	}
+	return est
+}
+
+// EstimateE is Estimate with an explicit error path (see EstimateRowE).
+func (l *Label) EstimateE(p Pattern) (float64, error) {
+	return l.EstimateRowE(p.vals, p.attrs)
+}
+
+// EstimateRowE is EstimateRow with an explicit error path: the base count
+// may come from a merge-on-read index, and a failed run read returns the
+// error instead of a wrong estimate.
+func (l *Label) EstimateRowE(vals []uint16, attrs lattice.AttrSet) (float64, error) {
 	inter := attrs.Intersect(l.attrs)
 	var base float64
 	switch {
 	case inter == l.attrs:
-		base = float64(l.pc.LookupVals(vals))
+		c, err := l.pc.LookupValsE(vals)
+		if err != nil {
+			return 0, err
+		}
+		base = float64(c)
 	case inter.IsEmpty():
 		base = float64(l.rows)
 	default:
-		base = float64(l.marginal(inter).LookupVals(vals))
+		m, err := l.marginalE(inter)
+		if err != nil {
+			return 0, err
+		}
+		c, err := m.LookupValsE(vals)
+		if err != nil {
+			return 0, err
+		}
+		base = float64(c)
 	}
 	if base == 0 {
-		return 0
+		return 0, nil
 	}
 	est := base
 	for _, a := range attrs.Diff(l.attrs).Members() {
@@ -230,7 +288,7 @@ func (l *Label) EstimateRow(vals []uint16, attrs lattice.AttrSet) float64 {
 		}
 		est *= l.fracs[a][id-1]
 	}
-	return est
+	return est, nil
 }
 
 // ReleaseSpill removes the on-disk runs behind any merge-on-read index the
@@ -257,17 +315,32 @@ func (l *Label) ReleaseSpill() {
 // persisted and restored verbatim (PutMarginal), so those stay exact
 // either way.
 func (l *Label) marginal(sub lattice.AttrSet) *PC {
+	pc, err := l.marginalE(sub)
+	if err != nil {
+		panic(err.Error())
+	}
+	return pc
+}
+
+// marginalE is marginal with an explicit error path: summing a
+// merge-on-read PC section reads run files, and a failed read returns the
+// error without caching anything — a later call rebuilds from scratch.
+func (l *Label) marginalE(sub lattice.AttrSet) (*PC, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if pc, ok := l.marginals[sub]; ok {
-		return pc
+		return pc, nil
 	}
 	var pc *PC
 	if l.fromPC {
-		pc = l.pc.Marginalize(l.d, sub)
+		var err error
+		pc, err = l.pc.MarginalizeE(l.d, sub)
+		if err != nil {
+			return nil, err
+		}
 	} else {
 		pc = BuildPCParallel(l.d, sub, l.copts)
 	}
 	l.marginals[sub] = pc
-	return pc
+	return pc, nil
 }

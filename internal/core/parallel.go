@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"pcbl/internal/dataset"
+	"pcbl/internal/iofault"
 	"pcbl/internal/lattice"
 	"pcbl/internal/workpool"
 )
@@ -76,6 +77,12 @@ type CountOptions struct {
 	// panic alike.
 	SpillDir string
 
+	// FS routes the spill tier's file access through an injectable
+	// filesystem seam; nil means the real OS filesystem. Fault-injection
+	// tests script failures here to exercise the disk-trouble fallbacks
+	// and the merge-on-read error paths.
+	FS iofault.FS
+
 	// minRowsPerWorker overrides the sequential-fallback threshold. Only
 	// tests set it (to force the sharded paths on small datasets); zero
 	// means defaultMinRowsPerWorker.
@@ -112,6 +119,9 @@ func LabelSizeParallel(d *dataset.Dataset, s lattice.AttrSet, cap int, opts Coun
 			if sz, w, ok := labelSizeSpill(k, datasetCols(d), d.NumRows(), workers, runs, format, opts, cap); ok {
 				return sz, w
 			}
+			// Disk trouble: the in-memory paths below produce the identical
+			// result at unbounded memory.
+			opts.Stats.addSpillFallback()
 		}
 	}
 	if opts.scanWorkers(d.NumRows()) <= 1 {
@@ -215,6 +225,7 @@ func labelSizesSplit(d *dataset.Dataset, sets []lattice.AttrSet, cap int, opts C
 		if !ok {
 			// Disk trouble: in-memory fallback for this one set, identical
 			// result at unbounded memory.
+			opts.Stats.addSpillFallback()
 			sz, w = LabelSize(d, sets[sp.idx], cap)
 		}
 		sizes[sp.idx], within[sp.idx] = sz, w

@@ -86,7 +86,7 @@ func PCFromRepr(d *dataset.Dataset, r PCRepr) (*PC, error) {
 			}
 			format = spillFmtU64
 		}
-		pc.sp = newSpilledPC(sr.Writer, k, format, sr.Size, sr.RunSizes, sr.Budget)
+		pc.sp = newSpilledPC(sr.Writer, k, format, sr.Size, sr.RunSizes, sr.Budget, nil)
 	case r.Dense != nil:
 		radix, ok := k.Radix()
 		if !ok || radix != uint64(len(r.Dense)) {

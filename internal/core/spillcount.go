@@ -154,6 +154,16 @@ func (st *ScanStats) addSpill(s spill.Stats, format spillFormat, countWorkers in
 	}
 }
 
+// addSpillFallback records one disk-trouble in-memory fallback: a spill
+// scan that could not complete (writer creation, partition write or run
+// count failed) and was re-run with the unbounded in-memory kernel.
+func (st *ScanStats) addSpillFallback() {
+	if st == nil {
+		return
+	}
+	atomic.AddInt64(&st.SpillFallbacks, 1)
+}
+
 // spillPartition is the shared partition phase: rows shard across workers,
 // each worker streaming its chunk's keys into a private ShardWriter —
 // columnar uint64 key blocks for the u64 format, per-row byte keys for the
@@ -235,6 +245,7 @@ func buildPCSpill(k *Keyer, cols [][]uint16, rows, workers, runs int, format spi
 	if pc, ok := buildPCSpillScan(k, cols, rows, workers, runs, format, opts); ok {
 		return pc
 	}
+	opts.Stats.addSpillFallback()
 	if format == spillFmtU64 {
 		return buildPCMap(k, cols, rows, workers)
 	}
@@ -247,6 +258,7 @@ func buildPCSpillScan(k *Keyer, cols [][]uint16, rows, workers, runs int, format
 		Runs:     runs,
 		Dir:      opts.SpillDir,
 		Pool:     opts.Pool,
+		FS:       opts.FS,
 	})
 	if err != nil {
 		return nil, false
@@ -279,7 +291,7 @@ func buildPCSpillScan(k *Keyer, cols [][]uint16, rows, workers, runs int, format
 			return pc, true
 		}
 		keep = true
-		pc.sp = newSpilledPC(w, k, format, size, runSizes, opts.MemBudget)
+		pc.sp = newSpilledPC(w, k, format, size, runSizes, opts.MemBudget, opts.Stats)
 		return pc, true
 	}
 	m, size, err := countMerge(w.CountRuns, workers, opts.MemBudget, entry, runSizes)
@@ -292,7 +304,7 @@ func buildPCSpillScan(k *Keyer, cols [][]uint16, rows, workers, runs int, format
 		return pc, true
 	}
 	keep = true
-	pc.sp = newSpilledPC(w, k, format, size, runSizes, opts.MemBudget)
+	pc.sp = newSpilledPC(w, k, format, size, runSizes, opts.MemBudget, opts.Stats)
 	return pc, true
 }
 
@@ -306,6 +318,7 @@ func labelSizeSpill(k *Keyer, cols [][]uint16, rows, workers, runs int, format s
 		Runs:     runs,
 		Dir:      opts.SpillDir,
 		Pool:     opts.Pool,
+		FS:       opts.FS,
 	})
 	if err != nil {
 		return 0, false, false

@@ -131,8 +131,10 @@ func TestDifferentialSpillBuildPC(t *testing.T) {
 				if stats.SpillRuns < 4 {
 					t.Fatalf("workers=%d: SpillRuns = %d, want >= 4", workers, stats.SpillRuns)
 				}
-				if cfg.nullRate == 0 && format == spillFmtBytes && stats.SpillBytes != int64(d.NumRows()*2*s.Size()) {
-					t.Fatalf("workers=%d: SpillBytes = %d, want %d", workers, stats.SpillBytes, d.NumRows()*2*s.Size())
+				// SpillBytes includes per-flush frame headers on top of the
+				// record payload.
+				if wantPayload := int64(d.NumRows() * 2 * s.Size()); cfg.nullRate == 0 && format == spillFmtBytes && stats.SpillBytes < wantPayload {
+					t.Fatalf("workers=%d: SpillBytes = %d, want >= %d", workers, stats.SpillBytes, wantPayload)
 				}
 				// Whether the result materialized or stayed merge-on-read
 				// is decided by the exact counted size against the budget —

@@ -44,6 +44,14 @@ import (
 //     ReleaseSpill therefore either completes or fails with the documented
 //     "use of a released spilled PC" panic — never a raw file-read error.
 //
+// Run reads can fail — an I/O error, or a checksum mismatch on a corrupted
+// frame — and a failed read must never become a wrong count: the internal
+// read paths return errors (lookupValsE / eachE), with one bounded retry
+// per load so a transient fault recovers invisibly. Every failed attempt
+// and every retry is metered (SpillReadStats, and ScanStats when one is
+// attached). The legacy panic behaviour survives only in the non-E
+// wrappers on PC, for deep callers that cannot degrade.
+//
 // No lock is held while user callbacks run: Each fetches each run's map
 // and then iterates it lock-free, so the callback may freely probe the
 // same PC (Marginalize does exactly that via Each + LookupVals).
@@ -65,6 +73,9 @@ type spilledPC struct {
 	cleanup  runtime.Cleanup
 
 	stats spillReadStats
+	// scanStats, when non-nil, is the build's shared ScanStats: read
+	// errors and retries are mirrored into its atomic Spill* counters.
+	scanStats *ScanStats
 
 	ru *runStore[uint64]
 	rs *runStore[string]
@@ -73,18 +84,25 @@ type spilledPC struct {
 // spillReadStats counts read-path events on a spilled PC; the atomic
 // counters are safe to bump from the lock-free fast path.
 type spillReadStats struct {
-	hotHits   atomic.Int64
-	floatHits atomic.Int64
-	runLoads  atomic.Int64
+	hotHits    atomic.Int64
+	floatHits  atomic.Int64
+	runLoads   atomic.Int64
+	readErrors atomic.Int64
+	retries    atomic.Int64
 }
 
 // SpillReadStats is a point-in-time snapshot of a spilled PC's read-path
-// counters: lock-free pinned-run hits, floating-slot hits, and run-file
-// loads (each load is one full scan of a run file).
+// counters: lock-free pinned-run hits, floating-slot hits, run-file loads
+// (each load is one full scan of a run file), failed read attempts, and
+// bounded retries of failed attempts. A ReadErrors count equal to Retries
+// means every failure recovered on retry; ReadErrors beyond that surfaced
+// to callers as errors.
 type SpillReadStats struct {
 	HotHits      int64
 	FloatingHits int64
 	RunLoads     int64
+	ReadErrors   int64
+	Retries      int64
 }
 
 // runStore caches one spilled PC's per-run count maps for one key type.
@@ -117,11 +135,13 @@ func newRunStore[K comparable](sp *spilledPC, dec func(rec []byte) K) *runStore[
 
 // get returns run's count map, loading (and possibly pinning) it on a
 // miss. The returned map is immutable and remains valid even after the
-// floating slot moves on — callers may iterate it without any lock.
-func (rs *runStore[K]) get(run int) map[K]int {
+// floating slot moves on — callers may iterate it without any lock. A
+// failed (and once-retried) run read returns an error; nothing is cached,
+// so a later call retries the load from scratch.
+func (rs *runStore[K]) get(run int) (map[K]int, error) {
 	if m, ok := (*rs.hot.Load())[run]; ok {
 		rs.sp.stats.hotHits.Add(1)
-		return m
+		return m, nil
 	}
 	rs.loadMu[run].Lock()
 	defer rs.loadMu[run].Unlock()
@@ -129,42 +149,64 @@ func (rs *runStore[K]) get(run int) map[K]int {
 	// run may have pinned it while we waited.
 	if m, ok := (*rs.hot.Load())[run]; ok {
 		rs.sp.stats.hotHits.Add(1)
-		return m
+		return m, nil
 	}
 	rs.admit.Lock()
 	if run == rs.curRun {
 		m := rs.cur
 		rs.admit.Unlock()
 		rs.sp.stats.floatHits.Add(1)
-		return m
+		return m, nil
 	}
 	rs.admit.Unlock()
-	m := rs.load(run)
+	m, err := rs.load(run)
+	if err != nil {
+		return nil, err
+	}
 	rs.place(run, m)
-	return m
+	return m, nil
 }
 
-// load scans run's file into a fresh map. The liveness read-lock is held
-// across the released-check and the scan, so a concurrent release cannot
-// delete the files mid-read: a lookup racing ReleaseSpill either completes
-// or panics with the documented message.
-func (rs *runStore[K]) load(run int) map[K]int {
+// load scans run's file into a fresh map, retrying once on failure. The
+// liveness read-lock is held across the released-check and the scans, so a
+// concurrent release cannot delete the files mid-read: a lookup racing
+// ReleaseSpill either completes or panics with the documented message.
+//
+// A read error here must never become a wrong count: the partial map is
+// discarded and the error propagates. One bounded retry absorbs transient
+// faults (a device-level hiccup recovers; a checksum mismatch on corrupt
+// data fails again deterministically). Both the failures and the retry are
+// metered.
+func (rs *runStore[K]) load(run int) (map[K]int, error) {
 	sp := rs.sp
 	sp.liveMu.RLock()
 	defer sp.liveMu.RUnlock()
 	sp.checkLive()
+	m, err := rs.scan(run)
+	if err != nil {
+		sp.noteReadError()
+		sp.noteRetry()
+		m, err = rs.scan(run)
+		if err != nil {
+			sp.noteReadError()
+			return nil, fmt.Errorf("core: spilled PC run read failed: %w", err)
+		}
+	}
+	sp.stats.runLoads.Add(1)
+	return m, nil
+}
+
+// scan is one attempt at streaming run's records into a fresh map.
+func (rs *runStore[K]) scan(run int) (map[K]int, error) {
+	sp := rs.sp
 	m := make(map[K]int, sp.runSizes[run])
 	if err := sp.w.ScanRun(run, func(rec []byte) bool {
 		m[rs.dec(rec)]++
 		return true
 	}); err != nil {
-		// The runs were written by this process and read errors are not
-		// recoverable into a correct count; surface loudly rather than
-		// silently returning zero counts.
-		panic(fmt.Sprintf("core: spilled PC run read failed: %v", err))
+		return nil, err
 	}
-	sp.stats.runLoads.Add(1)
-	return m
+	return m, nil
 }
 
 // place admits a freshly loaded run map: pinned into the hot snapshot when
@@ -197,15 +239,16 @@ func (rs *runStore[K]) drop() {
 	rs.admit.Unlock()
 }
 
-func newSpilledPC(w *spill.Writer, k *Keyer, format spillFormat, size int, runSizes []int, budget int64) *spilledPC {
+func newSpilledPC(w *spill.Writer, k *Keyer, format spillFormat, size int, runSizes []int, budget int64, scanStats *ScanStats) *spilledPC {
 	sp := &spilledPC{
-		w:        w,
-		keyer:    k,
-		u64:      format == spillFmtU64,
-		size:     size,
-		runSizes: runSizes,
-		entry:    format.entryBytes(k),
-		budget:   budget,
+		w:         w,
+		keyer:     k,
+		u64:       format == spillFmtU64,
+		size:      size,
+		runSizes:  runSizes,
+		entry:     format.entryBytes(k),
+		budget:    budget,
+		scanStats: scanStats,
 	}
 	if sp.u64 {
 		sp.ru = newRunStore(sp, func(rec []byte) uint64 { return binary.LittleEndian.Uint64(rec) })
@@ -244,40 +287,69 @@ func (sp *spilledPC) checkLive() {
 	}
 }
 
+// noteReadError meters one failed run-read attempt, mirroring into the
+// build's shared ScanStats when one is attached.
+func (sp *spilledPC) noteReadError() {
+	sp.stats.readErrors.Add(1)
+	if sp.scanStats != nil {
+		atomic.AddInt64(&sp.scanStats.SpillReadErrors, 1)
+	}
+}
+
+// noteRetry meters one bounded retry of a failed run read.
+func (sp *spilledPC) noteRetry() {
+	sp.stats.retries.Add(1)
+	if sp.scanStats != nil {
+		atomic.AddInt64(&sp.scanStats.SpillRetries, 1)
+	}
+}
+
 // readStats snapshots the read-path counters.
 func (sp *spilledPC) readStats() SpillReadStats {
 	return SpillReadStats{
 		HotHits:      sp.stats.hotHits.Load(),
 		FloatingHits: sp.stats.floatHits.Load(),
 		RunLoads:     sp.stats.runLoads.Load(),
+		ReadErrors:   sp.stats.readErrors.Load(),
+		Retries:      sp.stats.retries.Load(),
 	}
 }
 
-// lookupVals implements PC.LookupVals for the spilled representation. Safe
-// for any number of concurrent callers; hits on pinned runs are lock-free.
-func (sp *spilledPC) lookupVals(vals []uint16) int {
+// lookupValsE implements PC.LookupValsE for the spilled representation.
+// Safe for any number of concurrent callers; hits on pinned runs are
+// lock-free. A failed run read returns an error, never a wrong count.
+func (sp *spilledPC) lookupValsE(vals []uint16) (int, error) {
 	if sp.u64 {
 		key, ok := sp.keyer.KeyVals(vals)
 		if !ok {
-			return 0
+			return 0, nil
 		}
-		return sp.ru.get(sp.w.RunOfU64(key))[key]
+		m, err := sp.ru.get(sp.w.RunOfU64(key))
+		if err != nil {
+			return 0, err
+		}
+		return m[key], nil
 	}
 	var buf [128]byte
 	b, ok := sp.keyer.AppendBytesVals(buf[:0], vals)
 	if !ok {
-		return 0
+		return 0, nil
 	}
-	return sp.rs.get(sp.w.RunOf(b))[string(b)]
+	m, err := sp.rs.get(sp.w.RunOf(b))
+	if err != nil {
+		return 0, err
+	}
+	return m[string(b)], nil
 }
 
-// each implements PC.Each for the spilled representation: runs stream one
-// at a time, pinned runs straight from the cache and the rest through
+// eachE implements PC.EachE for the spilled representation: runs stream
+// one at a time, pinned runs straight from the cache and the rest through
 // freshly loaded maps that pass through the floating slot, so live
 // iteration memory stays one non-pinned run map. No lock is held while fn
 // runs — the run maps are immutable once fetched — so fn may re-enter this
-// PC (LookupVals, Each, Marginalize) freely.
-func (sp *spilledPC) each(n int, fn func(vals []uint16, count int) bool) {
+// PC (LookupVals, Each, Marginalize) freely. A failed run read aborts the
+// iteration with the error; fn has then seen a prefix of the entries.
+func (sp *spilledPC) eachE(n int, fn func(vals []uint16, count int) bool) error {
 	sp.checkLive()
 	vals := make([]uint16, n)
 	if sp.u64 {
@@ -285,24 +357,33 @@ func (sp *spilledPC) each(n int, fn func(vals []uint16, count int) bool) {
 			if sp.runSizes[run] == 0 {
 				continue
 			}
-			for key, c := range sp.ru.get(run) {
+			m, err := sp.ru.get(run)
+			if err != nil {
+				return err
+			}
+			for key, c := range m {
 				sp.keyer.Decode(key, vals)
 				if !fn(vals, c) {
-					return
+					return nil
 				}
 			}
 		}
-		return
+		return nil
 	}
 	for run := range sp.runSizes {
 		if sp.runSizes[run] == 0 {
 			continue
 		}
-		for key, c := range sp.rs.get(run) {
+		m, err := sp.rs.get(run)
+		if err != nil {
+			return err
+		}
+		for key, c := range m {
 			sp.keyer.DecodeBytes(key, vals)
 			if !fn(vals, c) {
-				return
+				return nil
 			}
 		}
 	}
+	return nil
 }

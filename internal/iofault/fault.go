@@ -1,0 +1,333 @@
+package iofault
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math"
+	"sync"
+)
+
+// ErrInjected is the default error of a scripted fault point; tests match
+// it (or an error wrapping it) to distinguish injected failures from real
+// ones.
+var ErrInjected = errors.New("iofault: injected fault")
+
+// ErrKilled marks operations attempted after a scripted kill point: the
+// simulated process death of crash-consistency tests. Once a kill fires,
+// every subsequent operation on the FaultFS fails with it — nothing more
+// reaches the disk, exactly as if the process had died at that point.
+// State written (and synced) before the kill point is still on disk and is
+// inspected through a plain OS filesystem.
+var ErrKilled = errors.New("iofault: killed at scripted crash point")
+
+// Op names one class of filesystem operation; fault scripts target an op
+// class and an occurrence index within it.
+type Op uint8
+
+const (
+	// OpOpen covers Open and ReadDir.
+	OpOpen Op = iota
+	// OpCreate covers Create.
+	OpCreate
+	// OpMkdir covers Mkdir, MkdirAll and MkdirTemp.
+	OpMkdir
+	// OpRead covers File.ReadAt and ReadFile.
+	OpRead
+	// OpWrite covers File.Write and WriteFile.
+	OpWrite
+	// OpSync covers File.Sync.
+	OpSync
+	// OpSyncDir covers SyncDir.
+	OpSyncDir
+	// OpRename covers Rename.
+	OpRename
+	// OpRemove covers Remove and RemoveAll.
+	OpRemove
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	"open", "create", "mkdir", "read", "write", "sync", "syncdir", "rename", "remove",
+}
+
+// String names the op class for test output.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Ops lists every op class, in order — the fault-sweep harness iterates it.
+func Ops() []Op {
+	out := make([]Op, numOps)
+	for i := range out {
+		out[i] = Op(i)
+	}
+	return out
+}
+
+// fault is one scripted fault point: occurrences from..to (1-based,
+// inclusive) of op fail.
+type fault struct {
+	op       Op
+	from, to int64
+	err      error
+	short    bool // short write: write half the bytes, then fail
+	kill     bool // crash point: this and every later operation fails
+}
+
+// FaultFS wraps an FS with scriptable fault points and per-op counters.
+// The zero value is not usable; create with NewFaultFS. All methods are
+// safe for concurrent use.
+//
+// Operations are counted per op class from 1; a script targets "the Nth
+// read" / "every write from the Nth on" / "a crash at the Nth sync".
+// Counting happens whether or not faults are enabled, so a recording pass
+// over a workload yields the op totals a sweep then iterates.
+type FaultFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	enabled bool
+	killed  bool
+	counts  [numOps]int64
+	faults  []fault
+}
+
+// NewFaultFS wraps inner (nil means the OS filesystem) with no faults
+// scripted and injection enabled.
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: Resolve(inner), enabled: true}
+}
+
+// FailAt scripts occurrence n (1-based) of op to fail with err (ErrInjected
+// when err is nil) — a transient, single-shot fault.
+func (f *FaultFS) FailAt(op Op, n int64, err error) {
+	f.addFault(fault{op: op, from: n, to: n, err: err})
+}
+
+// FailFrom scripts every occurrence of op from the Nth on to fail with err
+// (ErrInjected when nil) — a persistent fault, e.g. a dead disk region.
+func (f *FaultFS) FailFrom(op Op, n int64, err error) {
+	f.addFault(fault{op: op, from: n, to: math.MaxInt64, err: err})
+}
+
+// ShortWriteAt scripts occurrence n of OpWrite to write roughly half its
+// bytes and then fail — a torn write.
+func (f *FaultFS) ShortWriteAt(n int64) {
+	f.addFault(fault{op: OpWrite, from: n, to: n, err: ErrInjected, short: true})
+}
+
+// KillAt scripts a crash at occurrence n of op: that operation and every
+// subsequent operation of any kind fail with ErrKilled. State already on
+// disk stays as it was — the simulated crash of crash-consistency tests.
+func (f *FaultFS) KillAt(op Op, n int64) {
+	f.addFault(fault{op: op, from: n, to: n, kill: true})
+}
+
+func (f *FaultFS) addFault(ft fault) {
+	if ft.err == nil {
+		ft.err = ErrInjected
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = append(f.faults, ft)
+}
+
+// SetEnabled turns fault firing on or off; counting continues either way.
+// Tests use it to let a build complete cleanly and then arm faults for the
+// read path.
+func (f *FaultFS) SetEnabled(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.enabled = on
+}
+
+// Reset clears scripts, counters and any kill state.
+func (f *FaultFS) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = nil
+	f.counts = [numOps]int64{}
+	f.killed = false
+	f.enabled = true
+}
+
+// Counts snapshots the per-op operation totals observed so far.
+func (f *FaultFS) Counts() map[Op]int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[Op]int64, numOps)
+	for i, c := range f.counts {
+		out[Op(i)] = c
+	}
+	return out
+}
+
+// Killed reports whether a scripted kill point has fired.
+func (f *FaultFS) Killed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.killed
+}
+
+// step counts one operation and returns the fault scripted for it, if any.
+func (f *FaultFS) step(op Op) (short bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counts[op]++
+	n := f.counts[op]
+	if f.killed {
+		return false, ErrKilled
+	}
+	if !f.enabled {
+		return false, nil
+	}
+	for _, ft := range f.faults {
+		if ft.op == op && n >= ft.from && n <= ft.to {
+			if ft.kill {
+				f.killed = true
+				return false, ErrKilled
+			}
+			return ft.short, ft.err
+		}
+	}
+	return false, nil
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	if _, err := f.step(OpCreate); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, inner: file}, nil
+}
+
+func (f *FaultFS) Open(name string) (File, error) {
+	if _, err := f.step(OpOpen); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, inner: file}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if _, err := f.step(OpRename); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if _, err := f.step(OpRemove); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) RemoveAll(path string) error {
+	if _, err := f.step(OpRemove); err != nil {
+		return err
+	}
+	return f.inner.RemoveAll(path)
+}
+
+func (f *FaultFS) Mkdir(name string, perm fs.FileMode) error {
+	if _, err := f.step(OpMkdir); err != nil {
+		return err
+	}
+	return f.inner.Mkdir(name, perm)
+}
+
+func (f *FaultFS) MkdirAll(name string, perm fs.FileMode) error {
+	if _, err := f.step(OpMkdir); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(name, perm)
+}
+
+func (f *FaultFS) MkdirTemp(dir, pattern string) (string, error) {
+	if _, err := f.step(OpMkdir); err != nil {
+		return "", err
+	}
+	return f.inner.MkdirTemp(dir, pattern)
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if _, err := f.step(OpRead); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if _, err := f.step(OpOpen); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *FaultFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	if _, err := f.step(OpWrite); err != nil {
+		return err
+	}
+	return f.inner.WriteFile(name, data, perm)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if _, err := f.step(OpSyncDir); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile routes a file's reads, writes and syncs through the parent's
+// fault scripts.
+type faultFile struct {
+	f     *FaultFS
+	inner File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	short, err := ff.f.step(OpWrite)
+	if err != nil {
+		if short {
+			// Torn write: half the bytes land, then the error surfaces —
+			// the os.File contract (n < len(p) implies err != nil).
+			n, werr := ff.inner.Write(p[:len(p)/2])
+			if werr != nil {
+				return n, werr
+			}
+			return n, err
+		}
+		return 0, err
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if _, err := ff.f.step(OpRead); err != nil {
+		return 0, err
+	}
+	return ff.inner.ReadAt(p, off)
+}
+
+func (ff *faultFile) Sync() error {
+	if _, err := ff.f.step(OpSync); err != nil {
+		return err
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Close() error               { return ff.inner.Close() }
+func (ff *faultFile) Stat() (fs.FileInfo, error) { return ff.inner.Stat() }
+func (ff *faultFile) Name() string               { return ff.inner.Name() }

@@ -1,0 +1,126 @@
+// Package iofault is the storage tier's filesystem seam: a minimal
+// interface over the file operations internal/spill and internal/artifact
+// perform, with an OS-backed default and a fault-injecting wrapper for
+// durability testing.
+//
+// Production code paths take an FS (nil conventionally meaning OSFS) and
+// never touch the os package directly for data files, so a test can script
+// the exact failure a disk would produce — an EIO on the Nth read, a short
+// write, ENOSPC, a simulated crash between two fsyncs — and assert the
+// storage stack's invariant: every operation either yields bit-identical
+// results or fails with a clean typed error.
+//
+// The package sits below internal/spill in the import order and depends
+// only on the standard library.
+package iofault
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the handle surface the storage tier needs: sequential writes
+// (run flushes, payload serialization), random reads (run scans at
+// explicit offsets), fsync, and metadata.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+	// Stat returns the file's metadata (the storage tier uses Size).
+	Stat() (fs.FileInfo, error)
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS abstracts the filesystem operations of the storage tier. All paths
+// are interpreted exactly as the os package would.
+type FS interface {
+	// Create creates or truncates the named file for writing.
+	Create(name string) (File, error)
+	// Open opens the named file for reading.
+	Open(name string) (File, error)
+	// Rename atomically renames oldpath to newpath (same filesystem).
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// RemoveAll deletes path and anything it contains.
+	RemoveAll(path string) error
+	// Mkdir creates one directory.
+	Mkdir(name string, perm fs.FileMode) error
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(name string, perm fs.FileMode) error
+	// MkdirTemp creates a fresh private directory under dir.
+	MkdirTemp(dir, pattern string) (string, error)
+	// ReadFile reads the named file whole.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists a directory.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// WriteFile writes data to the named file, creating it if needed.
+	WriteFile(name string, data []byte, perm fs.FileMode) error
+	// SyncDir fsyncs a directory, making renames and creates inside it
+	// durable.
+	SyncDir(dir string) error
+}
+
+// OSFS is the production FS: every call maps 1:1 onto the os package.
+type OSFS struct{}
+
+// OS is the shared OS-backed filesystem instance. Resolve(nil) returns it.
+var OS FS = OSFS{}
+
+// Resolve maps the conventional nil FS to the OS implementation.
+func Resolve(f FS) FS {
+	if f == nil {
+		return OS
+	}
+	return f
+}
+
+func (OSFS) Create(name string) (File, error) {
+	f, err := os.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OSFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (OSFS) Remove(name string) error             { return os.Remove(name) }
+func (OSFS) RemoveAll(path string) error          { return os.RemoveAll(path) }
+func (OSFS) Mkdir(name string, perm fs.FileMode) error {
+	return os.Mkdir(name, perm)
+}
+func (OSFS) MkdirAll(name string, perm fs.FileMode) error {
+	return os.MkdirAll(name, perm)
+}
+func (OSFS) MkdirTemp(dir, pattern string) (string, error) {
+	return os.MkdirTemp(dir, pattern)
+}
+func (OSFS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (OSFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+func (OSFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,183 @@
+package iofault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.bin")
+	f, err := OS.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OS.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	buf := make([]byte, 5)
+	if _, err := r.ReadAt(buf, 6); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "world" {
+		t.Fatalf("ReadAt = %q, want %q", buf, "world")
+	}
+	if err := OS.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+}
+
+func TestFailAtFiresOnceAtIndex(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaultFS(nil)
+	ff.FailAt(OpCreate, 2, nil)
+	if _, err := ff.Create(filepath.Join(dir, "a")); err != nil {
+		t.Fatalf("create 1: %v", err)
+	}
+	if _, err := ff.Create(filepath.Join(dir, "b")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("create 2 = %v, want ErrInjected", err)
+	}
+	if _, err := ff.Create(filepath.Join(dir, "c")); err != nil {
+		t.Fatalf("create 3: %v", err)
+	}
+	if got := ff.Counts()[OpCreate]; got != 3 {
+		t.Fatalf("create count = %d, want 3", got)
+	}
+}
+
+func TestFailFromIsPersistent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := errors.New("disk on fire")
+	ff := NewFaultFS(nil)
+	ff.FailFrom(OpRead, 2, wantErr)
+	f, err := ff.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 4)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read 1: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := f.ReadAt(buf, 0); !errors.Is(err, wantErr) {
+			t.Fatalf("read %d = %v, want %v", i+2, err, wantErr)
+		}
+	}
+}
+
+func TestShortWriteLandsHalf(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaultFS(nil)
+	ff.ShortWriteAt(1)
+	f, err := ff.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write err = %v, want ErrInjected", err)
+	}
+	if n != 5 {
+		t.Fatalf("short write n = %d, want 5", n)
+	}
+	f.Close()
+	data, err := os.ReadFile(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "01234" {
+		t.Fatalf("on disk %q, want %q", data, "01234")
+	}
+}
+
+func TestKillAtStopsEverything(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaultFS(nil)
+	f, err := ff.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	ff.KillAt(OpSync, 1)
+	if err := f.Sync(); !errors.Is(err, ErrKilled) {
+		t.Fatalf("sync at kill point = %v, want ErrKilled", err)
+	}
+	if !ff.Killed() {
+		t.Fatal("Killed() = false after kill point")
+	}
+	// Every later operation of any kind fails too.
+	if _, err := f.Write([]byte("after")); !errors.Is(err, ErrKilled) {
+		t.Fatalf("write after kill = %v, want ErrKilled", err)
+	}
+	if _, err := ff.Create(filepath.Join(dir, "g")); !errors.Is(err, ErrKilled) {
+		t.Fatalf("create after kill = %v, want ErrKilled", err)
+	}
+	if err := ff.Rename(filepath.Join(dir, "f"), filepath.Join(dir, "h")); !errors.Is(err, ErrKilled) {
+		t.Fatalf("rename after kill = %v, want ErrKilled", err)
+	}
+	f.Close()
+	// Data written before the kill survived; nothing after did.
+	data, err := os.ReadFile(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "before" {
+		t.Fatalf("on disk %q, want %q", data, "before")
+	}
+}
+
+func TestSetEnabledGatesFiringNotCounting(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaultFS(nil)
+	ff.FailFrom(OpCreate, 1, nil)
+	ff.SetEnabled(false)
+	if _, err := ff.Create(filepath.Join(dir, "a")); err != nil {
+		t.Fatalf("disabled create: %v", err)
+	}
+	if got := ff.Counts()[OpCreate]; got != 1 {
+		t.Fatalf("count while disabled = %d, want 1", got)
+	}
+	ff.SetEnabled(true)
+	if _, err := ff.Create(filepath.Join(dir, "b")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("enabled create = %v, want ErrInjected", err)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaultFS(nil)
+	ff.KillAt(OpCreate, 1)
+	if _, err := ff.Create(filepath.Join(dir, "a")); !errors.Is(err, ErrKilled) {
+		t.Fatal("kill did not fire")
+	}
+	ff.Reset()
+	if ff.Killed() {
+		t.Fatal("Killed() after Reset")
+	}
+	if _, err := ff.Create(filepath.Join(dir, "a")); err != nil {
+		t.Fatalf("create after Reset: %v", err)
+	}
+	if got := ff.Counts()[OpCreate]; got != 1 {
+		t.Fatalf("count after Reset = %d, want 1", got)
+	}
+}

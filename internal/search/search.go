@@ -144,6 +144,10 @@ type Stats struct {
 	SpillParallelRuns int
 	// SpillBytes totals the bytes written to spill run files.
 	SpillBytes int64
+	// SpillFallbacks counts spilled sets that hit disk trouble and fell
+	// back to the unbounded in-memory kernel (results stay correct; the
+	// memory budget was not honored for those sets).
+	SpillFallbacks int
 	// SearchTime covers candidate enumeration (label-size computation).
 	SearchTime time.Duration
 	// EvalTime covers the find-best-candidate phase (paper §IV-C reports
@@ -415,6 +419,7 @@ func (z *levelSizer) sizeLevel(sets []lattice.AttrSet, visit func(s lattice.Attr
 	z.stats.SpillRuns = int(z.scan.SpillRuns)
 	z.stats.SpillParallelRuns = int(z.scan.SpillParallelRuns)
 	z.stats.SpillBytes = z.scan.SpillBytes
+	z.stats.SpillFallbacks = int(z.scan.SpillFallbacks)
 	z.stats.PoolHits, z.stats.PoolMisses = z.pool.Stats()
 	for i, s := range sets {
 		res := z.results[i]

@@ -20,6 +20,16 @@
 // Pattern expressions use the internal/patexpr grammar, e.g.
 // q=gender=Female,race=Hispanic (URL-encoded). Errors return JSON
 // {"error": "..."} with a 4xx status.
+//
+// The daemon degrades instead of dying: every request runs under
+// panic-recovery middleware, and a failed spill-run read (an I/O error or
+// a checksum mismatch on a corrupted run file, after the core's bounded
+// retry) maps to 503 Service Unavailable with a Retry-After header — never
+// a wrong count, never a dead process. /healthz is a deep check: it
+// reports 503 "degraded" with the failure counters while the label is in
+// that state, and flips back to 200 "ok" once a spill-path read succeeds
+// again (a transient fault clears itself; persistent corruption keeps the
+// label degraded until the artifact is repaired).
 package serve
 
 import (
@@ -27,6 +37,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync/atomic"
 
 	"pcbl/internal/core"
 	"pcbl/internal/dataset"
@@ -39,6 +50,14 @@ type Handler struct {
 	l   *core.Label
 	d   *dataset.Dataset
 	mux *http.ServeMux
+
+	// Degradation state: degraded flips on when a spill-path read fails
+	// and off when one succeeds, so /healthz tracks whether the label is
+	// currently answering. The counters are cumulative for observability.
+	degraded        atomic.Bool
+	readFailures    atomic.Int64
+	recoveredPanics atomic.Int64
+	lastErr         atomic.Value // string
 }
 
 // NewHandler wraps a label (typically reopened from an artifact, but any
@@ -54,8 +73,45 @@ func NewHandler(l *core.Label) *Handler {
 	return h
 }
 
-// ServeHTTP implements http.Handler.
-func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Every request runs under
+// panic-recovery middleware: a panic escaping a handler — the last-resort
+// failure mode for paths without an explicit error return — is recovered,
+// counted, and answered with 503 instead of killing the daemon's
+// connection-serving goroutine.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			h.recoveredPanics.Add(1)
+			h.noteFailure(fmt.Errorf("recovered panic: %v", rec))
+			// Best effort: if the handler already started the response the
+			// status is on the wire, but no handler here streams partial
+			// JSON bodies, so in practice the client sees the 503.
+			writeDegraded(w, fmt.Errorf("internal failure: %v", rec))
+		}
+	}()
+	h.mux.ServeHTTP(w, r)
+}
+
+// noteFailure records one spill-path failure and marks the label degraded.
+func (h *Handler) noteFailure(err error) {
+	h.readFailures.Add(1)
+	h.lastErr.Store(err.Error())
+	h.degraded.Store(true)
+}
+
+// noteSuccess records one successful label read: a degraded label whose
+// reads work again (a transient fault passed) is healthy.
+func (h *Handler) noteSuccess() { h.degraded.Store(false) }
+
+// writeDegraded answers a request whose label read failed: 503 with a
+// Retry-After hint. The count is unknown, never wrong.
+func writeDegraded(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"error":    err.Error(),
+		"degraded": true,
+	})
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -68,8 +124,40 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// HealthResult is the /healthz response — a deep status, not a bare
+// liveness probe: "degraded" (with 503) means label reads are failing and
+// queries are answering 503, while the process itself stays up.
+type HealthResult struct {
+	Status          string `json:"status"` // "ok" or "degraded"
+	Spilled         bool   `json:"spilled"`
+	ReadFailures    int64  `json:"read_failures,omitempty"`
+	SpillReadErrors int64  `json:"spill_read_errors,omitempty"`
+	SpillRetries    int64  `json:"spill_retries,omitempty"`
+	RecoveredPanics int64  `json:"recovered_panics,omitempty"`
+	LastError       string `json:"last_error,omitempty"`
+}
+
 func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	res := HealthResult{
+		Status:          "ok",
+		ReadFailures:    h.readFailures.Load(),
+		RecoveredPanics: h.recoveredPanics.Load(),
+	}
+	if st, ok := h.l.PC().SpillReadStats(); ok {
+		res.Spilled = true
+		res.SpillReadErrors = st.ReadErrors
+		res.SpillRetries = st.Retries
+	}
+	if e, _ := h.lastErr.Load().(string); e != "" {
+		res.LastError = e
+	}
+	status := http.StatusOK
+	if h.degraded.Load() {
+		res.Status = "degraded"
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, res)
 }
 
 // AttrInfo is one attribute's schema in the /v1/label response.
@@ -132,12 +220,18 @@ func (h *Handler) count(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	c, ok := h.l.Count(p)
+	c, ok, cerr := h.l.CountE(p)
+	if cerr != nil {
+		h.noteFailure(cerr)
+		writeDegraded(w, cerr)
+		return
+	}
 	if !ok {
 		writeErr(w, http.StatusUnprocessableEntity,
 			"pattern constrains attributes outside the label set %v; use /v1/estimate", h.attrNames(h.l.Attrs()))
 		return
 	}
+	h.noteSuccess()
 	writeJSON(w, http.StatusOK, CountResult{
 		Pattern:    h.patternAssign(p),
 		Count:      c,
@@ -159,9 +253,16 @@ func (h *Handler) estimate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	est, eerr := h.l.EstimateE(p)
+	if eerr != nil {
+		h.noteFailure(eerr)
+		writeDegraded(w, eerr)
+		return
+	}
+	h.noteSuccess()
 	writeJSON(w, http.StatusOK, EstimateResult{
 		Pattern:  h.patternAssign(p),
-		Estimate: h.l.Estimate(p),
+		Estimate: est,
 		Exact:    p.Attrs().Diff(h.l.Attrs()).IsEmpty(),
 	})
 }
@@ -193,7 +294,12 @@ func (h *Handler) marginal(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	pc, ok := h.l.MarginalPC(sub)
+	pc, ok, merr := h.l.MarginalPCE(sub)
+	if merr != nil {
+		h.noteFailure(merr)
+		writeDegraded(w, merr)
+		return
+	}
 	if !ok {
 		writeErr(w, http.StatusUnprocessableEntity,
 			"attrs must be a non-empty subset of the label set %v", h.attrNames(h.l.Attrs()))
@@ -201,14 +307,19 @@ func (h *Handler) marginal(w http.ResponseWriter, r *http.Request) {
 	}
 	res := MarginalResult{Attrs: h.attrNames(sub), Patterns: make([]MarginalEntry, 0, pc.Size())}
 	members := sub.Members()
-	pc.Each(h.d.NumAttrs(), func(vals []uint16, count int) bool {
+	if err := pc.EachE(h.d.NumAttrs(), func(vals []uint16, count int) bool {
 		assign := make(map[string]string, len(members))
 		for _, a := range members {
 			assign[h.d.Attr(a).Name()] = h.d.Attr(a).Value(vals[a])
 		}
 		res.Patterns = append(res.Patterns, MarginalEntry{Pattern: assign, Count: count})
 		return true
-	})
+	}); err != nil {
+		h.noteFailure(err)
+		writeDegraded(w, err)
+		return
+	}
+	h.noteSuccess()
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -219,6 +330,8 @@ type StatsResult struct {
 	HotHits      int64 `json:"hot_hits"`
 	FloatingHits int64 `json:"floating_hits"`
 	RunLoads     int64 `json:"run_loads"`
+	ReadErrors   int64 `json:"read_errors"`
+	Retries      int64 `json:"retries"`
 }
 
 func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
@@ -228,6 +341,8 @@ func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 		res.HotHits = st.HotHits
 		res.FloatingHits = st.FloatingHits
 		res.RunLoads = st.RunLoads
+		res.ReadErrors = st.ReadErrors
+		res.Retries = st.Retries
 	}
 	writeJSON(w, http.StatusOK, res)
 }

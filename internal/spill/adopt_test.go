@@ -93,7 +93,7 @@ func TestOpenServesAdoptedRuns(t *testing.T) {
 	}
 	w.Cleanup()
 
-	r, err := Open(dst, width, runs, nil)
+	r, err := Open(dst, width, runs, true, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestSecondAdoptionCopiesInsteadOfStealing(t *testing.T) {
 	// Both artifact directories must hold complete, independently readable
 	// run sets.
 	for _, dir := range []string{first, second} {
-		r, err := Open(dir, 6, w.NumRuns(), nil)
+		r, err := Open(dir, 6, w.NumRuns(), true, nil, nil)
 		if err != nil {
 			t.Fatalf("open %s: %v", dir, err)
 		}
@@ -154,7 +154,7 @@ func TestOpenRejectsTruncatedRun(t *testing.T) {
 	if err := os.Truncate(path, fi.Size()-1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(dst, 6, w.NumRuns(), nil); err == nil {
+	if _, err := Open(dst, 6, w.NumRuns(), true, nil, nil); err == nil {
 		t.Fatal("Open accepted a truncated run file")
 	}
 }
@@ -164,7 +164,7 @@ func TestOpenMissingRun(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "run-0000"), make([]byte, 12), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(dir, 6, 2, nil); err == nil {
+	if _, err := Open(dir, 6, 2, true, nil, nil); err == nil {
 		t.Fatal("Open accepted a directory missing run files")
 	}
 }

@@ -25,6 +25,15 @@
 // exact cross-worker cap-abort, and each worker reuses one pooled map and
 // read chunk across its runs.
 //
+// Run files are a corruption-detecting format (v2): every flush writes one
+// CRC32C-checksummed frame, and every read path verifies the frame it
+// decodes before a single record reaches a count map — a torn sector or
+// bit flip surfaces as a typed CorruptError, never as a silently wrong
+// count. Unframed (v1) run files written by earlier releases still open
+// read-only; see Open. All file access goes through an injectable
+// iofault.FS seam, so durability tests can script the exact fault a disk
+// would produce.
+//
 // The package is deliberately below internal/core in the import order: it
 // deals only in opaque fixed-width byte records, so core can select it from
 // kernel dispatch without a cycle. Buffers are recycled through the BufPool
@@ -33,12 +42,14 @@ package spill
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
-	"os"
 	"sync"
 	"sync/atomic"
 
+	"pcbl/internal/iofault"
 	"pcbl/internal/workpool"
 )
 
@@ -70,6 +81,9 @@ type Config struct {
 	BufBytes int
 	// Pool recycles buffers across spills; nil means plain allocation.
 	Pool BufPool
+	// FS is the filesystem seam all run-file access goes through; nil
+	// means the real OS filesystem. Durability tests inject faults here.
+	FS iofault.FS
 }
 
 // Stats reports the work one spill group-by performed.
@@ -78,18 +92,57 @@ type Stats struct {
 	Runs int
 	// RecordsSpilled counts records written across all partitions.
 	RecordsSpilled int64
-	// BytesWritten counts bytes written to the run files.
+	// BytesWritten counts bytes written to the run files, frame headers
+	// included.
 	BytesWritten int64
 	// MaxRunEntries is the largest per-run distinct-key count observed by
 	// CountRuns — the quantity the caller's run-sizing bounds.
 	MaxRunEntries int
 }
 
+// ErrCorrupt marks run data that failed checksum or structural
+// verification; errors.Is(err, ErrCorrupt) matches every CorruptError.
+var ErrCorrupt = errors.New("spill: corrupt run data")
+
+// CorruptError reports where a run file failed verification: a frame
+// checksum mismatch, a truncated frame, or a mid-record truncation of an
+// unframed (v1) run. It wraps ErrCorrupt.
+type CorruptError struct {
+	Run    int   // run index within the writer
+	Off    int64 // byte offset of the bad frame (framed runs) or tail
+	Detail string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("spill: run %d corrupt at offset %d: %s", e.Run, e.Off, e.Detail)
+}
+
+// Is reports ErrCorrupt as this error's class, so callers match the
+// category without knowing the location details.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
 // fnv64Offset and fnv64Prime are the FNV-1a 64-bit parameters of the
 // partition-routing hash.
 const (
 	fnv64Offset = 14695981039346656037
 	fnv64Prime  = 1099511628211
+)
+
+// castagnoli is the CRC32C polynomial table of the frame checksums —
+// hardware-accelerated on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame layout of v2 run files: every flush appends one frame,
+//
+//	uint32 payload length | uint32 CRC32C(payload) | payload
+//
+// with the payload a whole number of RecWidth-byte records. Readers verify
+// the checksum of each frame before decoding any record from it.
+const (
+	frameHdrLen = 8
+	// maxFrameBytes bounds a frame's declared payload so a corrupt length
+	// field cannot drive an allocation by gigabytes.
+	maxFrameBytes = 1 << 24
 )
 
 // routeHash is the fixed, process-independent partition hash: FNV-1a over
@@ -120,17 +173,20 @@ func routeHash(rec []byte) uint64 {
 // (it is idempotent and safe to defer before any error handling, including
 // panics).
 type Writer struct {
-	cfg   Config
-	dir   string
-	owns  bool // created the run files; Cleanup deletes them and the dir
-	files []*os.File
-	mus   []sync.Mutex
-	wmu   sync.Mutex // guards stats accumulation from shards and count workers
-	stats Stats
-	done  bool
+	cfg    Config
+	fs     iofault.FS
+	dir    string
+	owns   bool // created the run files; Cleanup deletes them and the dir
+	framed bool // v2 checksummed-frame layout (vs raw v1 records)
+	files  []iofault.File
+	mus    []sync.Mutex
+	wmu    sync.Mutex // guards stats accumulation from shards and count workers
+	stats  Stats
+	done   bool
 }
 
-// NewWriter creates the run files in a fresh private directory.
+// NewWriter creates the run files in a fresh private directory. New runs
+// are always written in the framed (v2) layout.
 func NewWriter(cfg Config) (*Writer, error) {
 	if cfg.RecWidth <= 0 {
 		return nil, fmt.Errorf("spill: record width must be positive, got %d", cfg.RecWidth)
@@ -141,27 +197,30 @@ func NewWriter(cfg Config) (*Writer, error) {
 	if cfg.BufBytes <= 0 {
 		cfg.BufBytes = defaultBufBytes(cfg.Runs)
 	}
-	// Round the buffer down to whole records so flushed writes never split
-	// a record (concurrent shards interleave only whole buffers).
+	// Round the buffer down to whole records so flushed frames never split
+	// a record (concurrent shards interleave only whole frames).
 	if cfg.BufBytes < cfg.RecWidth {
 		cfg.BufBytes = cfg.RecWidth
 	}
 	cfg.BufBytes -= cfg.BufBytes % cfg.RecWidth
 
-	dir, err := os.MkdirTemp(cfg.Dir, "pcbl-spill-*")
+	fsys := iofault.Resolve(cfg.FS)
+	dir, err := fsys.MkdirTemp(cfg.Dir, "pcbl-spill-*")
 	if err != nil {
 		return nil, err
 	}
 	w := &Writer{
-		cfg:   cfg,
-		dir:   dir,
-		owns:  true,
-		files: make([]*os.File, cfg.Runs),
-		mus:   make([]sync.Mutex, cfg.Runs),
+		cfg:    cfg,
+		fs:     fsys,
+		dir:    dir,
+		owns:   true,
+		framed: true,
+		files:  make([]iofault.File, cfg.Runs),
+		mus:    make([]sync.Mutex, cfg.Runs),
 	}
 	w.stats.Runs = cfg.Runs
 	for i := range w.files {
-		f, err := os.Create(runPath(dir, i))
+		f, err := fsys.Create(runPath(dir, i))
 		if err != nil {
 			w.Cleanup()
 			return nil, err
@@ -177,45 +236,106 @@ func runPath(dir string, i int) string { return fmt.Sprintf("%s/run-%04d", dir, 
 
 // Open reopens an existing run directory read-only — the reverse of
 // AdoptInto, used to serve a label artifact's spilled PCs without
-// re-counting. The directory must hold runs files named as NewWriter
-// creates them, every file a whole number of recWidth-byte records. The
-// returned writer does not own the files: Cleanup closes the descriptors
-// but leaves the directory intact, and shard writes are not supported.
-func Open(dir string, recWidth, runs int, pool BufPool) (*Writer, error) {
+// re-counting. The directory must hold run files named as NewWriter
+// creates them. framed selects the layout: true for checksummed v2 frames
+// (every file's frame chain is structurally validated here — lengths and
+// truncation; checksums verify lazily on each scan), false for raw v1
+// records (every file must be a whole number of recWidth-byte records).
+// The returned writer does not own the files: Cleanup closes the
+// descriptors but leaves the directory intact, and shard writes are not
+// supported. fsys nil means the OS filesystem.
+func Open(dir string, recWidth, runs int, framed bool, pool BufPool, fsys iofault.FS) (*Writer, error) {
 	if recWidth <= 0 {
 		return nil, fmt.Errorf("spill: record width must be positive, got %d", recWidth)
 	}
 	if runs < 1 {
 		return nil, fmt.Errorf("spill: run count must be >= 1, got %d", runs)
 	}
+	f := iofault.Resolve(fsys)
 	w := &Writer{
-		cfg:   Config{RecWidth: recWidth, Runs: runs, BufBytes: defaultBufBytes(runs), Pool: pool},
-		dir:   dir,
-		files: make([]*os.File, runs),
-		mus:   make([]sync.Mutex, runs),
+		cfg:    Config{RecWidth: recWidth, Runs: runs, BufBytes: defaultBufBytes(runs), Pool: pool, FS: fsys},
+		fs:     f,
+		dir:    dir,
+		framed: framed,
+		files:  make([]iofault.File, runs),
+		mus:    make([]sync.Mutex, runs),
 	}
 	w.stats.Runs = runs
 	for i := range w.files {
-		f, err := os.Open(runPath(dir, i))
+		file, err := f.Open(runPath(dir, i))
 		if err != nil {
 			w.Cleanup()
 			return nil, err
 		}
-		w.files[i] = f
-		fi, err := f.Stat()
+		w.files[i] = file
+		recs, err := w.validateRun(i)
 		if err != nil {
 			w.Cleanup()
 			return nil, err
 		}
-		if fi.Size()%int64(recWidth) != 0 {
+		fi, err := file.Stat()
+		if err != nil {
 			w.Cleanup()
-			return nil, fmt.Errorf("spill: run %d truncated mid-record (%d trailing bytes)", i, fi.Size()%int64(recWidth))
+			return nil, err
 		}
 		w.stats.BytesWritten += fi.Size()
-		w.stats.RecordsSpilled += fi.Size() / int64(recWidth)
+		w.stats.RecordsSpilled += recs
 	}
 	return w, nil
 }
+
+// validateRun checks run i's structure and returns its record count: for
+// framed runs it walks the frame chain (headers only — checksums verify on
+// scan), for raw runs it checks whole-record length.
+func (w *Writer) validateRun(run int) (records int64, err error) {
+	f := w.files[run]
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	size := fi.Size()
+	if !w.framed {
+		if size%int64(w.cfg.RecWidth) != 0 {
+			return 0, &CorruptError{Run: run, Off: size - size%int64(w.cfg.RecWidth),
+				Detail: fmt.Sprintf("truncated mid-record (%d trailing bytes)", size%int64(w.cfg.RecWidth))}
+		}
+		return size / int64(w.cfg.RecWidth), nil
+	}
+	var hdr [frameHdrLen]byte
+	var off int64
+	for off < size {
+		if size-off < frameHdrLen {
+			return 0, &CorruptError{Run: run, Off: off, Detail: fmt.Sprintf("truncated frame header (%d trailing bytes)", size-off)}
+		}
+		if _, err := f.ReadAt(hdr[:], off); err != nil {
+			return 0, err
+		}
+		plen := binary.LittleEndian.Uint32(hdr[:4])
+		if err := checkFrameLen(run, off, int(plen), w.cfg.RecWidth); err != nil {
+			return 0, err
+		}
+		if off+frameHdrLen+int64(plen) > size {
+			return 0, &CorruptError{Run: run, Off: off,
+				Detail: fmt.Sprintf("frame declares %d payload bytes, file ends %d short", plen, off+frameHdrLen+int64(plen)-size)}
+		}
+		records += int64(plen) / int64(w.cfg.RecWidth)
+		off += frameHdrLen + int64(plen)
+	}
+	return records, nil
+}
+
+// checkFrameLen validates one frame's declared payload length.
+func checkFrameLen(run int, off int64, plen, recWidth int) error {
+	if plen <= 0 || plen > maxFrameBytes || plen%recWidth != 0 {
+		return &CorruptError{Run: run, Off: off, Detail: fmt.Sprintf("bad frame length %d (record width %d)", plen, recWidth)}
+	}
+	return nil
+}
+
+// Framed reports whether the writer's run files use the checksummed v2
+// frame layout. Artifact manifests record it so a reopened (or re-adopted)
+// run directory is always read with the layout it was written in.
+func (w *Writer) Framed() bool { return w.framed }
 
 // AdoptInto relocates the run files into dst (an existing directory) and
 // hands their ownership to it: the writer keeps serving scans and lookups
@@ -225,7 +345,9 @@ func Open(dir string, recWidth, runs int, pool BufPool) (*Writer, error) {
 // fallback when rename cannot cross the filesystem boundary; a writer that
 // does not own its files (already adopted, or reopened with Open) copies
 // instead, so adopting the same runs into a second artifact never steals
-// them from the first. Must not run concurrently with scans or shard
+// them from the first. Adoption is durable on return: every adopted run is
+// fsynced (copies before the source is ever deleted), then dst's directory
+// entries are fsynced. Must not run concurrently with scans or shard
 // writes.
 func (w *Writer) AdoptInto(dst string) error {
 	if w.done {
@@ -235,7 +357,7 @@ func (w *Writer) AdoptInto(dst string) error {
 	for i := range w.files {
 		dstPath := runPath(dst, i)
 		if w.owns {
-			if err := os.Rename(runPath(w.dir, i), dstPath); err == nil {
+			if err := w.fs.Rename(runPath(w.dir, i), dstPath); err == nil {
 				continue
 			}
 			// Rename failed (typically EXDEV: dst on another filesystem);
@@ -245,8 +367,22 @@ func (w *Writer) AdoptInto(dst string) error {
 			return fmt.Errorf("spill: adopting run %d: %w", i, err)
 		}
 	}
+	// Durability barrier: run data written during the build was never
+	// fsynced (the build's own directory is transient). The artifact the
+	// runs now belong to must survive a crash once its manifest commits,
+	// so flush file data first, then the directory entries. Renamed files
+	// sync through their still-open descriptors; copied files were already
+	// synced by copyRun, before the source could be deleted below.
+	for i, f := range w.files {
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("spill: syncing adopted run %d: %w", i, err)
+		}
+	}
+	if err := w.fs.SyncDir(dst); err != nil {
+		return fmt.Errorf("spill: syncing adopted run directory: %w", err)
+	}
 	if ownedDir {
-		os.RemoveAll(w.dir)
+		w.fs.RemoveAll(w.dir)
 	}
 	w.dir = dst
 	w.owns = false
@@ -254,27 +390,34 @@ func (w *Writer) AdoptInto(dst string) error {
 }
 
 // copyRun copies run i's bytes to dstPath through the already-open
-// descriptor and swaps the writer's descriptor to the copy.
+// descriptor, fsyncs the copy, and swaps the writer's descriptor to it.
+// The copy is durable before the function returns, so a caller that
+// deletes the source afterwards can never lose the run to a crash.
 func (w *Writer) copyRun(i int, dstPath string) error {
 	f := w.files[i]
 	fi, err := f.Stat()
 	if err != nil {
 		return err
 	}
-	out, err := os.Create(dstPath)
+	out, err := w.fs.Create(dstPath)
 	if err != nil {
 		return err
 	}
 	if _, err := io.Copy(out, io.NewSectionReader(f, 0, fi.Size())); err != nil {
 		out.Close()
-		os.Remove(dstPath)
+		w.fs.Remove(dstPath)
+		return err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		w.fs.Remove(dstPath)
 		return err
 	}
 	if err := out.Close(); err != nil {
-		os.Remove(dstPath)
+		w.fs.Remove(dstPath)
 		return err
 	}
-	nf, err := os.Open(dstPath)
+	nf, err := w.fs.Open(dstPath)
 	if err != nil {
 		return err
 	}
@@ -322,13 +465,15 @@ func (w *Writer) RunOfU64(key uint64) int {
 func (w *Writer) Shard() *ShardWriter {
 	s := &ShardWriter{w: w, bufs: make([][]byte, w.cfg.Runs)}
 	for i := range s.bufs {
-		s.bufs[i] = getBuf(w.cfg.Pool, w.cfg.BufBytes)[:0]
+		// Reserve the frame header at the front of each buffer so a flush
+		// is a single whole-frame write.
+		s.bufs[i] = getBuf(w.cfg.Pool, w.cfg.BufBytes+frameHdrLen)[:frameHdrLen]
 	}
 	return s
 }
 
 // ShardWriter buffers one goroutine's records per partition and flushes
-// them to the shared run files in whole-buffer writes.
+// them to the shared run files in whole-frame writes.
 type ShardWriter struct {
 	w    *Writer
 	bufs [][]byte
@@ -366,11 +511,17 @@ func (s *ShardWriter) AddU64(key uint64) {
 	s.Add(b[:])
 }
 
+// flush seals the shard's buffered records for run into one checksummed
+// frame and writes it. Whole frames interleave safely across shards under
+// the per-run mutex.
 func (s *ShardWriter) flush(run int) {
 	buf := s.bufs[run]
-	if len(buf) == 0 {
+	if len(buf) <= frameHdrLen {
 		return
 	}
+	payload := buf[frameHdrLen:]
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
 	w := s.w
 	w.mus[run].Lock()
 	_, err := w.files[run].Write(buf)
@@ -382,7 +533,7 @@ func (s *ShardWriter) flush(run int) {
 	w.wmu.Lock()
 	w.stats.BytesWritten += int64(len(buf))
 	w.wmu.Unlock()
-	s.bufs[run] = buf[:0]
+	s.bufs[run] = buf[:frameHdrLen]
 }
 
 // Close flushes every partition buffer and releases them to the pool. It
@@ -402,17 +553,23 @@ func (s *ShardWriter) Close() error {
 	return s.err
 }
 
-// readChunkBytes is the streaming granularity of run counting: runs are
-// read in chunks of this size (rounded to whole records) so peak reader
-// memory stays fixed no matter how large a run file grew.
+// readChunkBytes is the streaming granularity of raw-run counting: v1 runs
+// are read in chunks of this size (rounded to whole records) so peak
+// reader memory stays fixed no matter how large a run file grew. Framed
+// runs read frame-at-a-time instead, bounded by the flush buffer that
+// wrote them.
 const readChunkBytes = 256 << 10
 
-// chunkLen rounds the read chunk down to whole records, with a one-record
-// floor so pathologically wide records still stream.
+// chunkLen sizes the pooled read buffer: whole records near readChunkBytes
+// for raw runs, at least one write buffer plus header for framed runs
+// (scans grow past it only for frames written with a larger BufBytes).
 func (w *Writer) chunkLen() int {
 	n := readChunkBytes - readChunkBytes%w.cfg.RecWidth
 	if n < w.cfg.RecWidth {
 		n = w.cfg.RecWidth
+	}
+	if w.framed && n < w.cfg.BufBytes+frameHdrLen {
+		n = w.cfg.BufBytes + frameHdrLen
 	}
 	return n
 }
@@ -421,8 +578,18 @@ func (w *Writer) chunkLen() int {
 // record (the slice is only valid for the duration of the call). fn
 // returning false aborts the scan. Reads go through ReadAt at explicit
 // offsets, so any number of scans — of the same or different runs — may
-// proceed concurrently without sharing file positions.
+// proceed concurrently without sharing file positions. Framed runs verify
+// every frame's checksum before decoding records from it; corruption
+// surfaces as a CorruptError, never as wrong records.
 func (w *Writer) scanRun(run int, chunk []byte, fn func(rec []byte) bool) (aborted bool, err error) {
+	if w.framed {
+		return w.scanRunFramed(run, chunk, fn)
+	}
+	return w.scanRunRaw(run, chunk, fn)
+}
+
+// scanRunRaw streams an unframed (v1) run.
+func (w *Writer) scanRunRaw(run int, chunk []byte, fn func(rec []byte) bool) (aborted bool, err error) {
 	f := w.files[run]
 	var off int64
 	for {
@@ -433,7 +600,8 @@ func (w *Writer) scanRun(run int, chunk []byte, fn func(rec []byte) bool) (abort
 		// ReadAt fills the whole chunk unless it hit EOF or an error, so a
 		// ragged tail can only appear on the final chunk.
 		if n%w.cfg.RecWidth != 0 {
-			return false, fmt.Errorf("spill: run %d truncated mid-record (%d trailing bytes)", run, n%w.cfg.RecWidth)
+			return false, &CorruptError{Run: run, Off: off + int64(n-n%w.cfg.RecWidth),
+				Detail: fmt.Sprintf("truncated mid-record (%d trailing bytes)", n%w.cfg.RecWidth)}
 		}
 		for o := 0; o < n; o += w.cfg.RecWidth {
 			if !fn(chunk[o : o+w.cfg.RecWidth]) {
@@ -444,6 +612,52 @@ func (w *Writer) scanRun(run int, chunk []byte, fn func(rec []byte) bool) (abort
 		if rerr == io.EOF {
 			return false, nil
 		}
+	}
+}
+
+// scanRunFramed streams a framed (v2) run frame-by-frame, verifying each
+// frame's CRC32C before any record from it reaches fn.
+func (w *Writer) scanRunFramed(run int, chunk []byte, fn func(rec []byte) bool) (aborted bool, err error) {
+	f := w.files[run]
+	var hdr [frameHdrLen]byte
+	var off int64
+	for {
+		n, rerr := f.ReadAt(hdr[:], off)
+		if n == 0 && rerr == io.EOF {
+			return false, nil
+		}
+		if n < frameHdrLen {
+			if rerr == nil || rerr == io.EOF {
+				return false, &CorruptError{Run: run, Off: off, Detail: fmt.Sprintf("truncated frame header (%d bytes)", n)}
+			}
+			return false, rerr
+		}
+		plen := int(binary.LittleEndian.Uint32(hdr[:4]))
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if err := checkFrameLen(run, off, plen, w.cfg.RecWidth); err != nil {
+			return false, err
+		}
+		if plen > len(chunk) {
+			// Frame written with a larger flush buffer than ours; grow once.
+			chunk = make([]byte, plen)
+		}
+		payload := chunk[:plen]
+		pn, perr := f.ReadAt(payload, off+frameHdrLen)
+		if pn < plen {
+			if perr == nil || perr == io.EOF {
+				return false, &CorruptError{Run: run, Off: off, Detail: fmt.Sprintf("truncated frame payload (%d of %d bytes)", pn, plen)}
+			}
+			return false, perr
+		}
+		if got := crc32.Checksum(payload, castagnoli); got != want {
+			return false, &CorruptError{Run: run, Off: off, Detail: fmt.Sprintf("frame checksum mismatch (got %08x, want %08x)", got, want)}
+		}
+		for o := 0; o < plen; o += w.cfg.RecWidth {
+			if !fn(payload[o : o+w.cfg.RecWidth]) {
+				return true, nil
+			}
+		}
+		off += frameHdrLen + int64(plen)
 	}
 }
 
@@ -631,7 +845,7 @@ func (w *Writer) Cleanup() {
 		}
 	}
 	if w.owns {
-		os.RemoveAll(w.dir)
+		w.fs.RemoveAll(w.dir)
 	}
 }
 
