@@ -16,10 +16,12 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"pcbl/internal/core"
 	"pcbl/internal/datagen"
@@ -759,6 +761,93 @@ func BenchmarkSpillLiveHeap(b *testing.B) {
 	})
 }
 
+// BenchmarkSharedSpillPartition measures the shared-scan partition phase:
+// a frontier of n spilled uint64-key sets (11-attribute subsets of the
+// wide dataset, each over budget) sized through LabelSizesFused in one
+// shared dataset pass versus one pass per set (the pre-shared baseline,
+// via DisableSharedSpill). partition-passes/op counts dataset scans spent
+// partitioning and rows-read/op the partition-phase row reads they imply:
+// shared mode stays at one pass while the baseline grows linearly with n.
+func BenchmarkSharedSpillPartition(b *testing.B) {
+	d, budget := spillBenchSetup(b)
+	full := lattice.FullSet(d.NumAttrs())
+	for _, nsets := range []int{1, 4, 8} {
+		sets := make([]lattice.AttrSet, nsets)
+		for i := range sets {
+			// Dropping one attribute keeps the mixed-radix key within
+			// uint64 (41^11 < 2^63) with a distinct-key bound of the row
+			// count — far over the budget, so every set spills.
+			sets[i] = full.Remove(i)
+		}
+		for _, mode := range []struct {
+			name    string
+			disable bool
+		}{{"shared", false}, {"perset", true}} {
+			b.Run(fmt.Sprintf("sets=%d/%s", nsets, mode.name), func(b *testing.B) {
+				var stats core.ScanStats
+				opts := core.CountOptions{Workers: 1, MemBudget: budget, Stats: &stats, DisableSharedSpill: mode.disable}
+				for i := 0; i < b.N; i++ {
+					sizes, within := core.LabelSizesFused(d, sets, -1, opts)
+					if !within[0] || sizes[0] == 0 {
+						b.Fatal("unbounded sizing failed")
+					}
+				}
+				if stats.Spilled != int64(nsets)*int64(b.N) || stats.SpillFallbacks != 0 {
+					b.Fatalf("spilled %d sets (%d fallbacks), want %d spilled",
+						stats.Spilled, stats.SpillFallbacks, int64(nsets)*int64(b.N))
+				}
+				passes := float64(stats.Spilled-stats.SpillPassesSaved) / float64(b.N)
+				b.ReportMetric(passes, "partition-passes/op")
+				b.ReportMetric(passes*float64(d.NumRows()), "rows-read/op")
+			})
+		}
+	}
+	// Live-heap check on the partition phase at its widest: the
+	// MultiWriter is driven directly so a GC can run while all 8 targets'
+	// flush buffers are live at once — the peak must track the shared
+	// budget slice (MemBudget/2 for one worker), not the target count.
+	b.Run("sets=8/liveheap", func(b *testing.B) {
+		const targets, runs = 8, 6
+		cfgs := make([]spill.Config, targets)
+		for i := range cfgs {
+			cfgs[i] = spill.Config{RecWidth: 8, Runs: runs}
+		}
+		rows := d.NumRows()
+		baseline := liveHeap()
+		var peak uint64
+		for i := 0; i < b.N; i++ {
+			mw := spill.NewMultiWriter(cfgs, budget/2)
+			ms := mw.Shard()
+			v := uint64(88172645463325252)
+			for r := 0; r < rows; r++ {
+				v ^= v << 13
+				v ^= v >> 7
+				v ^= v << 17
+				for t := 0; t < targets; t++ {
+					ms.AddU64(t, v+uint64(t))
+				}
+			}
+			peak = max(peak, liveHeap()) // every target's buffers live
+			ms.Close()
+			for t := 0; t < targets; t++ {
+				if err := mw.Err(t); err != nil {
+					mw.Cleanup()
+					b.Fatal(err)
+				}
+				size, _, err := mw.Writer(t).CountRunsU64(-1, 1, nil)
+				if err != nil || size == 0 {
+					mw.Cleanup()
+					b.Fatalf("target %d: size=%d err=%v", t, size, err)
+				}
+				mw.CleanupTarget(t)
+			}
+			mw.Cleanup()
+		}
+		b.ReportMetric(float64(peak-baseline), "live-heap-B")
+		b.ReportMetric(float64(budget), "budget-B")
+	})
+}
+
 // pcProbeVals samples a few rows of the dataset as lookup probes.
 func pcProbeVals(d *dataset.Dataset) [][]uint16 {
 	step := d.NumRows() / 32
@@ -931,7 +1020,10 @@ func serveBenchSetup(b *testing.B) {
 
 // BenchmarkServeQPS measures end-to-end request latency of the query daemon
 // over a reopened spilled artifact: keep-alive HTTP clients hitting
-// /v1/count with full-set patterns. ns/op is the inverse of aggregate QPS.
+// /v1/count with full-set patterns. ns/op is the inverse of aggregate QPS;
+// p50-ns/p99-ns report the per-request latency distribution, so a
+// serve-path regression that only fattens the tail (lock contention, a
+// slow run reload) is visible even when the mean holds.
 func BenchmarkServeQPS(b *testing.B) {
 	serveBenchSetup(b)
 	urls := serveBench.urls
@@ -942,11 +1034,15 @@ func BenchmarkServeQPS(b *testing.B) {
 			}}
 			defer client.CloseIdleConnections()
 			var fails atomic.Int64
+			var latMu sync.Mutex
+			var lats []time.Duration
 			b.SetParallelism(clients)
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				i := 0
+				local := make([]time.Duration, 0, 1024)
 				for pb.Next() {
+					start := time.Now()
 					resp, err := client.Get(urls[i%len(urls)])
 					i++
 					if err != nil {
@@ -958,11 +1054,24 @@ func BenchmarkServeQPS(b *testing.B) {
 					}
 					io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
+					local = append(local, time.Since(start))
 				}
+				latMu.Lock()
+				lats = append(lats, local...)
+				latMu.Unlock()
 			})
 			b.StopTimer()
 			if fails.Load() > 0 {
 				b.Fatalf("%d of %d requests failed", fails.Load(), b.N)
+			}
+			if len(lats) > 0 {
+				sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+				quantile := func(q float64) float64 {
+					idx := int(q * float64(len(lats)-1))
+					return float64(lats[idx])
+				}
+				b.ReportMetric(quantile(0.50), "p50-ns")
+				b.ReportMetric(quantile(0.99), "p99-ns")
 			}
 		})
 	}

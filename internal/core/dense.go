@@ -316,6 +316,13 @@ type ScanStats struct {
 	// fell back to the unbounded in-memory kernel: results stay correct,
 	// but the memory budget was not honored for those sets.
 	SpillFallbacks int64
+	// SharedSpillPasses counts shared partition passes: a frontier with
+	// several spilled sets partitions all of them in ONE dataset scan
+	// (spill.MultiWriter) instead of one scan per set.
+	SharedSpillPasses int64
+	// SpillPassesSaved totals the dataset partition scans the shared
+	// passes avoided: sets-in-pass minus one, summed over passes.
+	SpillPassesSaved int64
 	// SpillReadErrors counts failed run-read attempts on merge-on-read
 	// indexes (each failed scan, including failed retries).
 	SpillReadErrors int64

@@ -15,6 +15,7 @@ import (
 
 	"pcbl/internal/dataset"
 	"pcbl/internal/iofault"
+	"pcbl/internal/lattice"
 )
 
 // buildSpilledOnFaultFS builds the oracle and a budgeted merge-on-read PC
@@ -138,5 +139,96 @@ func TestSpilledMarginalizeSurfacesReadFault(t *testing.T) {
 	ffs.Reset()
 	if _, err := spilled.MarginalizeE(d, sub); err != nil {
 		t.Fatalf("MarginalizeE after heal: %v", err)
+	}
+}
+
+// TestSharedSpillFaultDegradesOnlyFaultedSet sweeps injected faults over
+// every filesystem op class a shared partition pass performs — run-dir
+// creation, run-file creation, partition writes, count-phase reads — and
+// asserts the PR's isolation contract: a fault on one set's run files
+// degrades only that set to the in-memory fallback (metered in
+// SpillFallbacks), sibling sets keep their on-disk spilled results, and
+// every size stays bit-identical to the sequential oracle.
+func TestSharedSpillFaultDegradesOnlyFaultedSet(t *testing.T) {
+	cfg := diffConfig{rows: 4000, attrs: 4, domain: 300, nullRate: 0.05}
+	d := diffDataset(t, cfg, 0xFA)
+	full := lattice.FullSet(cfg.attrs)
+	sets := []lattice.AttrSet{full}
+	for i := 0; i < cfg.attrs; i++ {
+		sets = append(sets, full.Remove(i))
+	}
+	budget := spillBudgetFor(d, full.Remove(0), 3)
+	oracle := make([]int, len(sets))
+	for i, s := range sets {
+		oracle[i], _ = LabelSize(d, s, -1)
+	}
+
+	run := func(ffs *iofault.FaultFS) (sizes []int, stats ScanStats) {
+		// Workers=1 keeps the pass deterministic so the recording run's
+		// op counts describe every faulted run too.
+		opts := testCountOptions(1)
+		opts.MemBudget = budget
+		opts.SpillDir = t.TempDir()
+		opts.FS = ffs
+		opts.Stats = &stats
+		sizes, _ = LabelSizesFused(d, sets, -1, opts)
+		return sizes, stats
+	}
+
+	// Recording pass: how many ops of each class does a clean pass do?
+	rec := iofault.NewFaultFS(nil)
+	if sizes, stats := run(rec); stats.Spilled != int64(len(sets)) || stats.SharedSpillPasses != 1 {
+		t.Fatalf("clean pass: Spilled=%d SharedSpillPasses=%d, want %d/1", stats.Spilled, stats.SharedSpillPasses, len(sets))
+	} else {
+		for i := range sets {
+			if sizes[i] != oracle[i] {
+				t.Fatalf("clean pass set %v: %d, oracle %d", sets[i], sizes[i], oracle[i])
+			}
+		}
+	}
+	counts := rec.Counts()
+
+	for _, op := range []iofault.Op{iofault.OpMkdir, iofault.OpCreate, iofault.OpWrite, iofault.OpRead} {
+		total := counts[op]
+		if total == 0 {
+			t.Fatalf("clean pass performed no ops of class %v", op)
+		}
+		// Sweep the first, an early, a middle and the last occurrence.
+		sweep := []int64{1, 2, total / 2, total}
+		for _, n := range sweep {
+			if n < 1 || n > total {
+				continue
+			}
+			ffs := iofault.NewFaultFS(nil)
+			ffs.FailAt(op, n, nil)
+			sizes, stats := run(ffs)
+			for i := range sets {
+				if sizes[i] != oracle[i] {
+					t.Fatalf("op=%v n=%d set %v: size %d, oracle %d", op, n, sets[i], sizes[i], oracle[i])
+				}
+			}
+			// The injection may land after a dead target stopped issuing
+			// ops; when it did fire, exactly the faulted sets fell back
+			// and the rest stayed on disk.
+			fired := ffs.Counts()[op] >= n
+			if fired && stats.SpillFallbacks < 1 {
+				t.Fatalf("op=%v n=%d: fault fired but no fallback recorded", op, n)
+			}
+			if !fired && stats.SpillFallbacks != 0 {
+				t.Fatalf("op=%v n=%d: %d fallbacks without a fired fault", op, n, stats.SpillFallbacks)
+			}
+			if stats.Spilled+stats.SpillFallbacks != int64(len(sets)) {
+				t.Fatalf("op=%v n=%d: Spilled=%d + Fallbacks=%d != %d sets",
+					op, n, stats.Spilled, stats.SpillFallbacks, len(sets))
+			}
+			if stats.SharedSpillPasses != 1 {
+				t.Fatalf("op=%v n=%d: SharedSpillPasses=%d, want 1", op, n, stats.SharedSpillPasses)
+			}
+			// One injected occurrence hits one file of one target: the
+			// blast radius must stay a single set.
+			if stats.SpillFallbacks > 1 {
+				t.Fatalf("op=%v n=%d: %d sets degraded from one injected fault", op, n, stats.SpillFallbacks)
+			}
+		}
 	}
 }

@@ -83,6 +83,13 @@ type CountOptions struct {
 	// and the merge-on-read error paths.
 	FS iofault.FS
 
+	// DisableSharedSpill forces the per-set spill partition path even when
+	// a frontier has several spilled sets — each set then re-scans the
+	// dataset itself, the pre-shared-pass behaviour. Results are identical
+	// either way; differential tests and the BenchmarkSharedSpillPartition
+	// baseline use it as the ablation knob.
+	DisableSharedSpill bool
+
 	// minRowsPerWorker overrides the sequential-fallback threshold. Only
 	// tests set it (to force the sharded paths on small datasets); zero
 	// means defaultMinRowsPerWorker.
@@ -217,6 +224,13 @@ func labelSizesSplit(d *dataset.Dataset, sets []lattice.AttrSet, cap int, opts C
 			sizes[i], within[i] = subSizes[j], subWithin[j]
 		}
 	}
+	if len(spilled) > 1 && !opts.DisableSharedSpill {
+		// One shared partition pass over the dataset routes every spilled
+		// set's records at once; the runs are then counted per set exactly
+		// as below (labelSizeSpillShared).
+		labelSizesSpilledShared(d, sets, cap, opts, spilled, sizes, within)
+		return sizes, within
+	}
 	rows := d.NumRows()
 	cols := datasetCols(d)
 	workers := opts.scanWorkers(rows)
@@ -226,7 +240,7 @@ func labelSizesSplit(d *dataset.Dataset, sets []lattice.AttrSet, cap int, opts C
 			// Disk trouble: in-memory fallback for this one set, identical
 			// result at unbounded memory.
 			opts.Stats.addSpillFallback()
-			sz, w = LabelSize(d, sets[sp.idx], cap)
+			sz, w = labelSizeFallback(d, sets[sp.idx], cap, opts)
 		}
 		sizes[sp.idx], within[sp.idx] = sz, w
 	}

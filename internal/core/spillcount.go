@@ -3,6 +3,8 @@ package core
 import (
 	"sync/atomic"
 
+	"pcbl/internal/dataset"
+	"pcbl/internal/lattice"
 	"pcbl/internal/spill"
 	"pcbl/internal/workpool"
 )
@@ -162,6 +164,26 @@ func (st *ScanStats) addSpillFallback() {
 		return
 	}
 	atomic.AddInt64(&st.SpillFallbacks, 1)
+}
+
+// addSharedSpillPass records one shared partition pass over n spilled
+// sets: one dataset scan where the per-set path would have taken n.
+func (st *ScanStats) addSharedSpillPass(n int) {
+	if st == nil {
+		return
+	}
+	atomic.AddInt64(&st.SharedSpillPasses, 1)
+	atomic.AddInt64(&st.SpillPassesSaved, int64(n-1))
+}
+
+// labelSizeFallback re-counts one spilled set in memory after disk
+// trouble, keeping the caller's full engine options — workers, pool,
+// dense limit and stats metering — and clearing only the memory budget:
+// the budget cannot be honored without the disk, the parallelism and
+// accounting still can.
+func labelSizeFallback(d *dataset.Dataset, s lattice.AttrSet, cap int, opts CountOptions) (size int, within bool) {
+	opts.MemBudget = 0
+	return LabelSizeParallel(d, s, cap, opts)
 }
 
 // spillPartition is the shared partition phase: rows shard across workers,
@@ -338,5 +360,131 @@ func labelSizeSpill(k *Keyer, cols [][]uint16, rows, workers, runs int, format s
 		return 0, false, false
 	}
 	opts.Stats.addSpill(w.Stats(), format, workpool.Resolve(workers, runs))
+	return size, within, true
+}
+
+// sharedSpillBufShare is the flush-buffer budget one partition shard of a
+// shared pass may hold across every spilled set: half the memory budget
+// split over the scan workers. The other half stays free for the counting
+// phase that follows (one run map per count worker, the same bound the
+// per-set path keeps), so N sets' live flush buffers plus one counting map
+// still fit the budget.
+func sharedSpillBufShare(budget int64, workers int) int64 {
+	if workers < 1 {
+		workers = 1
+	}
+	return budget / 2 / int64(workers)
+}
+
+// labelSizesSpilledShared sizes all spilled sets of a frontier off ONE
+// dataset pass: a MultiWriter multiplexes every set's partitioned records
+// into that set's own run files (byte-identical to the per-set path's
+// runs), then each set's key-disjoint runs are counted K-way in frontier
+// order exactly as labelSizeSpill counts them — same cap-abort, same
+// stats, same results. Disk trouble stays per set: a failed target (run
+// creation, partition write or run count) degrades only that set to the
+// in-memory fallback while its siblings' on-disk results stand.
+func labelSizesSpilledShared(d *dataset.Dataset, sets []lattice.AttrSet, cap int, opts CountOptions, spilled []spilledSet, sizes []int, within []bool) {
+	rows := d.NumRows()
+	cols := datasetCols(d)
+	workers := opts.scanWorkers(rows)
+	cfgs := make([]spill.Config, len(spilled))
+	for i, sp := range spilled {
+		cfgs[i] = spill.Config{
+			RecWidth: sp.format.recWidth(sp.k),
+			Runs:     sp.runs,
+			Dir:      opts.SpillDir,
+			Pool:     opts.Pool,
+			FS:       opts.FS,
+		}
+	}
+	mw := spill.NewMultiWriter(cfgs, sharedSpillBufShare(opts.MemBudget, workers))
+	// Deferred before the pass so every target's run files are removed on
+	// success, cap-abort, error and panic alike; counted targets are
+	// additionally cleaned eagerly below to cap the peak disk footprint.
+	defer mw.Cleanup()
+	opts.Stats.addSharedSpillPass(len(spilled))
+	sharedSpillPartition(mw, spilled, cols, rows, workers, opts.Pool)
+	for i, sp := range spilled {
+		sz, w, ok := countSharedTarget(mw, i, sp, cap, workers, opts)
+		if !ok {
+			opts.Stats.addSpillFallback()
+			sz, w = labelSizeFallback(d, sets[sp.idx], cap, opts)
+		}
+		sizes[sp.idx], within[sp.idx] = sz, w
+		mw.CleanupTarget(i)
+	}
+}
+
+// sharedSpillPartition is the shared partition phase: one blocked,
+// worker-sharded pass computes every spilled set's keys per cache-resident
+// row block — columnar KeyBlock for uint64 sets, per-row byte keys for the
+// rest — and routes them through a per-worker MultiShard. A set that
+// failed stops costing key computation on every shard; group-by is
+// order-blind, so interleaving sets per block changes nothing downstream.
+func sharedSpillPartition(mw *spill.MultiWriter, spilled []spilledSet, cols [][]uint16, rows, workers int, pool *VecPool) {
+	needU64 := false
+	for _, sp := range spilled {
+		if sp.format == spillFmtU64 {
+			needU64 = true
+			break
+		}
+	}
+	workpool.RunChunks(rows, workers, func(_, lo, hi int) {
+		ms := mw.Shard()
+		defer ms.Close()
+		var keys []uint64
+		if needU64 {
+			keys = pool.Uint64(keyBlockRows, false)
+			defer pool.PutUint64(keys)
+		}
+		var buf []byte
+		for blo := lo; blo < hi; blo += keyBlockRows {
+			bhi := min(blo+keyBlockRows, hi)
+			for si := range spilled {
+				sp := &spilled[si]
+				if ms.Failed(si) {
+					continue
+				}
+				if sp.format == spillFmtU64 {
+					sp.k.KeyBlock(cols, blo, bhi, keys)
+					for _, key := range keys[:bhi-blo] {
+						if key != InvalidKey {
+							ms.AddU64(si, key)
+						}
+					}
+				} else {
+					for r := blo; r < bhi; r++ {
+						b, keyOK := sp.k.AppendBytesRow(buf[:0], cols, r)
+						buf = b
+						if keyOK {
+							ms.Add(si, b)
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// countSharedTarget counts one shared-pass target's runs with the sizing
+// cap — identical to labelSizeSpill's counting half. ok is false on any
+// disk trouble recorded against the target (the caller falls back to the
+// in-memory scan for that one set).
+func countSharedTarget(mw *spill.MultiWriter, i int, sp spilledSet, cap, workers int, opts CountOptions) (size int, within, ok bool) {
+	w := mw.Writer(i)
+	if w == nil || mw.Err(i) != nil {
+		return 0, false, false
+	}
+	var err error
+	if sp.format == spillFmtU64 {
+		size, within, err = w.CountRunsU64(cap, workers, nil)
+	} else {
+		size, within, err = w.CountRuns(cap, workers, nil)
+	}
+	if err != nil {
+		return 0, false, false
+	}
+	opts.Stats.addSpill(w.Stats(), sp.format, workpool.Resolve(workers, sp.runs))
 	return size, within, true
 }

@@ -148,6 +148,12 @@ type Stats struct {
 	// back to the unbounded in-memory kernel (results stay correct; the
 	// memory budget was not honored for those sets).
 	SpillFallbacks int
+	// SharedSpillPasses counts shared partition passes: frontiers with
+	// several spilled sets partition all of them in one dataset scan.
+	SharedSpillPasses int
+	// SpillPassesSaved totals the dataset partition scans the shared
+	// passes avoided (sets-in-pass minus one, summed over passes).
+	SpillPassesSaved int
 	// SearchTime covers candidate enumeration (label-size computation).
 	SearchTime time.Duration
 	// EvalTime covers the find-best-candidate phase (paper §IV-C reports
@@ -420,6 +426,8 @@ func (z *levelSizer) sizeLevel(sets []lattice.AttrSet, visit func(s lattice.Attr
 	z.stats.SpillParallelRuns = int(z.scan.SpillParallelRuns)
 	z.stats.SpillBytes = z.scan.SpillBytes
 	z.stats.SpillFallbacks = int(z.scan.SpillFallbacks)
+	z.stats.SharedSpillPasses = int(z.scan.SharedSpillPasses)
+	z.stats.SpillPassesSaved = int(z.scan.SpillPassesSaved)
 	z.stats.PoolHits, z.stats.PoolMisses = z.pool.Stats()
 	for i, s := range sets {
 		res := z.results[i]

@@ -104,6 +104,16 @@ func TestSearchSpillIdentity(t *testing.T) {
 		if stats.SpillParallelRuns != 0 {
 			t.Fatalf("workers=%d: SpillParallelRuns = %d on a sub-floor dataset, want 0", workers, stats.SpillParallelRuns)
 		}
+		// Levels with several spilled candidates partition them all in
+		// one shared dataset pass; the saved scans are metered.
+		if stats.SharedSpillPasses == 0 || stats.SpillPassesSaved == 0 {
+			t.Fatalf("workers=%d: SharedSpillPasses=%d SpillPassesSaved=%d, want shared partitioning",
+				workers, stats.SharedSpillPasses, stats.SpillPassesSaved)
+		}
+		if stats.SharedSpillPasses+stats.SpillPassesSaved > stats.SpilledSets {
+			t.Fatalf("workers=%d: pass accounting inconsistent: %d passes + %d saved > %d spilled sets",
+				workers, stats.SharedSpillPasses, stats.SpillPassesSaved, stats.SpilledSets)
+		}
 		ents, err := os.ReadDir(dir)
 		if err != nil {
 			t.Fatal(err)

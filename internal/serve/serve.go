@@ -16,6 +16,7 @@
 //	/v1/marginal?attrs=a,b  the full count distribution over a subset of
 //	                     the label attributes
 //	/v1/stats            read-path counters of a spilled PC section
+//	/metrics             the same counters in Prometheus text format
 //
 // Pattern expressions use the internal/patexpr grammar, e.g.
 // q=gender=Female,race=Hispanic (URL-encoded). Errors return JSON
@@ -55,6 +56,7 @@ type Handler struct {
 	// and off when one succeeds, so /healthz tracks whether the label is
 	// currently answering. The counters are cumulative for observability.
 	degraded        atomic.Bool
+	requests        atomic.Int64
 	readFailures    atomic.Int64
 	recoveredPanics atomic.Int64
 	lastErr         atomic.Value // string
@@ -70,6 +72,7 @@ func NewHandler(l *core.Label) *Handler {
 	h.mux.HandleFunc("GET /v1/estimate", h.estimate)
 	h.mux.HandleFunc("GET /v1/marginal", h.marginal)
 	h.mux.HandleFunc("GET /v1/stats", h.stats)
+	h.mux.HandleFunc("GET /metrics", h.metrics)
 	return h
 }
 
@@ -79,6 +82,7 @@ func NewHandler(l *core.Label) *Handler {
 // counted, and answered with 503 instead of killing the daemon's
 // connection-serving goroutine.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.requests.Add(1)
 	defer func() {
 		if rec := recover(); rec != nil {
 			h.recoveredPanics.Add(1)
@@ -345,6 +349,50 @@ func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 		res.Retries = st.Retries
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// metrics answers GET /metrics in the Prometheus text exposition format
+// (version 0.0.4): the same cumulative counters /healthz and /v1/stats
+// report as JSON, named for scraping. Counters end in _total; pcbl_degraded
+// and pcbl_label_spilled are 0/1 gauges. The JSON surfaces stay — this is
+// an additional view, not a replacement.
+func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	gauge := func(v bool) int64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	write := func(name, typ, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", name, help, name, typ, name, v)
+	}
+	write("pcbl_requests_total", "counter",
+		"HTTP requests handled by the label daemon.", h.requests.Load())
+	write("pcbl_read_failures_total", "counter",
+		"Label reads that failed after the bounded retry and answered 503.", h.readFailures.Load())
+	write("pcbl_recovered_panics_total", "counter",
+		"Handler panics recovered by the middleware.", h.recoveredPanics.Load())
+	write("pcbl_degraded", "gauge",
+		"1 while the last label read failed and /healthz reports degraded.", gauge(h.degraded.Load()))
+	st, spilled := h.l.PC().SpillReadStats()
+	write("pcbl_label_spilled", "gauge",
+		"1 when the label serves merge-on-read spill runs from disk.", gauge(spilled))
+	if spilled {
+		write("pcbl_spill_hot_hits_total", "counter",
+			"Spilled-label lookups answered from the pinned hot run.", st.HotHits)
+		write("pcbl_spill_floating_hits_total", "counter",
+			"Spilled-label lookups answered from an already-loaded floating run.", st.FloatingHits)
+		write("pcbl_spill_run_loads_total", "counter",
+			"Spill run files loaded (or re-streamed) from disk.", st.RunLoads)
+		write("pcbl_spill_read_errors_total", "counter",
+			"Failed spill-run read attempts, failed retries included.", st.ReadErrors)
+		write("pcbl_spill_retries_total", "counter",
+			"Bounded retries of failed spill-run reads.", st.Retries)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(b.String()))
 }
 
 func (h *Handler) attrNames(s lattice.AttrSet) []string {

@@ -282,3 +282,79 @@ func TestServeErrors(t *testing.T) {
 		}
 	}
 }
+
+// parseMetrics reads a Prometheus text exposition body into name→value,
+// ignoring HELP/TYPE comment lines.
+func parseMetrics(t *testing.T, body string) map[string]int64 {
+	t.Helper()
+	out := make(map[string]int64)
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var name string
+		var v int64
+		if _, err := fmt.Sscanf(line, "%s %d", &name, &v); err != nil {
+			t.Fatalf("unparseable metrics line %q: %v", line, err)
+		}
+		out[name] = v
+	}
+	return out
+}
+
+func TestServeMetrics(t *testing.T) {
+	d := testDataset(t, 4000, 4, 300, 0x91)
+	_, _, ts := openServedLabel(t, d)
+	c := ts.Client()
+
+	// A few successful counts first, so the request and spill-read
+	// counters have something to show.
+	const queries = 5
+	for i := 0; i < queries; i++ {
+		var out map[string]any
+		u := ts.URL + "/v1/count?q=" + url.QueryEscape(fmt.Sprintf("a0=v%d", i))
+		if code := getJSON(t, c, u, &out); code != http.StatusOK {
+			t.Fatalf("count %d: status %d (%v)", i, code, out)
+		}
+	}
+
+	resp, err := c.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q, want text/plain exposition", ct)
+	}
+	for _, want := range []string{"# HELP pcbl_requests_total", "# TYPE pcbl_requests_total counter"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics body missing %q:\n%s", want, body)
+		}
+	}
+	m := parseMetrics(t, string(body))
+	// The metrics request itself is counted too.
+	if m["pcbl_requests_total"] < queries+1 {
+		t.Fatalf("pcbl_requests_total = %d, want >= %d", m["pcbl_requests_total"], queries+1)
+	}
+	if m["pcbl_label_spilled"] != 1 {
+		t.Fatalf("pcbl_label_spilled = %d on a merge-on-read label", m["pcbl_label_spilled"])
+	}
+	if m["pcbl_degraded"] != 0 || m["pcbl_read_failures_total"] != 0 || m["pcbl_recovered_panics_total"] != 0 {
+		t.Fatalf("healthy label reports failure metrics: %v", m)
+	}
+	if m["pcbl_spill_run_loads_total"] < 1 {
+		t.Fatalf("pcbl_spill_run_loads_total = %d after %d spilled counts", m["pcbl_spill_run_loads_total"], queries)
+	}
+	// The JSON stats surface stays alongside the scrape endpoint.
+	var st StatsResult
+	if code := getJSON(t, c, ts.URL+"/v1/stats", &st); code != http.StatusOK || !st.Spilled {
+		t.Fatalf("/v1/stats after adding /metrics: code %d, %+v", code, st)
+	}
+}
