@@ -1225,3 +1225,71 @@ func BenchmarkAblation_MultiLabel(b *testing.B) {
 		_ = core.Evaluate(m, ps, core.EvalOptions{})
 	}
 }
+
+// --- Incremental maintenance: merge vs rebuild ---------------------------
+//
+// The headline economics of PR 9: when 1% of the rows are appended, the
+// update path reads 1% of the dataset (rows-read/op tracks it) while the
+// rebuild reads all of it. Recorded in BENCH_pr9.json.
+
+// benchIncrementalSplit slices the paper-scale dataset into a 99% base and
+// a 1% appended suffix.
+func benchIncrementalSplit(b *testing.B) (d, base, delta *dataset.Dataset) {
+	b.Helper()
+	d = benchPaperScale(b)
+	cut := d.NumRows() - d.NumRows()/100
+	var err error
+	if base, err = d.Slice(0, cut); err != nil {
+		b.Fatal(err)
+	}
+	if delta, err = d.Slice(cut, d.NumRows()); err != nil {
+		b.Fatal(err)
+	}
+	return d, base, delta
+}
+
+// BenchmarkLabelMerge times only Label.Merge: folding a prebuilt 1% delta
+// into a prebuilt base label. Rebuilding the mutated base is untimed.
+func BenchmarkLabelMerge(b *testing.B) {
+	d, base, delta := benchIncrementalSplit(b)
+	s := lattice.FullSet(d.NumAttrs())
+	dl := core.BuildLabelOpts(delta, s, core.CountOptions{Workers: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		bl := core.BuildLabelOpts(base, s, core.CountOptions{Workers: 1})
+		b.StartTimer()
+		if _, _, err := bl.Merge(dl, -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUpdateVsRebuild compares the two ways to refresh a label after
+// a 1% append: counting just the suffix and merging, vs rebuilding over
+// every row. rows-read/op is ScanStats.RowsScanned — the update's stays at
+// the delta size regardless of history length.
+func BenchmarkUpdateVsRebuild(b *testing.B) {
+	d, base, delta := benchIncrementalSplit(b)
+	s := lattice.FullSet(d.NumAttrs())
+	b.Run("rebuild", func(b *testing.B) {
+		var st core.ScanStats
+		for i := 0; i < b.N; i++ {
+			_ = core.BuildLabelOpts(d, s, core.CountOptions{Workers: 1, Stats: &st})
+		}
+		b.ReportMetric(float64(st.RowsScanned)/float64(b.N), "rows-read/op")
+	})
+	b.Run("update-1pct", func(b *testing.B) {
+		var st core.ScanStats
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			bl := core.BuildLabelOpts(base, s, core.CountOptions{Workers: 1})
+			b.StartTimer()
+			dl := core.BuildLabelOpts(delta, s, core.CountOptions{Workers: 1, Stats: &st})
+			if _, _, err := bl.Merge(dl, -1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(st.RowsScanned)/float64(b.N), "rows-read/op")
+	})
+}

@@ -8,6 +8,7 @@
 //	pcbl estimate -label label.json -pattern "attr=value,attr2=value2"
 //	pcbl save     -in data.csv {-attrs a,b,c | -bound N} -artifact DIR
 //	pcbl load     -artifact DIR
+//	pcbl update   -in data.csv -artifact DIR [-since N] [-delta-out DIR]
 //	pcbl serve    -artifact DIR [-addr :8077]
 //
 // The gen subcommand materializes the synthetic evaluation datasets so the
@@ -17,6 +18,11 @@
 // set or by running the optimal-label search — and persists it including any
 // merge-on-read spill runs; load summarizes a saved artifact; serve answers
 // count/estimate/marginal queries over HTTP/JSON from a reopened artifact.
+// update maintains an artifact incrementally: when the CSV has grown, it
+// counts ONLY the appended rows and merges them in (epoch incremented,
+// crash-safe), bit-identical to rebuilding from scratch; a running serve
+// daemon picks the new epoch up via SIGHUP or POST /v1/reload without
+// dropping queries.
 package main
 
 import (
@@ -60,6 +66,8 @@ func main() {
 		err = runSave(os.Args[2:])
 	case "load":
 		err = runLoad(os.Args[2:])
+	case "update":
+		err = runUpdate(os.Args[2:])
 	case "serve":
 		err = runServe(os.Args[2:])
 	case "-h", "--help", "help":
@@ -86,6 +94,8 @@ subcommands:
   audit     flag under-represented attribute-value intersections from a label
   save      build a label and persist it as an on-disk artifact directory
   load      summarize a saved label artifact
+  update    fold rows appended to the CSV into a saved artifact, reading
+            only the appended suffix (or write them as a delta artifact)
   serve     answer label queries over HTTP/JSON from a saved artifact`)
 }
 
@@ -358,6 +368,82 @@ func runLoad(args []string) error {
 	return nil
 }
 
+func runUpdate(args []string) error {
+	fs := flag.NewFlagSet("update", flag.ExitOnError)
+	in := fs.String("in", "", "grown CSV path (required); same schema as the artifact, values must already be categorical/bucketized like the original build")
+	artifactDir := fs.String("artifact", "", "artifact directory to update in place (required)")
+	since := fs.Int("since", -1, "row watermark assertion: must equal the artifact's recorded row count (the default); the update skips this many data rows and counts only the rest")
+	deltaOut := fs.String("delta-out", "", "write the counted delta as its own artifact here instead of merging (must not exist or be empty)")
+	memBudgetMB := fs.Int("mem-budget-mb", 0, "group-by memory budget in MiB (0 = unlimited)")
+	spillDir := fs.String("spill-dir", "", "directory for spill run files (system temp dir when empty)")
+	workers := fs.Int("workers", 0, "counting workers (0 = all CPUs)")
+	fs.Parse(args)
+	if *in == "" || *artifactDir == "" {
+		return fmt.Errorf("-in and -artifact are required")
+	}
+
+	base, m, err := pcbl.OpenLabelArtifact(*artifactDir)
+	if err != nil {
+		return err
+	}
+	schema := base.Dataset()
+	defer base.ReleaseSpill()
+	watermark := *since
+	if watermark < 0 {
+		watermark = m.TotalRows
+	}
+	// A delta only composes with the artifact when it starts exactly at
+	// the recorded row count: a smaller watermark would re-count labeled
+	// rows (double-counting them), a larger one would skip rows forever.
+	if watermark != m.TotalRows {
+		return fmt.Errorf("-since %d does not match the artifact's recorded %d rows; rows would be double-counted or lost", watermark, m.TotalRows)
+	}
+
+	// Parse only the appended suffix: the first `watermark` data rows are
+	// skipped without being stored or interned, so the counting pass below
+	// touches none of the already-labeled history.
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	delta, err := pcbl.ReadCSVAppend(f, schema, pcbl.CSVOptions{Name: *in, SkipRows: watermark})
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if delta.NumRows() == 0 {
+		fmt.Printf("no rows beyond watermark %d; artifact unchanged (epoch %d, %d rows)\n",
+			watermark, m.Epoch, m.TotalRows)
+		return nil
+	}
+
+	eng := pcbl.EngineOptions{Workers: *workers, MemBudget: int64(*memBudgetMB) << 20, SpillDir: *spillDir}
+	l, err := pcbl.BuildDeltaLabel(delta, eng, m.LabelAttrs...)
+	if err != nil {
+		return err
+	}
+	defer l.ReleaseSpill()
+	fmt.Printf("counted %d appended rows (watermark %d) over %s\n",
+		delta.NumRows(), watermark, strings.Join(m.LabelAttrs, ","))
+
+	if *deltaOut != "" {
+		if err := pcbl.SaveDeltaArtifact(l, *deltaOut, m); err != nil {
+			return err
+		}
+		fmt.Printf("delta artifact written to %s (bound to epoch %d at %d rows; merge with `pcbl update` or MergeDeltaArtifact)\n",
+			*deltaOut, m.Epoch, m.TotalRows)
+		return nil
+	}
+	nm, err := pcbl.MergeLabelArtifact(*artifactDir, l, m)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("artifact updated in place: epoch %d -> %d, %d -> %d rows\n",
+		m.Epoch, nm.Epoch, m.TotalRows, nm.TotalRows)
+	fmt.Println("a running `pcbl serve` daemon reloads it via SIGHUP or POST /v1/reload")
+	return nil
+}
+
 // serveReady, when non-nil, observes the bound listen address before the
 // server starts accepting; tests use it to reach a :0 listener.
 var serveReady func(addr string)
@@ -380,11 +466,22 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving label %s over %s (%d rows) on http://%s\n",
-		strings.Join(m.LabelAttrs, ","), m.Dataset, m.TotalRows, ln.Addr())
+	fmt.Printf("serving label %s over %s (%d rows, epoch %d) on http://%s\n",
+		strings.Join(m.LabelAttrs, ","), m.Dataset, m.TotalRows, m.Epoch, ln.Addr())
 	if serveReady != nil {
 		serveReady(ln.Addr().String())
 	}
+
+	// The handler follows the artifact: after `pcbl update` advances it in
+	// place, SIGHUP (or POST /v1/reload) reopens it and atomically swaps
+	// the new epoch in; queries in flight finish on the old one.
+	h := serve.NewReloadableHandler(l, m.Epoch, func() (*pcbl.Label, int64, error) {
+		nl, nmf, err := pcbl.OpenLabelArtifact(*artifactDir)
+		if err != nil {
+			return nil, 0, err
+		}
+		return nl, nmf.Epoch, nil
+	})
 
 	// A hardened server: header/read/write deadlines bound slow-loris
 	// clients, and the byte cap bounds request bodies (every endpoint is a
@@ -392,7 +489,7 @@ func runServe(args []string) error {
 	// recovers panics and degrades to 503 on spill read failures, so a
 	// corrupted artifact slows answers down — it does not kill the daemon.
 	srv := &http.Server{
-		Handler:           http.MaxBytesHandler(serve.NewHandler(l), 1<<20),
+		Handler:           http.MaxBytesHandler(h, 1<<20),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		WriteTimeout:      60 * time.Second,
@@ -400,6 +497,18 @@ func runServe(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			if epoch, err := h.Reload(); err != nil {
+				fmt.Fprintf(os.Stderr, "pcbl: reload failed, epoch %d still serving: %v\n", epoch, err)
+			} else {
+				fmt.Printf("reloaded artifact, now serving epoch %d\n", epoch)
+			}
+		}
+	}()
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 	select {

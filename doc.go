@@ -30,4 +30,40 @@
 // A label can be serialized into a self-contained JSON artifact
 // (PortableLabel) and shipped as metadata with the dataset; consumers can
 // then estimate counts without the data itself.
+//
+// # Incremental maintenance
+//
+// A saved label artifact is updated in place when the dataset grows,
+// reading only the appended rows: ReadCSVAppend parses the suffix past the
+// artifact's row watermark, BuildDeltaLabel counts it, and
+// MergeLabelArtifact folds it into the artifact under an incremented
+// epoch — bit-identical to a rebuild over the full file. SaveDeltaArtifact
+// and MergeDeltaArtifact split the two halves across machines; the delta
+// artifact records the base epoch and row count it was built against, and
+// a merge against any other generation is refused with ErrEpochMismatch.
+// The `pcbl update` subcommand drives the whole flow, and a serving
+// daemon swaps to the merged artifact on SIGHUP or POST /v1/reload
+// without dropping in-flight queries.
+//
+// Engine configuration (workers, dense-kernel threshold, memory budget,
+// spill placement) lives in EngineOptions, embedded as the Engine field of
+// GenerateOptions and LabelOptions and passed directly to
+// BuildDeltaLabel. The older top-level fields of those option structs
+// remain as deprecated aliases; a set Engine field wins over its alias.
+//
+// # Errors and panics
+//
+// The package reports expected failures — malformed input, unknown
+// attributes or values, artifact damage, disk trouble — as errors, and
+// artifact errors wrap the typed sentinels ErrArtifactIncomplete,
+// ErrArtifactCorrupt, ErrArtifactManifest and ErrEpochMismatch for
+// errors.Is dispatch. The core panics only on API misuse — a Pattern
+// built against a different dataset's dictionaries, an attribute index
+// out of range — never on data or disk contents, with one deliberate
+// exception: the error-free query methods (Count, Estimate) panic if a
+// spilled PC section hits an unrecoverable read fault, because returning
+// would mean returning a wrong count. Long-lived consumers of artifact-
+// backed labels should use the error-returning variants (CountE,
+// EstimateE), which surface the fault instead; the serving layer does,
+// degrading the request rather than the process.
 package pcbl

@@ -99,6 +99,12 @@ var (
 	// (bad version, inconsistent section metadata, duplicate payload
 	// references).
 	ErrManifest = errors.New("artifact: invalid manifest")
+	// ErrEpochMismatch marks an incremental merge whose delta was built
+	// against a different artifact state than the one on disk: the base
+	// advanced (or shrank) since the delta's rows were counted, so folding
+	// the delta in would double- or under-count. Rebuild the delta against
+	// the current manifest's epoch and row watermark.
+	ErrEpochMismatch = errors.New("artifact: epoch mismatch")
 )
 
 // CorruptError reports which artifact file failed verification and how.
@@ -148,6 +154,18 @@ func manifestCRC(raw []byte) (uint32, error) {
 type Manifest struct {
 	FormatVersion int `json:"format_version"`
 
+	// Epoch counts the artifact's merge generation: 1 for a fresh Save,
+	// incremented by every MergeInto. Together with TotalRows it is the
+	// watermark an incremental delta binds to — a delta built against
+	// epoch E merges only into an artifact still at epoch E. Manifests
+	// written before epochs existed decode as epoch 1.
+	Epoch int64 `json:"epoch,omitempty"`
+
+	// DeltaOf, when set, marks this artifact as a delta: a label counted
+	// over only the rows appended after the base artifact's watermark,
+	// mergeable into it with MergeDeltaInto. Nil for ordinary artifacts.
+	DeltaOf *DeltaMeta `json:"delta,omitempty"`
+
 	// Dataset schema: enough to rebuild the attribute dictionaries (and
 	// thus keyers and pattern parsing) without any row data.
 	Dataset   string     `json:"dataset"`
@@ -160,6 +178,17 @@ type Manifest struct {
 	// PCs describes the payloads: PCs[0] is the label's PC section, the
 	// rest are materialized marginal indexes.
 	PCs []PCMeta `json:"pcs"`
+}
+
+// DeltaMeta binds a delta artifact to the base state it was counted
+// against. Both fields must match the base manifest exactly for the
+// merge to be sound.
+type DeltaMeta struct {
+	// BaseEpoch is the base artifact's Epoch at delta-build time.
+	BaseEpoch int64 `json:"base_epoch"`
+	// BaseRows is the base artifact's TotalRows at delta-build time — the
+	// row watermark: the delta's rows are those appended after it.
+	BaseRows int `json:"base_rows"`
 }
 
 // AttrMeta is one attribute's schema plus its VC entries: Counts[i] is
@@ -213,6 +242,36 @@ func Save(l *core.Label, dir string) error { return SaveFS(l, dir, nil) }
 // filesystem. Fault-injection tests script failures and crash points here.
 func SaveFS(l *core.Label, dir string, fsys iofault.FS) error {
 	fsi := iofault.Resolve(fsys)
+	if err := saveInto(l, dir, 1, nil, fsi); err != nil {
+		return err
+	}
+	return nil
+}
+
+// SaveDelta writes a delta artifact: label l — counted over ONLY the rows
+// appended after the base artifact's watermark — tagged with the base's
+// epoch and row count so MergeDeltaInto can later verify it still applies.
+// base is the manifest of the artifact the delta extends, as returned by
+// Open at delta-build time. Everything else matches Save: dir must not yet
+// exist (or be empty) and the write is crash-safe.
+func SaveDelta(l *core.Label, dir string, base *Manifest) error {
+	return SaveDeltaFS(l, dir, base, nil)
+}
+
+// SaveDeltaFS is SaveDelta with an explicit filesystem seam.
+func SaveDeltaFS(l *core.Label, dir string, base *Manifest, fsys iofault.FS) error {
+	if base == nil {
+		return fmt.Errorf("artifact: SaveDelta without a base manifest")
+	}
+	fsi := iofault.Resolve(fsys)
+	meta := &DeltaMeta{BaseEpoch: epochOf(base), BaseRows: base.TotalRows}
+	return saveInto(l, dir, 1, meta, fsi)
+}
+
+// saveInto writes label l as a fresh artifact at dir — the shared body of
+// Save, SaveDelta, and (with an epoch suffix on payload names) the merge
+// rewrite. dir must not exist or be an empty directory.
+func saveInto(l *core.Label, dir string, epoch int64, deltaOf *DeltaMeta, fsi iofault.FS) error {
 	if err := fsi.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("artifact: %w", err)
 	}
@@ -221,10 +280,22 @@ func SaveFS(l *core.Label, dir string, fsys iofault.FS) error {
 	} else if len(ents) != 0 {
 		return fmt.Errorf("artifact: directory %s is not empty", dir)
 	}
+	m, err := writePayloads(l, dir, epoch, deltaOf, "", fsi)
+	if err != nil {
+		return err
+	}
+	return commitManifest(m, dir, fsi)
+}
 
+// writePayloads serializes every PC payload of l into dir (each fsynced),
+// names suffixed with suffix, and returns the manifest describing them —
+// built but not yet committed.
+func writePayloads(l *core.Label, dir string, epoch int64, deltaOf *DeltaMeta, suffix string, fsi iofault.FS) (*Manifest, error) {
 	d := l.Dataset()
 	m := &Manifest{
 		FormatVersion: FormatVersion,
+		Epoch:         epoch,
+		DeltaOf:       deltaOf,
 		Dataset:       d.Name(),
 		TotalRows:     l.Rows(),
 		Attrs:         make([]AttrMeta, d.NumAttrs()),
@@ -240,20 +311,27 @@ func SaveFS(l *core.Label, dir string, fsys iofault.FS) error {
 	}
 	m.LabelAttrs = attrNames(d, l.Attrs())
 
-	if err := savePC(m, l.PC(), d, dir, fsi); err != nil {
-		return err
+	if err := savePC(m, l.PC(), d, dir, suffix, fsi); err != nil {
+		return nil, err
 	}
 	var merr error
 	l.EachMarginal(func(sub lattice.AttrSet, pc *core.PC) {
 		if merr == nil {
-			merr = savePC(m, pc, d, dir, fsi)
+			merr = savePC(m, pc, d, dir, suffix, fsi)
 		}
 	})
 	if merr != nil {
-		return merr
+		return nil, merr
 	}
+	return m, nil
+}
 
-	return commitManifest(m, dir, fsi)
+// epochOf reads a manifest's epoch with the pre-epoch default applied.
+func epochOf(m *Manifest) int64 {
+	if m.Epoch <= 0 {
+		return 1
+	}
+	return m.Epoch
 }
 
 // commitManifest writes the self-checksummed manifest envelope and makes
@@ -330,15 +408,17 @@ func (cw *crcWriter) WriteString(s string) (int, error) {
 }
 
 // savePC serializes one PC payload — fsynced before return — and appends
-// its descriptor to m.
-func savePC(m *Manifest, pc *core.PC, d *dataset.Dataset, dir string, fsi iofault.FS) error {
+// its descriptor to m. suffix lands in the payload name before the
+// extension ("pc-000<suffix>.bin"); merges use an epoch tag so a new
+// generation's payloads never collide with the committed one's.
+func savePC(m *Manifest, pc *core.PC, d *dataset.Dataset, dir, suffix string, fsi iofault.FS) error {
 	idx := len(m.PCs)
 	meta := PCMeta{Attrs: attrNames(d, pc.Attrs())}
 	r := pc.Repr()
 	switch {
 	case r.Spill != nil:
 		sr := r.Spill
-		meta.Dir = fmt.Sprintf("pc-%03d-runs", idx)
+		meta.Dir = fmt.Sprintf("pc-%03d%s-runs", idx, suffix)
 		runDir := filepath.Join(dir, meta.Dir)
 		if err := fsi.Mkdir(runDir, 0o755); err != nil {
 			return fmt.Errorf("artifact: %w", err)
@@ -358,7 +438,7 @@ func savePC(m *Manifest, pc *core.PC, d *dataset.Dataset, dir string, fsi iofaul
 		meta.Budget = sr.Budget
 		meta.Framed = sr.Writer.Framed()
 	default:
-		meta.File = fmt.Sprintf("pc-%03d.bin", idx)
+		meta.File = fmt.Sprintf("pc-%03d%s.bin", idx, suffix)
 		f, err := fsi.Create(filepath.Join(dir, meta.File))
 		if err != nil {
 			return fmt.Errorf("artifact: %w", err)
@@ -530,6 +610,7 @@ func decodeManifest(data []byte) (*Manifest, error) {
 		if m.FormatVersion != formatVersionV1 {
 			return nil, manifestErr("bare manifest with format version %d, want %d", m.FormatVersion, formatVersionV1)
 		}
+		m.Epoch = epochOf(&m)
 		return &m, nil
 	}
 	if env.FormatVersion != FormatVersion {
@@ -549,6 +630,7 @@ func decodeManifest(data []byte) (*Manifest, error) {
 	if m.FormatVersion != FormatVersion {
 		return nil, manifestErr("manifest format version %d inside a v%d envelope", m.FormatVersion, FormatVersion)
 	}
+	m.Epoch = epochOf(&m)
 	return &m, nil
 }
 
@@ -560,6 +642,17 @@ func decodeManifest(data []byte) (*Manifest, error) {
 func validateManifest(m *Manifest) error {
 	if len(m.PCs) == 0 {
 		return manifestErr("no PC payloads")
+	}
+	if m.Epoch < 1 {
+		return manifestErr("epoch %d, want >= 1", m.Epoch)
+	}
+	if dm := m.DeltaOf; dm != nil {
+		if dm.BaseEpoch < 1 {
+			return manifestErr("delta bound to base epoch %d, want >= 1", dm.BaseEpoch)
+		}
+		if dm.BaseRows < 0 {
+			return manifestErr("delta bound to negative base row watermark %d", dm.BaseRows)
+		}
 	}
 	for _, am := range m.Attrs {
 		if len(am.Counts) != len(am.Domain) {

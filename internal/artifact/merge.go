@@ -1,0 +1,176 @@
+// Incremental artifact maintenance: folding a delta label into a
+// committed artifact without rebuilding it from the full dataset.
+//
+// A merge reuses the save path's crash-safety wholesale. The updated
+// payloads are written under epoch-tagged names ("pc-000-e2.bin",
+// "pc-000-e2-runs/") that cannot collide with the committed generation's,
+// each fsynced, and the new manifest — epoch incremented, row watermark
+// advanced — then lands by the same atomic rename that commits a fresh
+// save. A crash at any instant before the rename leaves the old manifest
+// describing the old payloads, all untouched; a crash after it leaves the
+// new artifact complete. The only residue a crash can leave is garbage:
+// new-generation payloads no manifest references (pre-commit) or
+// old-generation payloads nothing references (post-commit, before the
+// cleanup sweep) — both invisible to Open, which reads only what the
+// manifest names.
+package artifact
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+
+	"pcbl/internal/core"
+	"pcbl/internal/iofault"
+)
+
+// MergeInto folds delta — a label counted over ONLY the rows appended
+// after the base artifact's watermark — into the artifact at baseDir,
+// committing an updated artifact in place whose label is bit-identical to
+// a full rebuild over base+delta rows. base is the manifest the delta was
+// built against (from Open at delta-build time); if the on-disk artifact
+// has moved past that epoch or row watermark the merge is rejected with
+// ErrEpochMismatch and the artifact is untouched. A nil base skips the
+// watermark check (callers that hold the artifact exclusively).
+//
+// The commit is crash-safe with the same contract as Save: at every
+// instant the directory holds one complete, consistent artifact — the old
+// one until the manifest rename, the merged one after. Stale payloads of
+// the superseded generation are deleted only after the commit, best
+// effort; a crash may leave them behind as unreferenced garbage.
+func MergeInto(baseDir string, delta *core.Label, base *Manifest) (*Manifest, error) {
+	return MergeIntoFS(baseDir, delta, base, nil)
+}
+
+// MergeIntoFS is MergeInto with an explicit filesystem seam; nil means
+// the real OS filesystem.
+func MergeIntoFS(baseDir string, delta *core.Label, base *Manifest, fsys iofault.FS) (*Manifest, error) {
+	fsi := iofault.Resolve(fsys)
+	l, m, err := OpenFS(baseDir, fsys)
+	if err != nil {
+		return nil, err
+	}
+	defer l.ReleaseSpill()
+	if base != nil && (m.Epoch != epochOf(base) || m.TotalRows != base.TotalRows) {
+		return nil, fmt.Errorf("%w: artifact at %s is at epoch %d with %d rows, delta was built against epoch %d with %d rows",
+			ErrEpochMismatch, baseDir, m.Epoch, m.TotalRows, epochOf(base), base.TotalRows)
+	}
+
+	// Pre-merge sweep: a merge that crashed before its commit point (or
+	// after it, before its own sweep) leaves payloads no manifest
+	// references — including names this merge is about to write, which
+	// would otherwise collide. Anything the committed manifest doesn't
+	// name is garbage by construction; clear it, best effort.
+	if err := sweepUnreferenced(baseDir, m, fsi); err != nil {
+		return nil, err
+	}
+
+	// Merge in core. Spill rewrites the merge performs go through the same
+	// filesystem seam as the artifact writes, so fault injection covers
+	// them; they land in fresh temp-dir runs that the save below adopts.
+	l.SetCountOptions(core.CountOptions{FS: fsys})
+	if _, _, err := l.Merge(delta, -1); err != nil {
+		return nil, err
+	}
+
+	newEpoch := m.Epoch + 1
+	nm, err := writePayloads(l, baseDir, newEpoch, nil, fmt.Sprintf("-e%d", newEpoch), fsi)
+	if err != nil {
+		return nil, err
+	}
+	if err := commitManifest(nm, baseDir, fsi); err != nil {
+		return nil, err
+	}
+
+	// Post-commit sweep: the superseded generation's payloads. Failures
+	// leave unreferenced garbage, not an inconsistent artifact, so they
+	// don't fail the merge — except a scripted kill, which must stop the
+	// world here like everywhere else. The manifest is already committed,
+	// so even that error leaves a complete merged artifact behind.
+	if err := removeStale(baseDir, m, fsi); err != nil {
+		return nil, err
+	}
+	return nm, nil
+}
+
+// MergeDeltaInto folds a saved delta artifact (SaveDelta) into the base
+// artifact it is bound to, verifying the binding: the delta's recorded
+// base epoch and row watermark must match the on-disk manifest exactly,
+// or the merge is rejected with ErrEpochMismatch.
+func MergeDeltaInto(baseDir, deltaDir string) (*Manifest, error) {
+	return MergeDeltaIntoFS(baseDir, deltaDir, nil)
+}
+
+// MergeDeltaIntoFS is MergeDeltaInto with an explicit filesystem seam.
+func MergeDeltaIntoFS(baseDir, deltaDir string, fsys iofault.FS) (*Manifest, error) {
+	dl, dm, err := OpenFS(deltaDir, fsys)
+	if err != nil {
+		return nil, err
+	}
+	defer dl.ReleaseSpill()
+	if dm.DeltaOf == nil {
+		return nil, manifestErr("artifact at %s is not a delta (no delta binding)", deltaDir)
+	}
+	return MergeIntoFS(baseDir, dl, &Manifest{Epoch: dm.DeltaOf.BaseEpoch, TotalRows: dm.DeltaOf.BaseRows}, fsys)
+}
+
+// removeStale deletes the payload files and run directories a superseded
+// manifest references. Ordinary failures are swallowed — the leftovers are
+// unreferenced garbage a later sweep clears — but a scripted kill
+// propagates: nothing runs after a crash.
+func removeStale(dir string, m *Manifest, fsi iofault.FS) error {
+	for _, pm := range m.PCs {
+		if pm.File != "" {
+			if err := fsi.Remove(filepath.Join(dir, pm.File)); errors.Is(err, iofault.ErrKilled) {
+				return err
+			}
+		}
+		if pm.Dir != "" {
+			if err := fsi.RemoveAll(filepath.Join(dir, pm.Dir)); errors.Is(err, iofault.ErrKilled) {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sweepUnreferenced deletes every directory entry the committed manifest
+// doesn't name — crash residue from interrupted merges. The manifest
+// itself (and its staging name, which commitManifest recreates) aside, a
+// consistent artifact contains only referenced payloads, so anything else
+// is safe to drop. Failures to delete are swallowed except a scripted
+// kill; a leftover that still collides with this merge's payload names
+// surfaces as a write error moments later.
+func sweepUnreferenced(dir string, m *Manifest, fsi iofault.FS) error {
+	refs := map[string]bool{manifestName: true}
+	for _, pm := range m.PCs {
+		if pm.File != "" {
+			refs[pm.File] = true
+		}
+		if pm.Dir != "" {
+			refs[pm.Dir] = true
+		}
+	}
+	ents, err := fsi.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, iofault.ErrKilled) {
+			return err
+		}
+		return nil
+	}
+	for _, ent := range ents {
+		if refs[ent.Name()] {
+			continue
+		}
+		var rmErr error
+		if ent.IsDir() {
+			rmErr = fsi.RemoveAll(filepath.Join(dir, ent.Name()))
+		} else {
+			rmErr = fsi.Remove(filepath.Join(dir, ent.Name()))
+		}
+		if errors.Is(rmErr, iofault.ErrKilled) {
+			return rmErr
+		}
+	}
+	return nil
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"pcbl/internal/dataset"
 	"pcbl/internal/lattice"
 )
@@ -39,6 +41,9 @@ func buildPC(d *dataset.Dataset, s lattice.AttrSet, opts CountOptions, workers i
 	k := NewKeyer(d, s)
 	cols := datasetCols(d)
 	rows := d.NumRows()
+	if opts.Stats != nil {
+		atomic.AddInt64(&opts.Stats.RowsScanned, int64(rows))
+	}
 	if radix, ok := denseRadix(k, rows, opts.denseLimit()); ok {
 		return buildPCDense(k, cols, rows, radix, workers, opts.Pool)
 	}

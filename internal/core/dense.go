@@ -330,4 +330,10 @@ type ScanStats struct {
 	// reads; a retry that succeeds leaves the query answering exactly,
 	// with only these counters recording the incident.
 	SpillRetries int64
+	// RowsScanned totals the dataset rows fed through group-by counting
+	// kernels (every buildPC invocation, whichever representation it
+	// picked). Incremental-maintenance callers use it to assert that an
+	// update counted only the appended suffix, not the full history.
+	// Updated atomically: scans may share one ScanStats across goroutines.
+	RowsScanned int64
 }

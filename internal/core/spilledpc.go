@@ -281,6 +281,28 @@ func (sp *spilledPC) release() {
 	}
 }
 
+// detach retires this spilled view without touching the run files: the GC
+// cleanup is stopped and the cached maps dropped, but the writer — and the
+// on-disk runs it manages — passes to a successor index built over the same
+// (possibly appended-to) directory. Incremental merge uses it when the
+// merged PC stays spilled: the old view must stop serving (its size and run
+// sizes are stale) yet must not delete runs the new view is about to serve.
+// Idempotent; using the detached view afterwards panics like a released one.
+func (sp *spilledPC) detach() {
+	sp.liveMu.Lock()
+	defer sp.liveMu.Unlock()
+	if sp.released.Swap(true) {
+		return
+	}
+	sp.cleanup.Stop()
+	if sp.ru != nil {
+		sp.ru.drop()
+	}
+	if sp.rs != nil {
+		sp.rs.drop()
+	}
+}
+
 func (sp *spilledPC) checkLive() {
 	if sp.released.Load() {
 		panic("core: use of a released spilled PC")

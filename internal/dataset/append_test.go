@@ -1,0 +1,168 @@
+package dataset
+
+// Tests for the incremental-maintenance surface of the dataset package:
+// Slice (suffix addressing without copy), AppendRows (prefix-domain
+// validation), and ReadCSVAppend (delta parsing that extends a base
+// dataset's dictionaries and skips already-labeled rows).
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSlice(t *testing.T) {
+	d := sample(t)
+	s, err := d.Slice(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRows() != 3 || s.NumAttrs() != 2 {
+		t.Fatalf("shape = (%d, %d)", s.NumRows(), s.NumAttrs())
+	}
+	// Row 0 of the slice is row 1 of the source; dictionaries are shared.
+	if got := s.Value(0, 0); got != "blue" {
+		t.Errorf("slice row 0 = %q", got)
+	}
+	if s.Attr(0) != d.Attr(0) {
+		t.Error("slice does not share attribute dictionaries")
+	}
+	if id, _ := s.Attr(0).ID("green"); s.ID(2, 0) != id {
+		t.Error("slice ids do not line up with source dictionary")
+	}
+	// Degenerate but legal: empty slices at both ends.
+	for _, bounds := range [][2]int{{0, 0}, {5, 5}} {
+		e, err := d.Slice(bounds[0], bounds[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.NumRows() != 0 {
+			t.Errorf("slice %v rows = %d", bounds, e.NumRows())
+		}
+	}
+	for _, bounds := range [][2]int{{-1, 2}, {3, 2}, {0, 6}} {
+		if _, err := d.Slice(bounds[0], bounds[1]); err == nil {
+			t.Errorf("slice %v accepted", bounds)
+		}
+	}
+}
+
+func TestAppendRows(t *testing.T) {
+	d := sample(t)
+	base, err := d.Slice(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilderFrom(base, "rebuilt")
+	b.AppendRows(base)
+	tail, _ := d.Slice(3, 5)
+	b.AppendRows(tail)
+	got := build(t, b)
+	if got.NumRows() != d.NumRows() {
+		t.Fatalf("rows = %d, want %d", got.NumRows(), d.NumRows())
+	}
+	for r := 0; r < d.NumRows(); r++ {
+		for a := 0; a < d.NumAttrs(); a++ {
+			if got.ID(r, a) != d.ID(r, a) {
+				t.Fatalf("id[%d][%d] = %d, want %d", r, a, got.ID(r, a), d.ID(r, a))
+			}
+		}
+	}
+
+	// Source with a larger domain than the builder must be rejected: ids
+	// beyond the builder's dictionary would dangle.
+	small := build(t, NewBuilder("small", "color", "size").AppendStrings("red", "S"))
+	nb := NewBuilderFrom(small, "narrow")
+	nb.AppendRows(d)
+	if _, err := nb.Build(); err == nil {
+		t.Error("wider source domain accepted")
+	}
+	// Diverging dictionary contents are rejected even at equal size.
+	other := build(t, NewBuilder("other", "color", "size").AppendStrings("cyan", "S"))
+	ob := NewBuilderFrom(other, "diverge")
+	ob.AppendRows(small)
+	if _, err := ob.Build(); err == nil {
+		t.Error("diverging domain accepted")
+	}
+	// Attribute name mismatch.
+	named := build(t, NewBuilder("named", "hue", "size").AppendStrings("red", "S"))
+	mb := NewBuilderFrom(small, "names")
+	mb.AppendRows(named)
+	if _, err := mb.Build(); err == nil {
+		t.Error("renamed attribute accepted")
+	}
+}
+
+func TestReadCSVAppend(t *testing.T) {
+	base, err := ReadCSV(strings.NewReader("color,size\nred,S\nblue,M\n"), CSVOptions{Name: "base"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The grown file: the two labeled rows plus three appended ones, one of
+	// which introduces a new color. SkipRows addresses the suffix.
+	grown := "color,size\nred,S\nblue,M\nred,L\ngreen,M\nblue,\n"
+	delta, err := ReadCSVAppend(strings.NewReader(grown), base, CSVOptions{Name: "delta", SkipRows: base.NumRows()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.NumRows() != 3 {
+		t.Fatalf("delta rows = %d, want 3", delta.NumRows())
+	}
+	// Known values keep their base identifiers; new values extend.
+	baseRed, _ := base.Attr(0).ID("red")
+	deltaRed, ok := delta.Attr(0).ID("red")
+	if !ok || deltaRed != baseRed {
+		t.Errorf("red id changed: base %d, delta %d", baseRed, deltaRed)
+	}
+	if delta.Attr(0).DomainSize() != base.Attr(0).DomainSize()+1 {
+		t.Errorf("color domain = %d, want %d", delta.Attr(0).DomainSize(), base.Attr(0).DomainSize()+1)
+	}
+	for i, v := range base.Attr(0).Domain() {
+		if delta.Attr(0).Domain()[i] != v {
+			t.Fatalf("delta domain is not an extension of base at %d: %q vs %q", i, delta.Attr(0).Domain()[i], v)
+		}
+	}
+	// The skipped prefix must not have interned anything: "L" appears only
+	// in the suffix, so its presence is fine, but the base dictionaries
+	// must be untouched.
+	if base.Attr(1).DomainSize() != 2 {
+		t.Errorf("base size domain grew to %d", base.Attr(1).DomainSize())
+	}
+	if got := delta.Value(2, 1); got != "" {
+		t.Errorf("NULL in suffix = %q", got)
+	}
+
+	// Skipping past EOF yields an empty delta, not an error — the caller
+	// (pcbl update) treats it as "nothing to do".
+	empty, err := ReadCSVAppend(strings.NewReader(grown), base, CSVOptions{SkipRows: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.NumRows() != 0 {
+		t.Fatalf("rows past EOF = %d", empty.NumRows())
+	}
+
+	// Header drift is rejected: renamed and reordered columns.
+	if _, err := ReadCSVAppend(strings.NewReader("color,weight\nred,1\n"), base, CSVOptions{}); err == nil {
+		t.Error("renamed column accepted")
+	}
+	if _, err := ReadCSVAppend(strings.NewReader("size,color\nS,red\n"), base, CSVOptions{}); err == nil {
+		t.Error("reordered columns accepted")
+	}
+	if _, err := ReadCSVAppend(strings.NewReader("color\nred\n"), base, CSVOptions{}); err == nil {
+		t.Error("dropped column accepted")
+	}
+}
+
+func TestReadCSVSkipRows(t *testing.T) {
+	// SkipRows on plain ReadCSV: skipped rows are parsed but not interned.
+	d, err := ReadCSV(strings.NewReader("x\na\nb\nc\n"), CSVOptions{SkipRows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows() != 1 || d.Attr(0).DomainSize() != 1 {
+		t.Fatalf("rows = %d, domain = %d; want 1, 1", d.NumRows(), d.Attr(0).DomainSize())
+	}
+	if d.Value(0, 0) != "c" {
+		t.Fatalf("kept row = %q", d.Value(0, 0))
+	}
+}

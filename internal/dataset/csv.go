@@ -17,14 +17,54 @@ type CSVOptions struct {
 	NullTokens []string
 	// Name is the dataset display name.
 	Name string
-	// MaxRows, when positive, stops reading after that many data rows.
+	// MaxRows, when positive, stops reading after that many kept data rows.
 	MaxRows int
+	// SkipRows, when positive, discards that many data rows after the
+	// header before any row is stored. Skipped rows are parsed only to be
+	// passed over — their values are never interned, so dictionaries grow
+	// only from rows actually kept. Incremental updates use it to address
+	// the appended suffix of a grown CSV: `pcbl update -since N` skips the
+	// N already-labeled rows.
+	SkipRows int
 }
 
 // ReadCSV reads a header-bearing CSV stream into a Dataset. The first record
 // names the attributes; subsequent records are tuples. Empty fields and
 // fields equal to one of opts.NullTokens are stored as NULL.
 func ReadCSV(r io.Reader, opts CSVOptions) (*Dataset, error) {
+	header, cr, err := readCSVHeader(r, opts)
+	if err != nil {
+		return nil, err
+	}
+	return readCSVRows(cr, NewBuilder(opts.Name, header...), opts)
+}
+
+// ReadCSVAppend reads the appended tail of a grown CSV into a delta
+// dataset whose dictionaries extend base's: the header must name base's
+// attributes in order, opts.SkipRows rows (typically the base's row count)
+// are passed over without interning, and the remaining rows build on a copy
+// of base's dictionaries — known values keep their identifiers, new values
+// extend the domains. The result is exactly what core.Label.Merge expects
+// as a delta's dataset. base may be schema-only (an artifact's reopened
+// dataset): only its attribute dictionaries are consulted.
+func ReadCSVAppend(r io.Reader, base *Dataset, opts CSVOptions) (*Dataset, error) {
+	header, cr, err := readCSVHeader(r, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(header) != base.NumAttrs() {
+		return nil, fmt.Errorf("dataset: CSV has %d columns, base dataset has %d attributes", len(header), base.NumAttrs())
+	}
+	for i, h := range header {
+		if h != base.attrs[i].name {
+			return nil, fmt.Errorf("dataset: CSV column %d named %q, base attribute is %q", i, h, base.attrs[i].name)
+		}
+	}
+	return readCSVRows(cr, NewBuilderFrom(base, opts.Name), opts)
+}
+
+// readCSVHeader opens the CSV stream and returns the trimmed header names.
+func readCSVHeader(r io.Reader, opts CSVOptions) ([]string, *csv.Reader, error) {
 	cr := csv.NewReader(r)
 	if opts.Comma != 0 {
 		cr.Comma = opts.Comma
@@ -32,19 +72,24 @@ func ReadCSV(r io.Reader, opts CSVOptions) (*Dataset, error) {
 	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+		return nil, nil, fmt.Errorf("dataset: reading CSV header: %w", err)
 	}
 	names := make([]string, len(header))
 	for i, h := range header {
 		names[i] = strings.TrimSpace(h)
 	}
-	b := NewBuilder(opts.Name, names...)
+	return names, cr, nil
+}
+
+// readCSVRows streams data rows into the builder, honoring SkipRows and
+// MaxRows.
+func readCSVRows(cr *csv.Reader, b *Builder, opts CSVOptions) (*Dataset, error) {
 	nulls := make(map[string]bool, len(opts.NullTokens))
 	for _, t := range opts.NullTokens {
 		nulls[t] = true
 	}
-	row := make([]string, len(names))
-	n := 0
+	row := make([]string, b.NumAttrs())
+	n, kept := 0, 0
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -53,6 +98,10 @@ func ReadCSV(r io.Reader, opts CSVOptions) (*Dataset, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dataset: reading CSV row %d: %w", n+1, err)
 		}
+		n++
+		if n <= opts.SkipRows {
+			continue
+		}
 		for i, f := range rec {
 			if nulls[f] {
 				f = ""
@@ -60,8 +109,8 @@ func ReadCSV(r io.Reader, opts CSVOptions) (*Dataset, error) {
 			row[i] = f
 		}
 		b.AppendStrings(row...)
-		n++
-		if opts.MaxRows > 0 && n >= opts.MaxRows {
+		kept++
+		if opts.MaxRows > 0 && kept >= opts.MaxRows {
 			break
 		}
 	}

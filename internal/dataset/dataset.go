@@ -272,6 +272,24 @@ func (d *Dataset) Head(n int) *Dataset {
 	return h
 }
 
+// Slice returns a dataset holding rows [lo, hi) with column storage shared
+// via re-slicing — no copy, no re-encode. It is the suffix-addressing
+// primitive of incremental maintenance: the appended tail of a grown
+// dataset becomes a delta dataset in O(attrs). The slice shares the
+// receiver's attribute dictionaries, so its domains equal the full
+// dataset's — exactly the extension invariant core.Label.Merge requires.
+func (d *Dataset) Slice(lo, hi int) (*Dataset, error) {
+	if lo < 0 || hi < lo || hi > d.rows {
+		return nil, fmt.Errorf("dataset: slice [%d, %d) out of range [0, %d]", lo, hi, d.rows)
+	}
+	s := &Dataset{name: d.name, attrs: d.attrs, rows: hi - lo}
+	s.cols = make([][]uint16, len(d.cols))
+	for i, c := range d.cols {
+		s.cols[i] = c[lo:hi:hi]
+	}
+	return s, nil
+}
+
 // String summarizes the dataset shape and domains.
 func (d *Dataset) String() string {
 	var b strings.Builder
@@ -307,6 +325,21 @@ func NewBuilder(name string, attrNames ...string) *Builder {
 		}
 		seen[n] = true
 		b.attrs = append(b.attrs, NewAttribute(n))
+		b.cols = append(b.cols, nil)
+	}
+	return b
+}
+
+// NewBuilderFrom returns a builder whose attributes start as deep copies of
+// d's dictionaries: values d already knows keep their identifiers, and new
+// values extend the domains past them. Incremental ingestion seeds delta
+// datasets this way so the delta's encoding extends the base's — the
+// dictionary-alignment invariant core.Label.Merge validates. d's row data
+// is not copied; the builder starts empty.
+func NewBuilderFrom(d *Dataset, name string) *Builder {
+	b := &Builder{name: name}
+	for _, a := range d.attrs {
+		b.attrs = append(b.attrs, a.clone())
 		b.cols = append(b.cols, nil)
 	}
 	return b
@@ -362,6 +395,43 @@ func (b *Builder) AppendIDs(ids ...uint16) *Builder {
 		b.cols[i] = append(b.cols[i], id)
 	}
 	b.rows++
+	return b
+}
+
+// AppendRows bulk-appends every row of src by identifier — no string
+// re-encode. src's attributes must match the builder's in name and order,
+// and each src domain must be a prefix of the builder's (identifiers then
+// mean the same values); seed the builder with NewBuilderFrom, or share
+// dictionaries outright via Dataset.Slice, to guarantee it.
+func (b *Builder) AppendRows(src *Dataset) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(src.attrs) != len(b.attrs) {
+		b.err = fmt.Errorf("dataset: AppendRows source has %d attributes, want %d", len(src.attrs), len(b.attrs))
+		return b
+	}
+	for i, a := range b.attrs {
+		sa := src.attrs[i]
+		if sa.name != a.name {
+			b.err = fmt.Errorf("dataset: AppendRows attribute %d named %q, want %q", i, sa.name, a.name)
+			return b
+		}
+		if len(sa.dom) > len(a.dom) {
+			b.err = fmt.Errorf("dataset: AppendRows source domain of %q has %d values, builder has %d", a.name, len(sa.dom), len(a.dom))
+			return b
+		}
+		for j, v := range sa.dom {
+			if a.dom[j] != v {
+				b.err = fmt.Errorf("dataset: AppendRows domain of %q diverges at value %d (%q vs %q)", a.name, j, v, a.dom[j])
+				return b
+			}
+		}
+	}
+	for i := range b.cols {
+		b.cols[i] = append(b.cols[i], src.cols[i]...)
+	}
+	b.rows += src.rows
 	return b
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"pcbl/internal/core"
 	"pcbl/internal/dataset"
+	"pcbl/internal/iofault"
 	"pcbl/internal/lattice"
 	"pcbl/internal/workpool"
 )
@@ -88,6 +89,17 @@ type Options struct {
 	// directory when empty). Files live in private subdirectories removed
 	// when each scan finishes.
 	SpillDir string
+
+	// FS is the filesystem seam spill scans write runs through
+	// (core.CountOptions.FS); nil means the real OS filesystem. Fault
+	// injection scripts failures here.
+	FS iofault.FS
+
+	// DisableSharedSpill turns off the shared-scan spill partitioner
+	// (core.CountOptions.DisableSharedSpill): spilled sets in one frontier
+	// then partition with one dataset pass each instead of sharing a pass.
+	// Result-identical; for ablation.
+	DisableSharedSpill bool
 }
 
 // fusedBatch bounds how many candidate sets one fused scan tracks at once,
@@ -185,7 +197,7 @@ type Result struct {
 // times instead of len(sets) times. This is the raw-scan path; the level
 // sizer below additionally schedules parent-PC refinements around it.
 func sizeFrontier(d *dataset.Dataset, sets []lattice.AttrSet, opts Options, stats *Stats, visit func(s lattice.AttrSet, within bool)) {
-	co := core.CountOptions{Workers: opts.Workers, DenseLimit: opts.DenseLimit, MemBudget: opts.MemBudget, SpillDir: opts.SpillDir}
+	co := core.CountOptions{Workers: opts.Workers, DenseLimit: opts.DenseLimit, MemBudget: opts.MemBudget, SpillDir: opts.SpillDir, FS: opts.FS, DisableSharedSpill: opts.DisableSharedSpill}
 	for lo := 0; lo < len(sets); lo += fusedBatch {
 		hi := lo + fusedBatch
 		if hi > len(sets) {
@@ -407,7 +419,7 @@ func (z *levelSizer) sizeLevel(sets []lattice.AttrSet, visit func(s lattice.Attr
 	// Raw-scan path for candidates on neither refinement tier. Spilled
 	// candidates (byte-key sets over the memory budget) are routed inside
 	// the fused sizing call onto external spill scans.
-	co := core.CountOptions{Workers: z.opts.Workers, DenseLimit: z.opts.DenseLimit, Stats: &z.scan, Pool: z.pool, MemBudget: z.opts.MemBudget, SpillDir: z.opts.SpillDir}
+	co := core.CountOptions{Workers: z.opts.Workers, DenseLimit: z.opts.DenseLimit, Stats: &z.scan, Pool: z.pool, MemBudget: z.opts.MemBudget, SpillDir: z.opts.SpillDir, FS: z.opts.FS, DisableSharedSpill: z.opts.DisableSharedSpill}
 	for lo := 0; lo < len(z.scanSets); lo += fusedBatch {
 		hi := min(lo+fusedBatch, len(z.scanSets))
 		sizes, within := core.LabelSizesFused(z.d, z.scanSets[lo:hi], z.opts.Bound, co)
@@ -772,7 +784,7 @@ func finish(d *dataset.Dataset, ps *core.PatternSet, cands []lattice.AttrSet, op
 	// Each candidate's label build runs single-threaded when candidates
 	// themselves are scored concurrently; a lone candidate gets the whole
 	// engine instead.
-	co := core.CountOptions{Workers: 1, DenseLimit: opts.DenseLimit, MemBudget: opts.MemBudget, SpillDir: opts.SpillDir}
+	co := core.CountOptions{Workers: 1, DenseLimit: opts.DenseLimit, MemBudget: opts.MemBudget, SpillDir: opts.SpillDir, FS: opts.FS, DisableSharedSpill: opts.DisableSharedSpill}
 	if len(cands) == 1 {
 		co.Workers = opts.Workers
 	}
@@ -839,7 +851,7 @@ func EvaluateSets(d *dataset.Dataset, ps *core.PatternSet, sets []lattice.AttrSe
 		ps.SortByCountDesc()
 	}
 	out := make([]Result, len(sets))
-	co := core.CountOptions{Workers: opts.Workers, DenseLimit: opts.DenseLimit, MemBudget: opts.MemBudget, SpillDir: opts.SpillDir}
+	co := core.CountOptions{Workers: opts.Workers, DenseLimit: opts.DenseLimit, MemBudget: opts.MemBudget, SpillDir: opts.SpillDir, FS: opts.FS, DisableSharedSpill: opts.DisableSharedSpill}
 	for i, s := range sets {
 		l := core.BuildLabelOpts(d, s, co)
 		maxErr, scanned := core.MaxAbsError(l, ps, core.MaxErrOptions{Sorted: opts.FastEval, Workers: opts.Workers})

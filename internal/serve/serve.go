@@ -5,7 +5,7 @@
 // underlying PC read path (including merge-on-read spilled indexes) is
 // concurrent by design.
 //
-// Endpoints (all GET):
+// Endpoints (GET unless noted):
 //
 //	/healthz             liveness probe
 //	/v1/label            label metadata: dataset, attributes, size, bound
@@ -17,6 +17,9 @@
 //	                     the label attributes
 //	/v1/stats            read-path counters of a spilled PC section
 //	/metrics             the same counters in Prometheus text format
+//	POST /v1/reload      atomically swap to the artifact's current label
+//	                     generation (after `pcbl update`); in-flight
+//	                     queries finish on the generation they started on
 //
 // Pattern expressions use the internal/patexpr grammar, e.g.
 // q=gender=Female,race=Hispanic (URL-encoded). Errors return JSON
@@ -38,6 +41,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"pcbl/internal/core"
@@ -46,11 +50,26 @@ import (
 	"pcbl/internal/patexpr"
 )
 
-// Handler answers label queries. Create with NewHandler.
+// labelState is one immutable label generation: the label, its dataset,
+// and the artifact epoch it came from. Handlers load the pointer once per
+// request and answer entirely from that snapshot, so a concurrent reload
+// swapping in the next generation never mixes epochs within one response.
+type labelState struct {
+	l     *core.Label
+	d     *dataset.Dataset
+	epoch int64
+}
+
+// Handler answers label queries. Create with NewHandler (static label) or
+// NewReloadableHandler (label that follows an updatable artifact).
 type Handler struct {
-	l   *core.Label
-	d   *dataset.Dataset
-	mux *http.ServeMux
+	state  atomic.Pointer[labelState]
+	reload func() (*core.Label, int64, error)
+	mux    *http.ServeMux
+
+	// Reloads are serialized: concurrent POST /v1/reload (or SIGHUP)
+	// callers queue rather than racing two artifact opens.
+	reloadMu sync.Mutex
 
 	// Degradation state: degraded flips on when a spill-path read fails
 	// and off when one succeeds, so /healthz tracks whether the label is
@@ -59,13 +78,32 @@ type Handler struct {
 	requests        atomic.Int64
 	readFailures    atomic.Int64
 	recoveredPanics atomic.Int64
+	reloads         atomic.Int64
 	lastErr         atomic.Value // string
 }
 
 // NewHandler wraps a label (typically reopened from an artifact, but any
 // in-process label works) in the HTTP query surface.
 func NewHandler(l *core.Label) *Handler {
-	h := &Handler{l: l, d: l.Dataset(), mux: http.NewServeMux()}
+	return newHandler(l, 1, nil)
+}
+
+// NewReloadableHandler is NewHandler for a label that tracks an artifact
+// that `pcbl update` advances in place: epoch is the artifact epoch the
+// label was opened at, and reload — invoked by POST /v1/reload or the
+// daemon's SIGHUP handler, serialized — reopens the artifact and returns
+// the new label and epoch. The swap is atomic and lossless: requests in
+// flight finish on the generation they started with (its spilled payloads
+// stay open until those readers are done and the garbage collector
+// releases the descriptors), new requests see the new one, and a failed
+// reload keeps the current generation serving.
+func NewReloadableHandler(l *core.Label, epoch int64, reload func() (*core.Label, int64, error)) *Handler {
+	return newHandler(l, epoch, reload)
+}
+
+func newHandler(l *core.Label, epoch int64, reload func() (*core.Label, int64, error)) *Handler {
+	h := &Handler{reload: reload, mux: http.NewServeMux()}
+	h.state.Store(&labelState{l: l, d: l.Dataset(), epoch: epoch})
 	h.mux.HandleFunc("GET /healthz", h.healthz)
 	h.mux.HandleFunc("GET /v1/label", h.label)
 	h.mux.HandleFunc("GET /v1/count", h.count)
@@ -73,7 +111,46 @@ func NewHandler(l *core.Label) *Handler {
 	h.mux.HandleFunc("GET /v1/marginal", h.marginal)
 	h.mux.HandleFunc("GET /v1/stats", h.stats)
 	h.mux.HandleFunc("GET /metrics", h.metrics)
+	h.mux.HandleFunc("POST /v1/reload", h.reloadHTTP)
 	return h
+}
+
+// Reload swaps in the next label generation via the reload callback,
+// returning the epoch now serving. The daemon calls this on SIGHUP; POST
+// /v1/reload is the same operation over HTTP.
+func (h *Handler) Reload() (int64, error) {
+	if h.reload == nil {
+		return 0, fmt.Errorf("serve: handler has no reload source")
+	}
+	h.reloadMu.Lock()
+	defer h.reloadMu.Unlock()
+	l, epoch, err := h.reload()
+	if err != nil {
+		return h.state.Load().epoch, err
+	}
+	h.state.Store(&labelState{l: l, d: l.Dataset(), epoch: epoch})
+	h.reloads.Add(1)
+	return epoch, nil
+}
+
+// ReloadResult is the POST /v1/reload response.
+type ReloadResult struct {
+	Epoch     int64 `json:"epoch"`
+	TotalRows int   `json:"total_rows"`
+	Size      int   `json:"size"`
+}
+
+func (h *Handler) reloadHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.reload == nil {
+		writeErr(w, http.StatusNotImplemented, "this daemon serves a static label (no artifact to reload)")
+		return
+	}
+	if _, err := h.Reload(); err != nil {
+		writeErr(w, http.StatusInternalServerError, "reload failed, previous label still serving: %v", err)
+		return
+	}
+	st := h.state.Load()
+	writeJSON(w, http.StatusOK, ReloadResult{Epoch: st.epoch, TotalRows: st.l.Rows(), Size: st.l.Size()})
 }
 
 // ServeHTTP implements http.Handler. Every request runs under
@@ -147,7 +224,7 @@ func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
 		ReadFailures:    h.readFailures.Load(),
 		RecoveredPanics: h.recoveredPanics.Load(),
 	}
-	if st, ok := h.l.PC().SpillReadStats(); ok {
+	if st, ok := h.state.Load().l.PC().SpillReadStats(); ok {
 		res.Spilled = true
 		res.SpillReadErrors = st.ReadErrors
 		res.SpillRetries = st.Retries
@@ -174,6 +251,7 @@ type AttrInfo struct {
 type LabelInfo struct {
 	Dataset    string     `json:"dataset"`
 	TotalRows  int        `json:"total_rows"`
+	Epoch      int64      `json:"epoch"`
 	Attributes []AttrInfo `json:"attributes"`
 	LabelAttrs []string   `json:"label_attrs"`
 	Size       int        `json:"size"`
@@ -182,17 +260,19 @@ type LabelInfo struct {
 }
 
 func (h *Handler) label(w http.ResponseWriter, r *http.Request) {
+	st := h.state.Load()
 	info := LabelInfo{
-		Dataset:    h.d.Name(),
-		TotalRows:  h.l.Rows(),
-		Attributes: make([]AttrInfo, h.d.NumAttrs()),
-		LabelAttrs: h.attrNames(h.l.Attrs()),
-		Size:       h.l.Size(),
-		VCSize:     h.l.VCSize(),
-		Spilled:    h.l.PC().Spilled(),
+		Dataset:    st.d.Name(),
+		TotalRows:  st.l.Rows(),
+		Epoch:      st.epoch,
+		Attributes: make([]AttrInfo, st.d.NumAttrs()),
+		LabelAttrs: st.attrNames(st.l.Attrs()),
+		Size:       st.l.Size(),
+		VCSize:     st.l.VCSize(),
+		Spilled:    st.l.PC().Spilled(),
 	}
 	for i := range info.Attributes {
-		a := h.d.Attr(i)
+		a := st.d.Attr(i)
 		info.Attributes[i] = AttrInfo{Name: a.Name(), DomainSize: a.DomainSize()}
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -200,12 +280,12 @@ func (h *Handler) label(w http.ResponseWriter, r *http.Request) {
 
 // parsePattern resolves the q parameter into a pattern over the label's
 // schema. A missing q is the empty pattern.
-func (h *Handler) parsePattern(r *http.Request) (core.Pattern, error) {
+func (st *labelState) parsePattern(r *http.Request) (core.Pattern, error) {
 	assign, err := patexpr.Parse(r.FormValue("q"))
 	if err != nil {
 		return core.Pattern{}, err
 	}
-	return core.NewPattern(h.d, assign)
+	return core.NewPattern(st.d, assign)
 }
 
 // CountResult is the /v1/count response.
@@ -219,12 +299,13 @@ type CountResult struct {
 }
 
 func (h *Handler) count(w http.ResponseWriter, r *http.Request) {
-	p, err := h.parsePattern(r)
+	st := h.state.Load()
+	p, err := st.parsePattern(r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	c, ok, cerr := h.l.CountE(p)
+	c, ok, cerr := st.l.CountE(p)
 	if cerr != nil {
 		h.noteFailure(cerr)
 		writeDegraded(w, cerr)
@@ -232,14 +313,14 @@ func (h *Handler) count(w http.ResponseWriter, r *http.Request) {
 	}
 	if !ok {
 		writeErr(w, http.StatusUnprocessableEntity,
-			"pattern constrains attributes outside the label set %v; use /v1/estimate", h.attrNames(h.l.Attrs()))
+			"pattern constrains attributes outside the label set %v; use /v1/estimate", st.attrNames(st.l.Attrs()))
 		return
 	}
 	h.noteSuccess()
 	writeJSON(w, http.StatusOK, CountResult{
-		Pattern:    h.patternAssign(p),
+		Pattern:    st.patternAssign(p),
 		Count:      c,
-		Restricted: p.Attrs() != h.l.Attrs(),
+		Restricted: p.Attrs() != st.l.Attrs(),
 	})
 }
 
@@ -252,12 +333,13 @@ type EstimateResult struct {
 }
 
 func (h *Handler) estimate(w http.ResponseWriter, r *http.Request) {
-	p, err := h.parsePattern(r)
+	st := h.state.Load()
+	p, err := st.parsePattern(r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	est, eerr := h.l.EstimateE(p)
+	est, eerr := st.l.EstimateE(p)
 	if eerr != nil {
 		h.noteFailure(eerr)
 		writeDegraded(w, eerr)
@@ -265,9 +347,9 @@ func (h *Handler) estimate(w http.ResponseWriter, r *http.Request) {
 	}
 	h.noteSuccess()
 	writeJSON(w, http.StatusOK, EstimateResult{
-		Pattern:  h.patternAssign(p),
+		Pattern:  st.patternAssign(p),
 		Estimate: est,
-		Exact:    p.Attrs().Diff(h.l.Attrs()).IsEmpty(),
+		Exact:    p.Attrs().Diff(st.l.Attrs()).IsEmpty(),
 	})
 }
 
@@ -284,6 +366,7 @@ type MarginalResult struct {
 }
 
 func (h *Handler) marginal(w http.ResponseWriter, r *http.Request) {
+	st := h.state.Load()
 	raw := strings.TrimSpace(r.FormValue("attrs"))
 	if raw == "" {
 		writeErr(w, http.StatusBadRequest, "missing attrs parameter (comma-separated label attributes)")
@@ -293,12 +376,12 @@ func (h *Handler) marginal(w http.ResponseWriter, r *http.Request) {
 	for i := range parts {
 		parts[i] = strings.TrimSpace(parts[i])
 	}
-	sub, err := lattice.FromNames(h.d.AttrNames(), parts...)
+	sub, err := lattice.FromNames(st.d.AttrNames(), parts...)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	pc, ok, merr := h.l.MarginalPCE(sub)
+	pc, ok, merr := st.l.MarginalPCE(sub)
 	if merr != nil {
 		h.noteFailure(merr)
 		writeDegraded(w, merr)
@@ -306,15 +389,15 @@ func (h *Handler) marginal(w http.ResponseWriter, r *http.Request) {
 	}
 	if !ok {
 		writeErr(w, http.StatusUnprocessableEntity,
-			"attrs must be a non-empty subset of the label set %v", h.attrNames(h.l.Attrs()))
+			"attrs must be a non-empty subset of the label set %v", st.attrNames(st.l.Attrs()))
 		return
 	}
-	res := MarginalResult{Attrs: h.attrNames(sub), Patterns: make([]MarginalEntry, 0, pc.Size())}
+	res := MarginalResult{Attrs: st.attrNames(sub), Patterns: make([]MarginalEntry, 0, pc.Size())}
 	members := sub.Members()
-	if err := pc.EachE(h.d.NumAttrs(), func(vals []uint16, count int) bool {
+	if err := pc.EachE(st.d.NumAttrs(), func(vals []uint16, count int) bool {
 		assign := make(map[string]string, len(members))
 		for _, a := range members {
-			assign[h.d.Attr(a).Name()] = h.d.Attr(a).Value(vals[a])
+			assign[st.d.Attr(a).Name()] = st.d.Attr(a).Value(vals[a])
 		}
 		res.Patterns = append(res.Patterns, MarginalEntry{Pattern: assign, Count: count})
 		return true
@@ -340,7 +423,7 @@ type StatsResult struct {
 
 func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 	res := StatsResult{}
-	if st, ok := h.l.PC().SpillReadStats(); ok {
+	if st, ok := h.state.Load().l.PC().SpillReadStats(); ok {
 		res.Spilled = true
 		res.HotHits = st.HotHits
 		res.FloatingHits = st.FloatingHits
@@ -375,7 +458,12 @@ func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 		"Handler panics recovered by the middleware.", h.recoveredPanics.Load())
 	write("pcbl_degraded", "gauge",
 		"1 while the last label read failed and /healthz reports degraded.", gauge(h.degraded.Load()))
-	st, spilled := h.l.PC().SpillReadStats()
+	ls := h.state.Load()
+	write("pcbl_label_epoch", "gauge",
+		"Artifact epoch of the label generation currently serving.", ls.epoch)
+	write("pcbl_reloads_total", "counter",
+		"Label generations swapped in by /v1/reload or SIGHUP.", h.reloads.Load())
+	st, spilled := ls.l.PC().SpillReadStats()
 	write("pcbl_label_spilled", "gauge",
 		"1 when the label serves merge-on-read spill runs from disk.", gauge(spilled))
 	if spilled {
@@ -395,19 +483,19 @@ func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 	w.Write([]byte(b.String()))
 }
 
-func (h *Handler) attrNames(s lattice.AttrSet) []string {
+func (st *labelState) attrNames(s lattice.AttrSet) []string {
 	members := s.Members()
 	out := make([]string, len(members))
 	for i, a := range members {
-		out[i] = h.d.Attr(a).Name()
+		out[i] = st.d.Attr(a).Name()
 	}
 	return out
 }
 
-func (h *Handler) patternAssign(p core.Pattern) map[string]string {
+func (st *labelState) patternAssign(p core.Pattern) map[string]string {
 	out := make(map[string]string, p.Attrs().Size())
 	for _, a := range p.Attrs().Members() {
-		out[h.d.Attr(a).Name()] = h.d.Attr(a).Value(p.ValueID(a))
+		out[st.d.Attr(a).Name()] = st.d.Attr(a).Value(p.ValueID(a))
 	}
 	return out
 }

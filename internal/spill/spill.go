@@ -442,6 +442,15 @@ func defaultBufBytes(runs int) int {
 // NumRuns returns the partition count K.
 func (w *Writer) NumRuns() int { return w.cfg.Runs }
 
+// Owned reports whether the writer owns its run files (created by NewWriter
+// and not relocated by AdoptInto). Only owned runs accept further shard
+// writes: Open reopens files read-only, and an adopted directory belongs to
+// a committed artifact whose manifest records the runs' exact contents —
+// appending in place would desync them. Incremental merge uses this to
+// decide between appending delta records to a live writer and rewriting the
+// runs into a fresh one.
+func (w *Writer) Owned() bool { return w.owns }
+
 // RunOf returns the partition a record routes to. Every occurrence of a
 // key lands in the same run; merge-on-read consumers use it to locate the
 // single run that can hold a looked-up key. The routing hash is fixed (see

@@ -8,6 +8,7 @@ import (
 	"pcbl/internal/core"
 	"pcbl/internal/dataset"
 	"pcbl/internal/htmlreport"
+	"pcbl/internal/iofault"
 	"pcbl/internal/lattice"
 	"pcbl/internal/patexpr"
 	"pcbl/internal/search"
@@ -49,6 +50,51 @@ const (
 	EqualWidth     = dataset.EqualWidth
 	EqualFrequency = dataset.EqualFrequency
 )
+
+// FS is the filesystem seam the counting engine's spill tier and the
+// artifact layer write through; nil always means the real OS filesystem.
+// Tests inject fault-scripted implementations here.
+type FS = iofault.FS
+
+// EngineOptions is the one knob set for the counting engine behind every
+// facade entry point — label builds (LabelOptions.Engine), label searches
+// (GenerateOptions.Engine), and incremental merges. The zero value means
+// all defaults: all CPUs, the engine's dense threshold, unlimited memory,
+// system temp spill, the OS filesystem.
+type EngineOptions struct {
+	// Workers bounds group-by parallelism (0 = NumCPU).
+	Workers int
+	// DenseLimit overrides the dense-kernel threshold (0 = engine default,
+	// a 2^22-slot key space; negative forces the hash-map kernels).
+	DenseLimit int
+	// MemBudget bounds the in-memory grouping state of a single group-by
+	// in bytes; over-budget group-bys count out-of-core via hash-
+	// partitioned on-disk runs, and over-budget result maps stay on disk
+	// and serve merge-on-read. Results are identical to the in-memory
+	// engine. Zero means unlimited.
+	MemBudget int64
+	// SpillDir overrides where spill run files are written (system temp
+	// directory when empty).
+	SpillDir string
+	// FS is the filesystem seam spill runs are written through; nil means
+	// the real OS filesystem.
+	FS FS
+	// DisableSharedSpill turns off the shared-scan spill partitioner
+	// during searches (result-identical; for ablation).
+	DisableSharedSpill bool
+}
+
+// countOptions lowers the facade options onto the internal engine.
+func (e EngineOptions) countOptions() core.CountOptions {
+	return core.CountOptions{
+		Workers:            e.Workers,
+		DenseLimit:         e.DenseLimit,
+		MemBudget:          e.MemBudget,
+		SpillDir:           e.SpillDir,
+		FS:                 e.FS,
+		DisableSharedSpill: e.DisableSharedSpill,
+	}
+}
 
 // ReadCSV loads a dataset from header-bearing CSV text.
 func ReadCSV(r io.Reader, opts CSVOptions) (*Dataset, error) { return dataset.ReadCSV(r, opts) }
@@ -195,10 +241,18 @@ type GenerateOptions struct {
 	// BranchAndBound enables the beyond-paper evaluation cutoff (never
 	// changes the result).
 	BranchAndBound bool
+
+	// Engine configures the counting engine (workers, dense threshold,
+	// memory budget, spill placement, filesystem seam). A non-zero Engine
+	// field wins over the matching deprecated top-level field below.
+	Engine EngineOptions
+
 	// Workers bounds parallelism in both search phases (0 = NumCPU):
 	// candidate enumeration shards its fused label-size scans across
 	// workers, and the evaluation phase scores candidates concurrently.
 	// Parallel runs return exactly the sequential result.
+	//
+	// Deprecated: set Engine.Workers.
 	Workers int
 	// DisableRefine turns off parent-PC reuse during enumeration: every
 	// frontier is sized by raw fused scans instead of refining cached
@@ -218,6 +272,8 @@ type GenerateOptions struct {
 	// kernels. The refinement path has its own compact-space
 	// representation and is not affected; pair with DisableRefine to
 	// reproduce the full pre-dense engine behaviour.
+	//
+	// Deprecated: set Engine.DenseLimit.
 	DenseLimit int
 	// MemBudget bounds the in-memory grouping state of a single group-by
 	// in bytes. Attribute sets beyond the dense kernel whose estimated
@@ -230,10 +286,34 @@ type GenerateOptions struct {
 	// merge-on-read. Results are identical to the in-memory engine. Zero
 	// means unlimited. SearchStats.SpilledSets/SpilledU64Sets/SpillRuns/
 	// SpillParallelRuns/SpillBytes report the tier's use.
+	//
+	// Deprecated: set Engine.MemBudget.
 	MemBudget int64
 	// SpillDir overrides where spill run files are written (system temp
 	// directory when empty).
+	//
+	// Deprecated: set Engine.SpillDir.
 	SpillDir string
+}
+
+// engine resolves the effective engine options: Engine, with each zero
+// field falling back to the matching deprecated top-level field, so
+// pre-EngineOptions callers keep their behaviour unchanged.
+func (o GenerateOptions) engine() EngineOptions {
+	e := o.Engine
+	if e.Workers == 0 {
+		e.Workers = o.Workers
+	}
+	if e.DenseLimit == 0 {
+		e.DenseLimit = o.DenseLimit
+	}
+	if e.MemBudget == 0 {
+		e.MemBudget = o.MemBudget
+	}
+	if e.SpillDir == "" {
+		e.SpillDir = o.SpillDir
+	}
+	return e
 }
 
 // GenerateLabel finds an (approximately) optimal label within the size
@@ -245,16 +325,19 @@ func GenerateLabel(d *Dataset, opts GenerateOptions) (*SearchResult, error) {
 	if ps == nil {
 		ps = core.DistinctTuples(d)
 	}
+	eng := opts.engine()
 	so := search.Options{
 		Bound:              opts.Bound,
 		FastEval:           opts.FastEval,
 		BranchAndBound:     opts.BranchAndBound,
-		Workers:            opts.Workers,
+		Workers:            eng.Workers,
 		DisableRefine:      opts.DisableRefine,
 		DisableBatchRefine: opts.DisableBatchRefine,
-		DenseLimit:         opts.DenseLimit,
-		MemBudget:          opts.MemBudget,
-		SpillDir:           opts.SpillDir,
+		DenseLimit:         eng.DenseLimit,
+		MemBudget:          eng.MemBudget,
+		SpillDir:           eng.SpillDir,
+		FS:                 eng.FS,
+		DisableSharedSpill: eng.DisableSharedSpill,
 	}
 	switch opts.Algorithm {
 	case "", TopDown:
@@ -293,20 +376,50 @@ func EncodeLabel(l *Label) ([]byte, error) { return l.Portable().Encode() }
 func DecodeLabel(data []byte) (*PortableLabel, error) { return core.DecodePortableLabel(data) }
 
 // LabelOptions configures the counting engine behind BuildLabelWith. The
-// fields mirror the engine knobs of GenerateOptions (see there for the full
-// semantics); the zero value matches BuildLabel.
+// zero value matches BuildLabel.
 type LabelOptions struct {
+	// Engine configures the counting engine. A non-zero Engine field wins
+	// over the matching deprecated top-level field below.
+	Engine EngineOptions
+
 	// Workers bounds group-by parallelism (0 = NumCPU).
+	//
+	// Deprecated: set Engine.Workers.
 	Workers int
 	// DenseLimit overrides the dense-kernel threshold (0 = engine default,
 	// negative forces the hash-map kernels).
+	//
+	// Deprecated: set Engine.DenseLimit.
 	DenseLimit int
 	// MemBudget bounds in-memory grouping state in bytes; over-budget
 	// results stay on disk and are served merge-on-read (0 = unlimited).
+	//
+	// Deprecated: set Engine.MemBudget.
 	MemBudget int64
 	// SpillDir overrides where spill runs are written (system temp when
 	// empty).
+	//
+	// Deprecated: set Engine.SpillDir.
 	SpillDir string
+}
+
+// engine resolves the effective engine options, exactly as
+// GenerateOptions.engine does.
+func (o LabelOptions) engine() EngineOptions {
+	e := o.Engine
+	if e.Workers == 0 {
+		e.Workers = o.Workers
+	}
+	if e.DenseLimit == 0 {
+		e.DenseLimit = o.DenseLimit
+	}
+	if e.MemBudget == 0 {
+		e.MemBudget = o.MemBudget
+	}
+	if e.SpillDir == "" {
+		e.SpillDir = o.SpillDir
+	}
+	return e
 }
 
 // BuildLabelWith is BuildLabel with explicit engine options — the
@@ -317,12 +430,7 @@ func BuildLabelWith(d *Dataset, opts LabelOptions, attrNames ...string) (*Label,
 	if err != nil {
 		return nil, err
 	}
-	return core.BuildLabelOpts(d, s, core.CountOptions{
-		Workers:    opts.Workers,
-		DenseLimit: opts.DenseLimit,
-		MemBudget:  opts.MemBudget,
-		SpillDir:   opts.SpillDir,
-	}), nil
+	return core.BuildLabelOpts(d, s, opts.engine().countOptions()), nil
 }
 
 // LabelManifest describes a saved label artifact (see docs/artifact-format.md).
@@ -339,3 +447,76 @@ func SaveLabelArtifact(l *Label, dir string) error { return artifact.Save(l, dir
 // label that was saved; call ReleaseSpill when done if the artifact carries
 // merge-on-read payloads (this does not delete the artifact's files).
 func OpenLabelArtifact(dir string) (*Label, *LabelManifest, error) { return artifact.Open(dir) }
+
+// DeltaMeta binds a delta artifact to the base artifact state (epoch and
+// row watermark) its rows were counted against.
+type DeltaMeta = artifact.DeltaMeta
+
+// Typed artifact error classes, re-exported for errors.Is dispatch.
+var (
+	// ErrArtifactIncomplete marks a directory without a readable manifest
+	// (not an artifact, or a save that crashed before its commit point).
+	ErrArtifactIncomplete = artifact.ErrIncomplete
+	// ErrArtifactCorrupt marks artifact data that failed checksum or
+	// length verification.
+	ErrArtifactCorrupt = artifact.ErrCorrupt
+	// ErrArtifactManifest marks a manifest that parsed but is invalid.
+	ErrArtifactManifest = artifact.ErrManifest
+	// ErrEpochMismatch marks an incremental merge whose delta was built
+	// against a different artifact epoch or row watermark than the one on
+	// disk; rebuild the delta against the current manifest.
+	ErrEpochMismatch = artifact.ErrEpochMismatch
+)
+
+// ReadCSVAppend reads the appended tail of a grown CSV into a delta
+// dataset for incremental label maintenance: the header must name base's
+// attributes in order, opts.SkipRows rows (the base's row watermark) are
+// passed over without being stored or interned, and the kept rows build on
+// a copy of base's dictionaries — known values keep their identifiers, new
+// values extend the domains. base may be schema-only (an artifact's
+// reopened dataset). The result is what Label.Merge and MergeLabelArtifact
+// expect as a delta's dataset.
+func ReadCSVAppend(r io.Reader, base *Dataset, opts CSVOptions) (*Dataset, error) {
+	return dataset.ReadCSVAppend(r, base, opts)
+}
+
+// BuildDeltaLabel counts a delta label over only the appended rows —
+// delta must come from ReadCSVAppend (or dataset slicing) so its
+// dictionaries extend the base's — on the same attribute set as the base
+// label or artifact it will merge into. The counting pass reads only
+// delta's rows, never the history.
+func BuildDeltaLabel(delta *Dataset, engine EngineOptions, attrNames ...string) (*Label, error) {
+	s, err := AttrSetOf(delta, attrNames...)
+	if err != nil {
+		return nil, err
+	}
+	return core.BuildLabelOpts(delta, s, engine.countOptions()), nil
+}
+
+// SaveDeltaArtifact writes a delta label as its own artifact, tagged with
+// the base manifest's epoch and row watermark so MergeDeltaArtifact can
+// later verify it still applies. base is the manifest of the artifact the
+// delta extends, from OpenLabelArtifact at delta-build time.
+func SaveDeltaArtifact(l *Label, dir string, base *LabelManifest) error {
+	return artifact.SaveDelta(l, dir, base)
+}
+
+// MergeLabelArtifact folds a delta label — counted over only the rows
+// appended after the base artifact's watermark — into the artifact at
+// baseDir, committing an updated artifact (epoch incremented) whose label
+// is bit-identical to a full rebuild. base is the manifest the delta was
+// built against; if the on-disk artifact has moved past it the merge is
+// rejected with ErrEpochMismatch and the artifact is untouched (nil skips
+// the check). The commit is crash-safe: at every instant the directory
+// holds one complete artifact — the old one until the manifest rename, the
+// merged one after.
+func MergeLabelArtifact(baseDir string, delta *Label, base *LabelManifest) (*LabelManifest, error) {
+	return artifact.MergeInto(baseDir, delta, base)
+}
+
+// MergeDeltaArtifact folds a saved delta artifact (SaveDeltaArtifact) into
+// the base artifact it is bound to, with the same epoch verification and
+// crash-safety as MergeLabelArtifact.
+func MergeDeltaArtifact(baseDir, deltaDir string) (*LabelManifest, error) {
+	return artifact.MergeDeltaInto(baseDir, deltaDir)
+}

@@ -1,0 +1,195 @@
+package pcbl
+
+// Facade-level tests for the incremental maintenance API and the unified
+// EngineOptions: the CSV-append → delta label → merge flow must equal a
+// full rebuild, typed artifact errors must surface through the facade, and
+// the deprecated per-call option fields must keep working with Engine
+// winning on conflict.
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pcbl/internal/testutil"
+)
+
+// splitCSV renders d to CSV and returns the full text plus a truncation
+// holding the header and the first baseRows data rows.
+func splitCSV(t *testing.T, d *Dataset, baseRows int) (full, base string) {
+	t.Helper()
+	var sb strings.Builder
+	if err := WriteCSV(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	full = sb.String()
+	lines := strings.SplitAfter(full, "\n")
+	return full, strings.Join(lines[:baseRows+1], "")
+}
+
+func TestFacadeIncrementalUpdate(t *testing.T) {
+	d := testutil.Fig2()
+	attrs := []string{"gender", "age group", "marital status"}
+	fullCSV, baseCSV := splitCSV(t, d, 12)
+
+	base, err := ReadCSV(strings.NewReader(baseCSV), CSVOptions{Name: "base"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := BuildLabel(base, attrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "artifact")
+	if err := SaveLabelArtifact(bl, dir); err != nil {
+		t.Fatal(err)
+	}
+	rl, m, err := OpenLabelArtifact(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch != 1 || m.TotalRows != 12 {
+		t.Fatalf("base manifest: epoch %d rows %d", m.Epoch, m.TotalRows)
+	}
+
+	// The update flow, exactly as `pcbl update` runs it: parse only the
+	// appended suffix against the artifact's schema, count it, merge.
+	delta, err := ReadCSVAppend(strings.NewReader(fullCSV), rl.Dataset(), CSVOptions{SkipRows: m.TotalRows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.NumRows() != d.NumRows()-12 {
+		t.Fatalf("delta rows = %d, want %d", delta.NumRows(), d.NumRows()-12)
+	}
+	dl, err := BuildDeltaLabel(delta, EngineOptions{Workers: 1}, attrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, err := MergeLabelArtifact(dir, dl, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm.Epoch != 2 || nm.TotalRows != d.NumRows() {
+		t.Fatalf("merged manifest: epoch %d rows %d", nm.Epoch, nm.TotalRows)
+	}
+
+	// The merged artifact equals a full rebuild: same size, same count for
+	// a full label-set pattern.
+	want, err := BuildLabel(d, attrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, _, err := OpenLabelArtifact(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml.Size() != want.Size() {
+		t.Fatalf("merged size %d, rebuild %d", ml.Size(), want.Size())
+	}
+	assign := map[string]string{"gender": "Female", "age group": "20-39", "marital status": "married"}
+	wp, err := NewPattern(d, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := NewPattern(ml.Dataset(), assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, _ := want.Count(wp)
+	mc, _ := ml.Count(mp)
+	if wc != mc {
+		t.Fatalf("merged count %d, rebuild %d", mc, wc)
+	}
+
+	// Replaying the merge against the superseded manifest hits the typed
+	// epoch error, re-exported on the facade.
+	dl2, err := BuildDeltaLabel(delta, EngineOptions{}, attrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeLabelArtifact(dir, dl2, m); !errors.Is(err, ErrEpochMismatch) {
+		t.Fatalf("stale merge: got %v, want ErrEpochMismatch", err)
+	}
+
+	// The delta-artifact route: save the delta bound to the current
+	// generation, then merge the directories.
+	dl3, err := BuildDeltaLabel(delta, EngineOptions{}, attrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltaDir := filepath.Join(t.TempDir(), "delta")
+	if err := SaveDeltaArtifact(dl3, deltaDir, nm); err != nil {
+		t.Fatal(err)
+	}
+	nm2, err := MergeDeltaArtifact(dir, deltaDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm2.Epoch != 3 {
+		t.Fatalf("second merge epoch = %d, want 3", nm2.Epoch)
+	}
+}
+
+func TestFacadeArtifactErrors(t *testing.T) {
+	// Opening a directory with no manifest surfaces the typed
+	// incompleteness error through the facade alias.
+	if _, _, err := OpenLabelArtifact(t.TempDir()); !errors.Is(err, ErrArtifactIncomplete) {
+		t.Fatalf("empty dir: got %v, want ErrArtifactIncomplete", err)
+	}
+	if ErrArtifactCorrupt == nil || ErrArtifactManifest == nil {
+		t.Fatal("typed artifact errors must be non-nil")
+	}
+}
+
+// TestEngineOptionsCompat pins the options redesign contract: the
+// deprecated top-level fields still take effect when Engine is zero, and
+// any set Engine field wins over its deprecated counterpart.
+func TestEngineOptionsCompat(t *testing.T) {
+	legacy := GenerateOptions{Workers: 3, DenseLimit: -1, MemBudget: 1 << 20, SpillDir: "/tmp/x"}
+	e := legacy.engine()
+	if e.Workers != 3 || e.DenseLimit != -1 || e.MemBudget != 1<<20 || e.SpillDir != "/tmp/x" {
+		t.Fatalf("legacy fallback broken: %+v", e)
+	}
+	mixed := GenerateOptions{
+		Workers: 3, MemBudget: 1 << 20,
+		Engine: EngineOptions{Workers: 5, SpillDir: "/tmp/y"},
+	}
+	e = mixed.engine()
+	if e.Workers != 5 || e.MemBudget != 1<<20 || e.SpillDir != "/tmp/y" {
+		t.Fatalf("Engine precedence broken: %+v", e)
+	}
+
+	lo := LabelOptions{Workers: 2, SpillDir: "/tmp/z"}
+	if le := lo.engine(); le.Workers != 2 || le.SpillDir != "/tmp/z" {
+		t.Fatalf("LabelOptions fallback broken: %+v", le)
+	}
+	lo.Engine = EngineOptions{MemBudget: 42}
+	if le := lo.engine(); le.Workers != 2 || le.MemBudget != 42 {
+		t.Fatalf("LabelOptions merge broken: %+v", le)
+	}
+
+	// countOptions carries every engine field through to the core.
+	co := EngineOptions{Workers: 7, DenseLimit: 9, MemBudget: 11, SpillDir: "s", DisableSharedSpill: true}.countOptions()
+	if co.Workers != 7 || co.DenseLimit != 9 || co.MemBudget != 11 || co.SpillDir != "s" || !co.DisableSharedSpill {
+		t.Fatalf("countOptions dropped a field: %+v", co)
+	}
+
+	// Compile-time compatibility: the pre-redesign literals still compile.
+	_ = GenerateOptions{Bound: 5, Workers: 1, DenseLimit: 0, MemBudget: 0, SpillDir: ""}
+	_ = LabelOptions{Workers: 1, DenseLimit: 0, MemBudget: 0, SpillDir: ""}
+
+	// Builds through both spellings agree.
+	d := testutil.Fig2()
+	a, err := BuildLabelWith(d, LabelOptions{Workers: 2}, "gender", "race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildLabelWith(d, LabelOptions{Engine: EngineOptions{Workers: 2}}, "gender", "race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != b.Size() {
+		t.Fatalf("sizes differ across option spellings: %d vs %d", a.Size(), b.Size())
+	}
+}
