@@ -8,6 +8,7 @@ package pcbl
 //	go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -1224,6 +1225,37 @@ func BenchmarkAblation_MultiLabel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = core.Evaluate(m, ps, core.EvalOptions{})
 	}
+}
+
+// --- Cancellation overhead (PR 10) ---------------------------------------
+//
+// The context plumbing's hot-path cost: an unarmed engine (nil Ctx) pays a
+// nil compare per block, an armed one a non-blocking channel poll per
+// fusedBlockRows rows — ~28 polls across this 116300-row build. Recorded
+// in BENCH_pr10.json; the acceptance bar is armed ns/op within 2% of nil
+// (i.e. inside run-to-run noise on a quiet machine).
+func BenchmarkCancellationOverhead(b *testing.B) {
+	d := benchPaperScale(b)
+	full := lattice.FullSet(d.NumAttrs())
+	b.Run("nil", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.BuildPCParallelCtx(nil, d, full, core.CountOptions{Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("armed", func(b *testing.B) {
+		// WithCancel makes Done() non-nil, so every per-block check takes
+		// the polling path; the context never fires during the build.
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.BuildPCParallelCtx(ctx, d, full, core.CountOptions{Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- Incremental maintenance: merge vs rebuild ---------------------------

@@ -9,7 +9,7 @@
 //	pcbl save     -in data.csv {-attrs a,b,c | -bound N} -artifact DIR
 //	pcbl load     -artifact DIR
 //	pcbl update   -in data.csv -artifact DIR [-since N] [-delta-out DIR]
-//	pcbl serve    -artifact DIR [-addr :8077]
+//	pcbl serve    -artifact DIR [-addr :8077] [-request-timeout 30s] [-max-inflight 256] [-queue-timeout 1s]
 //
 // The gen subcommand materializes the synthetic evaluation datasets so the
 // rest of the pipeline can be exercised on files, like a user's own data.
@@ -452,9 +452,15 @@ func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	artifactDir := fs.String("artifact", "", "artifact directory (required)")
 	addr := fs.String("addr", ":8077", "HTTP listen address")
+	requestTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline; an expired request aborts its label reads and answers 503 (0 disables)")
+	maxInflight := fs.Int("max-inflight", 256, "max concurrently executing query requests; excess requests queue (0 disables admission control)")
+	queueTimeout := fs.Duration("queue-timeout", time.Second, "max time a request waits for an in-flight slot before 503 + Retry-After (0 waits until the client gives up)")
 	fs.Parse(args)
 	if *artifactDir == "" {
 		return fmt.Errorf("-artifact is required")
+	}
+	if *requestTimeout < 0 || *queueTimeout < 0 || *maxInflight < 0 {
+		return fmt.Errorf("-request-timeout, -queue-timeout and -max-inflight must be non-negative")
 	}
 	l, m, err := pcbl.OpenLabelArtifact(*artifactDir)
 	if err != nil {
@@ -481,6 +487,14 @@ func runServe(args []string) error {
 			return nil, 0, err
 		}
 		return nl, nmf.Epoch, nil
+	})
+	// Overload protection: cap in-flight queries, shed the excess with
+	// 429/503 + Retry-After, and bound each admitted request's label reads
+	// with a deadline. /healthz and /metrics bypass admission.
+	h.SetLimits(serve.Limits{
+		RequestTimeout: *requestTimeout,
+		MaxInFlight:    *maxInflight,
+		QueueTimeout:   *queueTimeout,
 	})
 
 	// A hardened server: header/read/write deadlines bound slow-loris

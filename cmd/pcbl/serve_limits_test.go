@@ -1,0 +1,128 @@
+package main
+
+// The serve subcommand's overload flags: invalid values are rejected
+// before the listener opens, and the accepted values wire through to the
+// handler — a 1ns -request-timeout makes every query answer 503 + Retry-
+// After while /healthz keeps reporting ok (the label is not degraded by
+// request deadlines).
+
+import (
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestServeRejectsNegativeLimits(t *testing.T) {
+	path := writeCSV(t, 60)
+	dir := filepath.Join(t.TempDir(), "artifact")
+	if err := runSave([]string{"-in", path, "-bins", "0", "-attrs", "color,shape", "-artifact", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-artifact", dir, "-request-timeout", "-1s"},
+		{"-artifact", dir, "-queue-timeout", "-5ms"},
+		{"-artifact", dir, "-max-inflight", "-2"},
+	} {
+		err := runServe(args)
+		if err == nil || !strings.Contains(err.Error(), "non-negative") {
+			t.Errorf("serve %v: err = %v, want non-negative validation error", args, err)
+		}
+	}
+}
+
+func TestServeRequestTimeoutFlagWired(t *testing.T) {
+	path := writeCSV(t, 120)
+	dir := filepath.Join(t.TempDir(), "artifact")
+	if err := runSave([]string{"-in", path, "-bins", "0", "-attrs", "color,shape", "-artifact", dir}); err != nil {
+		t.Fatal(err)
+	}
+
+	ready := make(chan string, 1)
+	serveReady = func(addr string) { ready <- addr }
+	defer func() { serveReady = nil }()
+	served := make(chan error, 1)
+	go func() {
+		served <- runServe([]string{
+			"-artifact", dir, "-addr", "127.0.0.1:0",
+			"-request-timeout", "1ns", "-max-inflight", "4", "-queue-timeout", "250ms",
+		})
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-served:
+		t.Fatalf("serve exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not start listening")
+	}
+
+	// Every admitted query runs under the (already expired) deadline.
+	resp, err := http.Get("http://" + addr + "/v1/count?q=color%3Dc1%2Cshape%3Ds2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query under 1ns request-timeout: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("timed-out query missing Retry-After")
+	}
+
+	// The deadline is the request's, not the label's: health stays ok.
+	hresp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hr struct {
+		Status string `json:"status"`
+	}
+	err = json.NewDecoder(hresp.Body).Decode(&hr)
+	hresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hresp.StatusCode != http.StatusOK || hr.Status != "ok" {
+		t.Fatalf("healthz after request timeouts: status %d, %q", hresp.StatusCode, hr.Status)
+	}
+
+	// And the admission counters are visible through the stats surface.
+	sresp, err := http.Get("http://" + addr + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Canceled int64 `json:"canceled_requests"`
+	}
+	err = json.NewDecoder(sresp.Body).Decode(&st)
+	sresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Canceled == 0 {
+		t.Fatal("canceled_requests not counted for the timed-out query")
+	}
+
+	shutdownServe(t, served)
+}
+
+// shutdownServe stops a runServe goroutine via SIGINT and waits for a
+// clean exit.
+func shutdownServe(t *testing.T, served chan error) {
+	t.Helper()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serve shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not shut down on SIGINT")
+	}
+}

@@ -66,4 +66,19 @@
 // backed labels should use the error-returning variants (CountE,
 // EstimateE), which surface the fault instead; the serving layer does,
 // degrading the request rather than the process.
+//
+// Cancellation is a third, distinct family. Work bounded by a caller's
+// context — GenerateCtx, BuildLabelCtx, the *Ctx query variants — stops
+// cooperatively when the context fires and returns an error wrapping
+// context.Canceled or context.DeadlineExceeded (check with errors.Is),
+// never a panic and never a partial result: an interrupted build yields a
+// nil label with its spill scratch removed, an interrupted query yields no
+// count. Cancellation is the caller's doing, so unlike a read fault it
+// does not degrade or poison the label — the same label answers the next
+// query with a live context. Disk exhaustion is likewise typed: writes
+// that run out of space surface ErrNoSpace through the error chain, and
+// spill-backed builds degrade to their in-memory kernel (metered, not an
+// error) when scratch space runs out. See docs/operations.md for how the
+// serve daemon maps these families onto HTTP statuses and admission
+// control.
 package pcbl

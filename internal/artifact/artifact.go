@@ -240,10 +240,12 @@ func Save(l *core.Label, dir string) error { return SaveFS(l, dir, nil) }
 
 // SaveFS is Save with an explicit filesystem seam; nil means the real OS
 // filesystem. Fault-injection tests script failures and crash points here.
+// A full disk surfaces as a typed spill.ErrNoSpace; the crash-safety
+// contract holds regardless of the failure's class (no manifest commits).
 func SaveFS(l *core.Label, dir string, fsys iofault.FS) error {
 	fsi := iofault.Resolve(fsys)
 	if err := saveInto(l, dir, 1, nil, fsi); err != nil {
-		return err
+		return spill.WrapNoSpace(err)
 	}
 	return nil
 }
@@ -265,7 +267,7 @@ func SaveDeltaFS(l *core.Label, dir string, base *Manifest, fsys iofault.FS) err
 	}
 	fsi := iofault.Resolve(fsys)
 	meta := &DeltaMeta{BaseEpoch: epochOf(base), BaseRows: base.TotalRows}
-	return saveInto(l, dir, 1, meta, fsi)
+	return spill.WrapNoSpace(saveInto(l, dir, 1, meta, fsi))
 }
 
 // saveInto writes label l as a fresh artifact at dir — the shared body of

@@ -22,6 +22,7 @@ import (
 
 	"pcbl/internal/core"
 	"pcbl/internal/iofault"
+	"pcbl/internal/spill"
 )
 
 // MergeInto folds delta — a label counted over ONLY the rows appended
@@ -43,8 +44,18 @@ func MergeInto(baseDir string, delta *core.Label, base *Manifest) (*Manifest, er
 }
 
 // MergeIntoFS is MergeInto with an explicit filesystem seam; nil means
-// the real OS filesystem.
+// the real OS filesystem. A full disk surfaces as a typed spill.ErrNoSpace;
+// the crash-safety contract holds regardless of the failure's class (the
+// old artifact stays committed).
 func MergeIntoFS(baseDir string, delta *core.Label, base *Manifest, fsys iofault.FS) (*Manifest, error) {
+	nm, err := mergeIntoFS(baseDir, delta, base, fsys)
+	if err != nil {
+		return nil, spill.WrapNoSpace(err)
+	}
+	return nm, nil
+}
+
+func mergeIntoFS(baseDir string, delta *core.Label, base *Manifest, fsys iofault.FS) (*Manifest, error) {
 	fsi := iofault.Resolve(fsys)
 	l, m, err := OpenFS(baseDir, fsys)
 	if err != nil {

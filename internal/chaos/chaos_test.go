@@ -1,0 +1,58 @@
+package chaos
+
+// Seeded smoke soak: a handful of chaos cycles must hold every invariant,
+// leak no goroutines, and actually exercise chaos (nonzero counters in
+// aggregate). CI runs this under -race; longer soaks reuse Soak directly
+// with a bigger cycle count.
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"pcbl/internal/testutil"
+)
+
+func TestSoakSmoke(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	cycles := 6
+	if v := os.Getenv("PCBL_CHAOS_CYCLES"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("PCBL_CHAOS_CYCLES=%q: %v", v, err)
+		}
+		cycles = n
+	}
+	rep, err := Soak(Config{
+		Seed:     0x5555,
+		Cycles:   cycles,
+		Duration: 45 * time.Second,
+		Dir:      t.TempDir(),
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("soak: %v (report: %s)", err, rep)
+	}
+	if rep.Cycles == 0 {
+		t.Fatal("soak ran zero cycles")
+	}
+	if rep.ServeOK == 0 {
+		t.Fatalf("soak verified zero served answers: %s", rep)
+	}
+	t.Logf("soak report: %s", rep)
+}
+
+// TestSoakSeedsDisjoint runs two more single-cycle soaks on different
+// seeds so the smoke doesn't overfit one random trajectory.
+func TestSoakSeedsDisjoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: one soak seed is enough")
+	}
+	for _, seed := range []uint64{0x1D, 0xBEEF} {
+		rep, err := Soak(Config{Seed: seed, Cycles: 1, Dir: t.TempDir()})
+		if err != nil {
+			t.Fatalf("seed %#x: %v (report: %s)", seed, err, rep)
+		}
+	}
+}

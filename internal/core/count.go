@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync/atomic"
 
 	"pcbl/internal/dataset"
@@ -33,27 +34,42 @@ type PC struct {
 // and are skipped. Small-domain sets are counted with the dense kernel
 // (see dense.go); BuildPCParallel additionally shards the scan.
 func BuildPC(d *dataset.Dataset, s lattice.AttrSet) *PC {
-	return buildPC(d, s, CountOptions{Workers: 1}, 1)
+	pc, err := buildPC(d, s, CountOptions{Workers: 1}, 1)
+	if err != nil {
+		// Unreachable: the options carry no context, so no kernel can fail.
+		panic("core: BuildPC: " + err.Error())
+	}
+	return pc
 }
 
-// buildPC routes a group-by to the kernel the selection rules pick.
-func buildPC(d *dataset.Dataset, s lattice.AttrSet, opts CountOptions, workers int) *PC {
+// buildPC routes a group-by to the kernel the selection rules pick. The
+// only non-nil error is CountOptions.Ctx firing mid-build (the typed
+// context error): disk trouble on the spill tier degrades to the in-memory
+// kernels internally and never surfaces here.
+func buildPC(d *dataset.Dataset, s lattice.AttrSet, opts CountOptions, workers int) (*PC, error) {
 	k := NewKeyer(d, s)
 	cols := datasetCols(d)
 	rows := d.NumRows()
 	if opts.Stats != nil {
 		atomic.AddInt64(&opts.Stats.RowsScanned, int64(rows))
 	}
+	stop := opts.stop()
+	var pc *PC
 	if radix, ok := denseRadix(k, rows, opts.denseLimit()); ok {
-		return buildPCDense(k, cols, rows, radix, workers, opts.Pool)
-	}
-	if runs, format, spillOK := opts.spillFor(k, rows, workers); spillOK {
+		pc = buildPCDense(k, cols, rows, radix, workers, opts.Pool, stop)
+	} else if runs, format, spillOK := opts.spillFor(k, rows, workers); spillOK {
 		return buildPCSpill(k, cols, rows, workers, runs, format, opts)
+	} else if k.Fits() {
+		pc = buildPCMap(k, cols, rows, workers, stop)
+	} else {
+		pc = buildPCBytes(k, cols, rows, workers, stop)
 	}
-	if k.Fits() {
-		return buildPCMap(k, cols, rows, workers)
+	// A cancelled kernel stopped mid-scan: its counts are partial, so the
+	// PC is discarded and only the typed error escapes.
+	if err := stop.err(); err != nil {
+		return nil, err
 	}
-	return buildPCBytes(k, cols, rows, workers)
+	return pc, nil
 }
 
 // Attrs returns the attribute set S the index covers.
@@ -106,7 +122,7 @@ func (pc *PC) SpillReadStats() (stats SpillReadStats, ok bool) {
 // LookupValsE instead.
 func (pc *PC) LookupVals(vals []uint16) int {
 	if pc.sp != nil {
-		c, err := pc.sp.lookupValsE(vals)
+		c, err := pc.sp.lookupValsE(nil, vals)
 		if err != nil {
 			panic(err.Error())
 		}
@@ -141,7 +157,25 @@ func (pc *PC) LookupVals(vals []uint16) int {
 // layer uses this form to degrade gracefully instead of crashing.
 func (pc *PC) LookupValsE(vals []uint16) (int, error) {
 	if pc.sp != nil {
-		return pc.sp.lookupValsE(vals)
+		return pc.sp.lookupValsE(nil, vals)
+	}
+	return pc.LookupVals(vals), nil
+}
+
+// LookupValsCtx is LookupValsE with cooperative cancellation: an
+// already-fired context is refused at entry, and on a merge-on-read index
+// a cache miss loads a run file on demand with ctx bounding that load
+// (polled every spillReadCheckRecs records); a fired context returns the
+// typed context error. Past the entry check, in-memory representations
+// and cache hits never consult ctx — the call is then exactly LookupValsE.
+func (pc *PC) LookupValsCtx(ctx context.Context, vals []uint16) (int, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
+	if pc.sp != nil {
+		return pc.sp.lookupValsE(ctx, vals)
 	}
 	return pc.LookupVals(vals), nil
 }
@@ -158,7 +192,7 @@ func (pc *PC) Lookup(p Pattern) int { return pc.LookupVals(p.vals) }
 // use EachE.
 func (pc *PC) Each(n int, fn func(vals []uint16, count int) bool) {
 	if pc.sp != nil {
-		if err := pc.sp.eachE(n, fn); err != nil {
+		if err := pc.sp.eachE(nil, n, fn); err != nil {
 			panic(err.Error())
 		}
 		return
@@ -198,7 +232,26 @@ func (pc *PC) Each(n int, fn func(vals []uint16, count int) bool) {
 // then seen a prefix of the entries — discard any partial aggregation).
 func (pc *PC) EachE(n int, fn func(vals []uint16, count int) bool) error {
 	if pc.sp != nil {
-		return pc.sp.eachE(n, fn)
+		return pc.sp.eachE(nil, n, fn)
+	}
+	pc.Each(n, fn)
+	return nil
+}
+
+// EachCtx is EachE with cooperative cancellation: an already-fired
+// context is refused at entry, and a merge-on-read iteration checks ctx
+// at every run boundary and inside each run's file scan, so abandoning a
+// long streaming pass stops within one run quantum; the typed context
+// error is returned and fn has seen a prefix of the entries. Past the
+// entry check, in-memory representations iterate without consulting ctx.
+func (pc *PC) EachCtx(ctx context.Context, n int, fn func(vals []uint16, count int) bool) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if pc.sp != nil {
+		return pc.sp.eachE(ctx, n, fn)
 	}
 	pc.Each(n, fn)
 	return nil
@@ -222,13 +275,21 @@ func (pc *PC) Marginalize(d *dataset.Dataset, sub lattice.AttrSet) *PC {
 // MarginalizeE is Marginalize with an explicit error path: a failed run
 // read on a merge-on-read parent returns the error and no index.
 func (pc *PC) MarginalizeE(d *dataset.Dataset, sub lattice.AttrSet) (*PC, error) {
+	return pc.MarginalizeCtx(nil, d, sub)
+}
+
+// MarginalizeCtx is MarginalizeE with cooperative cancellation: ctx is
+// checked at run boundaries while summing a merge-on-read parent, and a
+// fired context returns the typed context error and no index. A nil ctx
+// is exactly MarginalizeE.
+func (pc *PC) MarginalizeCtx(ctx context.Context, d *dataset.Dataset, sub lattice.AttrSet) (*PC, error) {
 	k := NewKeyer(d, sub)
 	out := &PC{keyer: k}
 	n := d.NumAttrs()
 	if radix, ok := denseRadix(k, d.NumRows(), DefaultDenseLimit); ok {
 		counts := make([]int32, radix)
 		distinct := 0
-		if err := pc.EachE(n, func(vals []uint16, c int) bool {
+		if err := pc.EachCtx(ctx, n, func(vals []uint16, c int) bool {
 			if key, ok := k.KeyVals(vals); ok {
 				if counts[key] == 0 {
 					distinct++
@@ -244,7 +305,7 @@ func (pc *PC) MarginalizeE(d *dataset.Dataset, sub lattice.AttrSet) (*PC, error)
 	}
 	if k.Fits() {
 		out.u = make(map[uint64]int)
-		if err := pc.EachE(n, func(vals []uint16, c int) bool {
+		if err := pc.EachCtx(ctx, n, func(vals []uint16, c int) bool {
 			key, ok := k.KeyVals(vals)
 			if ok {
 				out.u[key] += c
@@ -257,7 +318,7 @@ func (pc *PC) MarginalizeE(d *dataset.Dataset, sub lattice.AttrSet) (*PC, error)
 	}
 	out.s = make(map[string]int)
 	var buf []byte
-	if err := pc.EachE(n, func(vals []uint16, c int) bool {
+	if err := pc.EachCtx(ctx, n, func(vals []uint16, c int) bool {
 		b, ok := k.AppendBytesVals(buf[:0], vals)
 		buf = b
 		if ok {

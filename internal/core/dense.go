@@ -157,7 +157,7 @@ func addKeysMap(m map[uint64]int, keys []uint64) {
 // returned after the merge, so bytes allocated per build stay near the
 // single result slab for every worker count instead of growing by a full
 // radix-sized array per worker.
-func buildPCDense(k *Keyer, cols [][]uint16, rows, radix, workers int, pool *VecPool) *PC {
+func buildPCDense(k *Keyer, cols [][]uint16, rows, radix, workers int, pool *VecPool, stop ctxStop) *PC {
 	pc := &PC{keyer: k}
 	if workers <= 1 {
 		counts := make([]int32, radix)
@@ -166,6 +166,9 @@ func buildPCDense(k *Keyer, cols [][]uint16, rows, radix, workers int, pool *Vec
 		keys := make([]uint64, keyBlockRows)
 		distinct := 0
 		for lo := 0; lo < rows; lo += keyBlockRows {
+			if stop.hit() {
+				break
+			}
 			hi := min(lo+keyBlockRows, rows)
 			k.KeyBlock(cols, lo, hi, keys)
 			distinct = addKeysDense(counts, keys[:hi-lo], distinct)
@@ -182,6 +185,9 @@ func buildPCDense(k *Keyer, cols [][]uint16, rows, radix, workers int, pool *Vec
 		}
 		keys := pool.Uint64(keyBlockRows, false)
 		for blo := lo; blo < hi; blo += keyBlockRows {
+			if stop.hit() {
+				break
+			}
 			bhi := min(blo+keyBlockRows, hi)
 			k.KeyBlock(cols, blo, bhi, keys)
 			addKeysDense(counts, keys[:bhi-blo], 0)
@@ -207,12 +213,15 @@ func buildPCDense(k *Keyer, cols [][]uint16, rows, radix, workers int, pool *Vec
 
 // buildPCMap is the hash-map BuildPC kernel for uint64 keys, fed by the
 // same columnar key vectors as the dense kernel.
-func buildPCMap(k *Keyer, cols [][]uint16, rows, workers int) *PC {
+func buildPCMap(k *Keyer, cols [][]uint16, rows, workers int, stop ctxStop) *PC {
 	pc := &PC{keyer: k}
 	if workers <= 1 {
 		m := make(map[uint64]int)
 		keys := make([]uint64, keyBlockRows)
 		for lo := 0; lo < rows; lo += keyBlockRows {
+			if stop.hit() {
+				break
+			}
 			hi := min(lo+keyBlockRows, rows)
 			k.KeyBlock(cols, lo, hi, keys)
 			addKeysMap(m, keys[:hi-lo])
@@ -225,6 +234,9 @@ func buildPCMap(k *Keyer, cols [][]uint16, rows, workers int) *PC {
 		m := make(map[uint64]int)
 		keys := make([]uint64, keyBlockRows)
 		for blo := lo; blo < hi; blo += keyBlockRows {
+			if stop.hit() {
+				break
+			}
 			bhi := min(blo+keyBlockRows, hi)
 			k.KeyBlock(cols, blo, bhi, keys)
 			addKeysMap(m, keys[:bhi-blo])
@@ -242,16 +254,22 @@ func buildPCMap(k *Keyer, cols [][]uint16, rows, workers int) *PC {
 
 // buildPCBytes is the byte-string-key BuildPC kernel for attribute sets
 // whose mixed-radix key overflows uint64.
-func buildPCBytes(k *Keyer, cols [][]uint16, rows, workers int) *PC {
+func buildPCBytes(k *Keyer, cols [][]uint16, rows, workers int, stop ctxStop) *PC {
 	pc := &PC{keyer: k}
 	if workers <= 1 {
 		m := make(map[string]int)
 		var buf []byte
-		for r := 0; r < rows; r++ {
-			b, ok := k.AppendBytesRow(buf[:0], cols, r)
-			buf = b
-			if ok {
-				m[string(b)]++
+		for lo := 0; lo < rows; lo += keyBlockRows {
+			if stop.hit() {
+				break
+			}
+			hi := min(lo+keyBlockRows, rows)
+			for r := lo; r < hi; r++ {
+				b, ok := k.AppendBytesRow(buf[:0], cols, r)
+				buf = b
+				if ok {
+					m[string(b)]++
+				}
 			}
 		}
 		pc.s = m
@@ -261,11 +279,17 @@ func buildPCBytes(k *Keyer, cols [][]uint16, rows, workers int) *PC {
 	workpool.RunChunks(rows, workers, func(w, lo, hi int) {
 		m := make(map[string]int)
 		var buf []byte
-		for r := lo; r < hi; r++ {
-			b, ok := k.AppendBytesRow(buf[:0], cols, r)
-			buf = b
-			if ok {
-				m[string(b)]++
+		for blo := lo; blo < hi; blo += keyBlockRows {
+			if stop.hit() {
+				break
+			}
+			bhi := min(blo+keyBlockRows, hi)
+			for r := blo; r < bhi; r++ {
+				b, ok := k.AppendBytesRow(buf[:0], cols, r)
+				buf = b
+				if ok {
+					m[string(b)]++
+				}
 			}
 		}
 		shards[w] = m
@@ -316,6 +340,12 @@ type ScanStats struct {
 	// fell back to the unbounded in-memory kernel: results stay correct,
 	// but the memory budget was not honored for those sets.
 	SpillFallbacks int64
+	// SpillNoSpaceFallbacks counts the subset of SpillFallbacks caused by
+	// disk exhaustion (the filesystem reported ENOSPC, surfaced as
+	// spill.ErrNoSpace): the spill tier's partial runs were removed and the
+	// set re-counted in memory. A climbing counter here means the spill
+	// volume is full — the engine keeps answering exactly, but over budget.
+	SpillNoSpaceFallbacks int64
 	// SharedSpillPasses counts shared partition passes: a frontier with
 	// several spilled sets partitions all of them in ONE dataset scan
 	// (spill.MultiWriter) instead of one scan per set.

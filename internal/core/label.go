@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"pcbl/internal/dataset"
@@ -47,11 +48,38 @@ func BuildLabel(d *dataset.Dataset, s lattice.AttrSet) *Label {
 
 // BuildLabelOpts computes L_S(D) through the sharded counting engine: the
 // PC group-by and every lazily built marginal index use the given options.
+// If an armed opts.Ctx fires mid-build it panics; ctx-arming callers use
+// BuildLabelOptsCtx.
 func BuildLabelOpts(d *dataset.Dataset, s lattice.AttrSet, opts CountOptions) *Label {
+	l, err := buildLabel(d, s, opts)
+	if err != nil {
+		panic("core: BuildLabelOpts: " + err.Error())
+	}
+	return l
+}
+
+// BuildLabelOptsCtx is BuildLabelOpts with cooperative cancellation: ctx
+// bounds the PC group-by (block/run granularity); a fired context aborts
+// the build cleanly — spill temp state removed, nothing half-counted — and
+// returns the typed context error with a nil label. The finished label
+// does NOT retain ctx: lazy marginal builds and queries are bounded by the
+// per-call contexts of CountCtx / EstimateCtx / MarginalPCCtx instead, so
+// a long-lived label never carries its build's (long-dead) context.
+func BuildLabelOptsCtx(ctx context.Context, d *dataset.Dataset, s lattice.AttrSet, opts CountOptions) (*Label, error) {
+	opts.Ctx = ctx
+	return buildLabel(d, s, opts)
+}
+
+func buildLabel(d *dataset.Dataset, s lattice.AttrSet, opts CountOptions) (*Label, error) {
+	pc, err := buildPC(d, s, opts, opts.scanWorkers(d.NumRows()))
+	if err != nil {
+		return nil, err
+	}
+	opts.Ctx = nil // the label outlives the build; see BuildLabelOptsCtx
 	l := &Label{
 		d:         d,
 		attrs:     s,
-		pc:        BuildPCParallel(d, s, opts),
+		pc:        pc,
 		rows:      d.NumRows(),
 		copts:     opts,
 		fracs:     make([][]float64, d.NumAttrs()),
@@ -62,7 +90,7 @@ func BuildLabelOpts(d *dataset.Dataset, s lattice.AttrSet, opts CountOptions) *L
 		l.fracs[a] = d.Fractions(a)
 		l.vc[a] = d.ValueCounts(a)
 	}
-	return l
+	return l, nil
 }
 
 // NewLabelFromParts assembles a label from deserialized pieces — the
@@ -132,21 +160,31 @@ func (l *Label) Count(p Pattern) (count int, ok bool) {
 // read returns the error instead of a wrong count. The serving layer uses
 // this form to degrade a request instead of crashing the process.
 func (l *Label) CountE(p Pattern) (count int, ok bool, err error) {
+	return l.CountCtx(nil, p)
+}
+
+// CountCtx is CountE with cooperative cancellation: ctx bounds the
+// on-demand work a lookup can trigger — run-file loads on a merge-on-read
+// PC section and first-use marginal index builds — and a fired context
+// returns the typed context error. A cancelled marginal build caches
+// nothing, so a later call rebuilds from scratch. A nil ctx is exactly
+// CountE.
+func (l *Label) CountCtx(ctx context.Context, p Pattern) (count int, ok bool, err error) {
 	if !p.attrs.Diff(l.attrs).IsEmpty() {
 		return 0, false, nil
 	}
 	switch {
 	case p.attrs == l.attrs:
-		count, err = l.pc.LookupValsE(p.vals)
+		count, err = l.pc.LookupValsCtx(ctx, p.vals)
 		return count, err == nil, err
 	case p.attrs.IsEmpty():
 		return l.rows, true, nil
 	default:
-		m, err := l.marginalE(p.attrs)
+		m, err := l.marginalE(ctx, p.attrs)
 		if err != nil {
 			return 0, false, err
 		}
-		count, err = m.LookupValsE(p.vals)
+		count, err = m.LookupValsCtx(ctx, p.vals)
 		return count, err == nil, err
 	}
 }
@@ -167,13 +205,21 @@ func (l *Label) MarginalPC(sub lattice.AttrSet) (pc *PC, ok bool) {
 // marginal from a merge-on-read PC section reads run files, and a failed
 // read returns the error instead of panicking.
 func (l *Label) MarginalPCE(sub lattice.AttrSet) (pc *PC, ok bool, err error) {
+	return l.MarginalPCCtx(nil, sub)
+}
+
+// MarginalPCCtx is MarginalPCE with cooperative cancellation: ctx bounds
+// the first-use marginal build (dataset rescan or PC-section summation); a
+// fired context returns the typed context error and caches nothing. A nil
+// ctx is exactly MarginalPCE.
+func (l *Label) MarginalPCCtx(ctx context.Context, sub lattice.AttrSet) (pc *PC, ok bool, err error) {
 	if !sub.SubsetOf(l.attrs) || sub.IsEmpty() {
 		return nil, false, nil
 	}
 	if sub == l.attrs {
 		return l.pc, true, nil
 	}
-	pc, err = l.marginalE(sub)
+	pc, err = l.marginalE(ctx, sub)
 	return pc, err == nil, err
 }
 
@@ -251,15 +297,29 @@ func (l *Label) EstimateE(p Pattern) (float64, error) {
 	return l.EstimateRowE(p.vals, p.attrs)
 }
 
+// EstimateCtx is EstimateE with cooperative cancellation (see
+// EstimateRowCtx). A nil ctx is exactly EstimateE.
+func (l *Label) EstimateCtx(ctx context.Context, p Pattern) (float64, error) {
+	return l.EstimateRowCtx(ctx, p.vals, p.attrs)
+}
+
 // EstimateRowE is EstimateRow with an explicit error path: the base count
 // may come from a merge-on-read index, and a failed run read returns the
 // error instead of a wrong estimate.
 func (l *Label) EstimateRowE(vals []uint16, attrs lattice.AttrSet) (float64, error) {
+	return l.EstimateRowCtx(nil, vals, attrs)
+}
+
+// EstimateRowCtx is EstimateRowE with cooperative cancellation: ctx bounds
+// on-demand run-file reads and first-use marginal builds behind the base
+// count; a fired context returns the typed context error. A nil ctx is
+// exactly EstimateRowE.
+func (l *Label) EstimateRowCtx(ctx context.Context, vals []uint16, attrs lattice.AttrSet) (float64, error) {
 	inter := attrs.Intersect(l.attrs)
 	var base float64
 	switch {
 	case inter == l.attrs:
-		c, err := l.pc.LookupValsE(vals)
+		c, err := l.pc.LookupValsCtx(ctx, vals)
 		if err != nil {
 			return 0, err
 		}
@@ -267,11 +327,11 @@ func (l *Label) EstimateRowE(vals []uint16, attrs lattice.AttrSet) (float64, err
 	case inter.IsEmpty():
 		base = float64(l.rows)
 	default:
-		m, err := l.marginalE(inter)
+		m, err := l.marginalE(ctx, inter)
 		if err != nil {
 			return 0, err
 		}
-		c, err := m.LookupValsE(vals)
+		c, err := m.LookupValsCtx(ctx, vals)
 		if err != nil {
 			return 0, err
 		}
@@ -315,7 +375,7 @@ func (l *Label) ReleaseSpill() {
 // persisted and restored verbatim (PutMarginal), so those stay exact
 // either way.
 func (l *Label) marginal(sub lattice.AttrSet) *PC {
-	pc, err := l.marginalE(sub)
+	pc, err := l.marginalE(nil, sub)
 	if err != nil {
 		panic(err.Error())
 	}
@@ -325,7 +385,10 @@ func (l *Label) marginal(sub lattice.AttrSet) *PC {
 // marginalE is marginal with an explicit error path: summing a
 // merge-on-read PC section reads run files, and a failed read returns the
 // error without caching anything — a later call rebuilds from scratch.
-func (l *Label) marginalE(sub lattice.AttrSet) (*PC, error) {
+// ctx bounds the build (dataset rescan or PC-section summation); a fired
+// context returns the typed context error and likewise caches nothing. A
+// nil ctx never cancels.
+func (l *Label) marginalE(ctx context.Context, sub lattice.AttrSet) (*PC, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if pc, ok := l.marginals[sub]; ok {
@@ -334,12 +397,18 @@ func (l *Label) marginalE(sub lattice.AttrSet) (*PC, error) {
 	var pc *PC
 	if l.fromPC {
 		var err error
-		pc, err = l.pc.MarginalizeE(l.d, sub)
+		pc, err = l.pc.MarginalizeCtx(ctx, l.d, sub)
 		if err != nil {
 			return nil, err
 		}
 	} else {
-		pc = BuildPCParallel(l.d, sub, l.copts)
+		opts := l.copts
+		opts.Ctx = ctx
+		var err error
+		pc, err = buildPC(l.d, sub, opts, opts.scanWorkers(l.d.NumRows()))
+		if err != nil {
+			return nil, err
+		}
 	}
 	l.marginals[sub] = pc
 	return pc, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync/atomic"
 
 	"pcbl/internal/dataset"
@@ -90,6 +91,20 @@ type CountOptions struct {
 	// baseline use it as the ablation knob.
 	DisableSharedSpill bool
 
+	// Ctx, when non-nil, arms cooperative cancellation: scans check it at
+	// block granularity (fused scans and build kernels, every
+	// fusedBlockRows rows), run granularity (K-way spill counting) and
+	// chunk/item granularity (workpool dispatch), stop cleanly when it
+	// fires — deferred spill Cleanups still run, no partial result
+	// escapes — and the error-returning entry points surface the typed
+	// context error (context.Canceled or context.DeadlineExceeded). The
+	// error-free entry points (BuildPCParallel, LabelSizesFused, …) panic
+	// if an armed context fires mid-scan, exactly like the error-free
+	// query methods on unrecoverable spill reads; callers arming Ctx
+	// should use the *E / *Ctx variants. A nil Ctx (or a never-cancelled
+	// context) makes every check a single nil compare — see ctx.go.
+	Ctx context.Context
+
 	// minRowsPerWorker overrides the sequential-fallback threshold. Only
 	// tests set it (to force the sharded paths on small datasets); zero
 	// means defaultMinRowsPerWorker.
@@ -109,33 +124,75 @@ func (o CountOptions) scanWorkers(rows int) int {
 // row chunk into private state (a flat dense array or a map, per the
 // kernel selection rules in dense.go) and the shards are merged — vector
 // addition for dense shards, map union otherwise. The result is identical
-// to BuildPC for every worker count.
+// to BuildPC for every worker count. If an armed CountOptions.Ctx fires
+// mid-build it panics; ctx-arming callers use BuildPCParallelCtx.
 func BuildPCParallel(d *dataset.Dataset, s lattice.AttrSet, opts CountOptions) *PC {
+	pc, err := buildPC(d, s, opts, opts.scanWorkers(d.NumRows()))
+	if err != nil {
+		panic("core: BuildPCParallel: " + err.Error())
+	}
+	return pc
+}
+
+// BuildPCParallelCtx is BuildPCParallel with cooperative cancellation: ctx
+// (stored into opts.Ctx) is checked at block granularity during the scan
+// and at run granularity during spilled counting. A fired context aborts
+// the build cleanly — spill temp directories are removed, pooled slabs
+// returned — and the typed context error is returned with a nil PC; a
+// partially counted PC is never produced.
+func BuildPCParallelCtx(ctx context.Context, d *dataset.Dataset, s lattice.AttrSet, opts CountOptions) (*PC, error) {
+	opts.Ctx = ctx
 	return buildPC(d, s, opts, opts.scanWorkers(d.NumRows()))
 }
 
 // LabelSizeParallel is LabelSize with a sharded scan. Cap-abort semantics
 // are preserved exactly: the result is (cap+1, false) precisely when the
 // true distinct count exceeds cap, regardless of worker count or
-// scheduling.
+// scheduling. If an armed CountOptions.Ctx fires mid-scan it panics;
+// ctx-arming callers use LabelSizeParallelE.
 func LabelSizeParallel(d *dataset.Dataset, s lattice.AttrSet, cap int, opts CountOptions) (size int, within bool) {
+	size, within, err := LabelSizeParallelE(d, s, cap, opts)
+	if err != nil {
+		panic("core: LabelSizeParallel: " + err.Error())
+	}
+	return size, within
+}
+
+// LabelSizeParallelE is LabelSizeParallel returning cancellation as an
+// error: with CountOptions.Ctx armed, a fired context aborts the scan at
+// the next block (or spill-run) boundary and surfaces the typed context
+// error. Disk trouble on the spill tier is not an error here — it degrades
+// to the in-memory kernels exactly as before, metered in ScanStats.
+func LabelSizeParallelE(d *dataset.Dataset, s lattice.AttrSet, cap int, opts CountOptions) (size int, within bool, err error) {
+	stop := opts.stop()
 	if opts.MemBudget > 0 {
 		k := NewKeyer(d, s)
 		workers := opts.scanWorkers(d.NumRows())
 		if runs, format, spillOK := opts.spillFor(k, d.NumRows(), workers); spillOK {
-			if sz, w, ok := labelSizeSpill(k, datasetCols(d), d.NumRows(), workers, runs, format, opts, cap); ok {
-				return sz, w
+			sz, w, serr := labelSizeSpill(k, datasetCols(d), d.NumRows(), workers, runs, format, opts, cap)
+			if serr == nil {
+				return sz, w, nil
+			}
+			if isCtxErr(serr) {
+				return 0, false, serr
 			}
 			// Disk trouble: the in-memory paths below produce the identical
 			// result at unbounded memory.
-			opts.Stats.addSpillFallback()
+			opts.Stats.addSpillFallbackErr(serr)
 		}
 	}
-	if opts.scanWorkers(d.NumRows()) <= 1 {
-		return LabelSize(d, s, cap)
+	// The sequential LabelSize loop has no cancellation points; with an
+	// armed context the single-set fused scan (bit-identical results)
+	// carries the per-block checks instead.
+	if opts.scanWorkers(d.NumRows()) <= 1 && stop.done == nil {
+		sz, w := LabelSize(d, s, cap)
+		return sz, w, nil
 	}
-	sizes, within2 := LabelSizesFused(d, []lattice.AttrSet{s}, cap, opts)
-	return sizes[0], within2[0]
+	sizes, within2, err := LabelSizesFusedE(d, []lattice.AttrSet{s}, cap, opts)
+	if err != nil {
+		return 0, false, err
+	}
+	return sizes[0], within2[0], nil
 }
 
 // fusedSet is the per-attribute-set state of one fused scan worker. Exactly
@@ -168,7 +225,23 @@ type fusedSet struct {
 // group-by each (uint64 or byte record format, matching the key encoding,
 // with K-way parallel run counting), in frontier order (deterministic for
 // every worker count); all other sets scan fused as usual.
+//
+// If an armed CountOptions.Ctx fires mid-scan it panics; ctx-arming
+// callers use LabelSizesFusedE.
 func LabelSizesFused(d *dataset.Dataset, sets []lattice.AttrSet, cap int, opts CountOptions) (sizes []int, within []bool) {
+	sizes, within, err := LabelSizesFusedE(d, sets, cap, opts)
+	if err != nil {
+		panic("core: LabelSizesFused: " + err.Error())
+	}
+	return sizes, within
+}
+
+// LabelSizesFusedE is LabelSizesFused returning cancellation as an error:
+// with CountOptions.Ctx armed, every worker of the fused scan checks the
+// context once per fusedBlockRows row block (and the spill tier once per
+// run) and the whole frontier evaluation aborts with the typed context
+// error — sizes and within are nil then, never partially filled.
+func LabelSizesFusedE(d *dataset.Dataset, sets []lattice.AttrSet, cap int, opts CountOptions) (sizes []int, within []bool, err error) {
 	if opts.MemBudget > 0 {
 		if si, ok := planSpilledSets(d, sets, opts); ok {
 			return labelSizesSplit(d, sets, cap, opts, si)
@@ -203,7 +276,7 @@ func planSpilledSets(d *dataset.Dataset, sets []lattice.AttrSet, opts CountOptio
 // labelSizesSplit sizes a frontier whose spill plan is non-empty: the
 // in-memory sets run through the fused scan, then each spilled set runs
 // its own partitioned on-disk group-by.
-func labelSizesSplit(d *dataset.Dataset, sets []lattice.AttrSet, cap int, opts CountOptions, spilled []spilledSet) (sizes []int, within []bool) {
+func labelSizesSplit(d *dataset.Dataset, sets []lattice.AttrSet, cap int, opts CountOptions, spilled []spilledSet) (sizes []int, within []bool, err error) {
 	sizes = make([]int, len(sets))
 	within = make([]bool, len(sets))
 	isSpilled := make([]bool, len(sets))
@@ -219,7 +292,10 @@ func labelSizesSplit(d *dataset.Dataset, sets []lattice.AttrSet, cap int, opts C
 		}
 	}
 	if len(scanSets) > 0 {
-		subSizes, subWithin := labelSizesFusedScan(d, scanSets, cap, opts)
+		subSizes, subWithin, err := labelSizesFusedScan(d, scanSets, cap, opts)
+		if err != nil {
+			return nil, nil, err
+		}
 		for j, i := range scanIdx {
 			sizes[i], within[i] = subSizes[j], subWithin[j]
 		}
@@ -228,31 +304,39 @@ func labelSizesSplit(d *dataset.Dataset, sets []lattice.AttrSet, cap int, opts C
 		// One shared partition pass over the dataset routes every spilled
 		// set's records at once; the runs are then counted per set exactly
 		// as below (labelSizeSpillShared).
-		labelSizesSpilledShared(d, sets, cap, opts, spilled, sizes, within)
-		return sizes, within
+		if err := labelSizesSpilledShared(d, sets, cap, opts, spilled, sizes, within); err != nil {
+			return nil, nil, err
+		}
+		return sizes, within, nil
 	}
 	rows := d.NumRows()
 	cols := datasetCols(d)
 	workers := opts.scanWorkers(rows)
 	for _, sp := range spilled {
-		sz, w, ok := labelSizeSpill(sp.k, cols, rows, workers, sp.runs, sp.format, opts, cap)
-		if !ok {
+		sz, w, serr := labelSizeSpill(sp.k, cols, rows, workers, sp.runs, sp.format, opts, cap)
+		if serr != nil {
+			if isCtxErr(serr) {
+				return nil, nil, serr
+			}
 			// Disk trouble: in-memory fallback for this one set, identical
 			// result at unbounded memory.
-			opts.Stats.addSpillFallback()
-			sz, w = labelSizeFallback(d, sets[sp.idx], cap, opts)
+			opts.Stats.addSpillFallbackErr(serr)
+			sz, w, serr = labelSizeFallback(d, sets[sp.idx], cap, opts)
+			if serr != nil {
+				return nil, nil, serr
+			}
 		}
 		sizes[sp.idx], within[sp.idx] = sz, w
 	}
-	return sizes, within
+	return sizes, within, nil
 }
 
 // labelSizesFusedScan is the in-memory fused scan behind LabelSizesFused.
-func labelSizesFusedScan(d *dataset.Dataset, sets []lattice.AttrSet, cap int, opts CountOptions) (sizes []int, within []bool) {
+func labelSizesFusedScan(d *dataset.Dataset, sets []lattice.AttrSet, cap int, opts CountOptions) (sizes []int, within []bool, err error) {
 	sizes = make([]int, len(sets))
 	within = make([]bool, len(sets))
 	if len(sets) == 0 {
-		return sizes, within
+		return sizes, within, nil
 	}
 	rows := d.NumRows()
 	cols := datasetCols(d)
@@ -280,15 +364,23 @@ func labelSizesFusedScan(d *dataset.Dataset, sets []lattice.AttrSet, cap int, op
 		}
 	}
 
+	stop := opts.stop()
 	workers := opts.scanWorkers(rows)
 	if workers <= 1 {
 		st := newFusedStates(keyers, radixes, opts.Pool)
-		scanFused(st, cols, 0, rows, cap, nil, opts.Pool)
+		scanFused(st, cols, 0, rows, cap, nil, opts.Pool, stop)
+		shards := [][]fusedSet{st}
+		if err := stop.err(); err != nil {
+			// Cancelled mid-scan: the seen states are partial — release
+			// them unread so no torn size escapes.
+			releaseFusedStates(shards, opts.Pool)
+			return nil, nil, err
+		}
 		for i := range st {
 			sizes[i], within[i] = st[i].result(cap)
 		}
-		releaseFusedStates([][]fusedSet{st}, opts.Pool)
-		return sizes, within
+		releaseFusedStates(shards, opts.Pool)
+		return sizes, within, nil
 	}
 
 	// exceeded[i] fires when any worker's local distinct count for set i
@@ -299,9 +391,13 @@ func labelSizesFusedScan(d *dataset.Dataset, sets []lattice.AttrSet, cap int, op
 	shards := make([][]fusedSet, workers)
 	workpool.RunChunks(rows, workers, func(w, lo, hi int) {
 		st := newFusedStates(keyers, radixes, opts.Pool)
-		scanFused(st, cols, lo, hi, cap, exceeded, opts.Pool)
+		scanFused(st, cols, lo, hi, cap, exceeded, opts.Pool, stop)
 		shards[w] = st
 	})
+	if err := stop.err(); err != nil {
+		releaseFusedStates(shards, opts.Pool)
+		return nil, nil, err
+	}
 
 	for i := range sets {
 		if cap >= 0 && exceeded[i].Load() {
@@ -311,7 +407,7 @@ func labelSizesFusedScan(d *dataset.Dataset, sets []lattice.AttrSet, cap int, op
 		sizes[i], within[i] = mergeFused(shards, i, cap)
 	}
 	releaseFusedStates(shards, opts.Pool)
-	return sizes, within
+	return sizes, within, nil
 }
 
 // releaseFusedStates returns every dense seen-slab of a finished fused
@@ -361,7 +457,12 @@ const fusedBlockRows = 4096
 // blocks skip them; the scan stops once no set remains active. Sets on the
 // uint64 paths decode each block into a shared key vector before counting
 // (columnar batching); byte-string sets keep the per-row loop.
-func scanFused(st []fusedSet, cols [][]uint16, lo, hi, cap int, exceeded []atomic.Bool, pool *VecPool) {
+//
+// stop is polled once per row block, next to the exceeded flags it
+// mirrors; a fired context ends this worker's scan mid-range, leaving the
+// seen states partial — the caller detects that via stop.err() and
+// discards them.
+func scanFused(st []fusedSet, cols [][]uint16, lo, hi, cap int, exceeded []atomic.Bool, pool *VecPool, stop ctxStop) {
 	active := make([]int, len(st))
 	for i := range active {
 		active[i] = i
@@ -369,6 +470,9 @@ func scanFused(st []fusedSet, cols [][]uint16, lo, hi, cap int, exceeded []atomi
 	var keys []uint64 // lazily allocated: byte-only frontiers never need it
 	defer func() { pool.PutUint64(keys) }()
 	for blockLo := lo; blockLo < hi && len(active) > 0; blockLo += fusedBlockRows {
+		if stop.hit() {
+			return
+		}
 		blockHi := blockLo + fusedBlockRows
 		if blockHi > hi {
 			blockHi = hi

@@ -73,21 +73,47 @@ type batchAcc struct {
 // result i matches what RefineSize(d, attrs[i], cap) — and hence the
 // sequential LabelSize — reports, for every worker count.
 func (r *RefinablePC) RefineSizeBatch(d *dataset.Dataset, attrs []int, cap int, opts CountOptions) []BatchResult {
+	results, err := r.RefineSizeBatchE(d, attrs, cap, opts)
+	if err != nil {
+		panic("core: RefineSizeBatch: " + err.Error())
+	}
+	return results
+}
+
+// RefineSizeBatchE is RefineSizeBatch returning cancellation as an error:
+// ctx-arming callers use it to stop a sizing pass mid-level (see
+// RefineBatchE for the polling contract).
+func (r *RefinablePC) RefineSizeBatchE(d *dataset.Dataset, attrs []int, cap int, opts CountOptions) ([]BatchResult, error) {
 	specs := make([]BatchSpec, len(attrs))
 	for i, a := range attrs {
 		specs[i] = BatchSpec{Attr: a}
 	}
-	return r.RefineBatch(d, specs, cap, opts)
+	return r.RefineBatchE(d, specs, cap, opts)
 }
 
 // RefineBatch refines the parent by every spec'd attribute at once: one
 // pass over the parent group ids, k per-child accumulators, per-child
 // exact cap-abort, sharded across opts.Workers. Specs must name distinct
-// non-member attributes. See BatchSpec for when a child materializes.
+// non-member attributes. See BatchSpec for when a child materializes. If
+// an armed CountOptions.Ctx fires mid-pass it panics; ctx-arming callers
+// use RefineBatchE.
 func (r *RefinablePC) RefineBatch(d *dataset.Dataset, specs []BatchSpec, cap int, opts CountOptions) []BatchResult {
+	results, err := r.RefineBatchE(d, specs, cap, opts)
+	if err != nil {
+		panic("core: RefineBatch: " + err.Error())
+	}
+	return results
+}
+
+// RefineBatchE is RefineBatch returning cancellation as an error: with
+// CountOptions.Ctx armed, every worker polls the context once per row
+// block; a fired context aborts the pass, returns every pooled accumulator
+// slab, and surfaces the typed context error with nil results — no
+// partially counted child escapes.
+func (r *RefinablePC) RefineBatchE(d *dataset.Dataset, specs []BatchSpec, cap int, opts CountOptions) ([]BatchResult, error) {
 	results := make([]BatchResult, len(specs))
 	if len(specs) == 0 {
-		return results
+		return results, nil
 	}
 	pool := opts.Pool
 	rows := r.rows
@@ -128,14 +154,19 @@ func (r *RefinablePC) RefineBatch(d *dataset.Dataset, specs []BatchSpec, cap int
 		cols = datasetCols(d)
 	}
 
+	stop := opts.stop()
 	workers := opts.scanWorkers(rows)
 	if workers <= 1 {
 		accs := newBatchAccs(plans, pool)
-		r.batchScan(plans, accs, keyer, cols, 0, rows, cap, nil, pool)
+		r.batchScan(plans, accs, keyer, cols, 0, rows, cap, nil, pool, stop)
+		if err := stop.err(); err != nil {
+			releaseBatchAccs([][]batchAcc{accs}, pool)
+			return nil, err
+		}
 		for j := range plans {
 			results[j] = finishBatchChild(r, &plans[j], accs[j].slab, accs[j].distinct, !accs[j].done, cap, pool)
 		}
-		return results
+		return results, nil
 	}
 
 	// Sharded pass: exceeded[j] fires when any worker's local distinct
@@ -146,9 +177,13 @@ func (r *RefinablePC) RefineBatch(d *dataset.Dataset, specs []BatchSpec, cap int
 	shards := make([][]batchAcc, workers)
 	workpool.RunChunks(rows, workers, func(w, lo, hi int) {
 		accs := newBatchAccs(plans, pool)
-		r.batchScan(plans, accs, keyer, cols, lo, hi, cap, exceeded, pool)
+		r.batchScan(plans, accs, keyer, cols, lo, hi, cap, exceeded, pool, stop)
 		shards[w] = accs
 	})
+	if err := stop.err(); err != nil {
+		releaseBatchAccs(shards, pool)
+		return nil, err
+	}
 
 	for j := range plans {
 		pl := &plans[j]
@@ -163,7 +198,18 @@ func (r *RefinablePC) RefineBatch(d *dataset.Dataset, specs []BatchSpec, cap int
 		slab, distinct, within := mergeBatchShards(shards, j, cap, pool)
 		results[j] = finishBatchChild(r, pl, slab, distinct, within, cap, pool)
 	}
-	return results
+	return results, nil
+}
+
+// releaseBatchAccs returns every pooled slab of a cancelled batch pass;
+// the partial counts are discarded unread.
+func releaseBatchAccs(shards [][]batchAcc, pool *VecPool) {
+	for _, accs := range shards {
+		for j := range accs {
+			pool.PutInt32(accs[j].slab)
+			accs[j].slab = nil
+		}
+	}
 }
 
 // newBatchAccs allocates one worker's accumulators: pooled zeroed slabs
@@ -185,8 +231,10 @@ func newBatchAccs(plans []batchPlan, pool *VecPool) []batchAcc {
 // parents, converted from the group vector otherwise — and every still-
 // active child consumes them against its own column. Children that pass
 // the cap are swap-removed from the active list (publishing the shared
-// exceeded flag in sharded mode) so later blocks skip them.
-func (r *RefinablePC) batchScan(plans []batchPlan, accs []batchAcc, keyer *Keyer, cols [][]uint16, lo, hi, cap int, exceeded []atomic.Bool, pool *VecPool) {
+// exceeded flag in sharded mode) so later blocks skip them. stop is polled
+// once per block, next to the exceeded flags; a fired context ends this
+// worker's pass with the accumulators partial — the caller discards them.
+func (r *RefinablePC) batchScan(plans []batchPlan, accs []batchAcc, keyer *Keyer, cols [][]uint16, lo, hi, cap int, exceeded []atomic.Bool, pool *VecPool, stop ctxStop) {
 	active := make([]int, len(plans))
 	for i := range active {
 		active[i] = i
@@ -194,6 +242,9 @@ func (r *RefinablePC) batchScan(plans []batchPlan, accs []batchAcc, keyer *Keyer
 	pg := pool.Uint64(keyBlockRows, false)
 	defer pool.PutUint64(pg)
 	for blo := lo; blo < hi && len(active) > 0; blo += keyBlockRows {
+		if stop.hit() {
+			return
+		}
 		bhi := min(blo+keyBlockRows, hi)
 		if keyer != nil {
 			keyer.KeyBlock(cols, blo, bhi, pg)

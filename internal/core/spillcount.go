@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sync/atomic"
 
 	"pcbl/internal/dataset"
@@ -166,6 +167,22 @@ func (st *ScanStats) addSpillFallback() {
 	atomic.AddInt64(&st.SpillFallbacks, 1)
 }
 
+// addSpillFallbackErr is addSpillFallback with error classification: a
+// fallback caused by disk exhaustion (the error wraps spill.ErrNoSpace,
+// i.e. the filesystem reported ENOSPC) additionally bumps the dedicated
+// no-space counter, so operators can tell a full disk from flaky I/O in
+// ScanStats without parsing error strings. Context cancellations never
+// reach here — callers propagate them instead of falling back.
+func (st *ScanStats) addSpillFallbackErr(err error) {
+	if st == nil {
+		return
+	}
+	atomic.AddInt64(&st.SpillFallbacks, 1)
+	if errors.Is(err, spill.ErrNoSpace) {
+		atomic.AddInt64(&st.SpillNoSpaceFallbacks, 1)
+	}
+}
+
 // addSharedSpillPass records one shared partition pass over n spilled
 // sets: one dataset scan where the per-set path would have taken n.
 func (st *ScanStats) addSharedSpillPass(n int) {
@@ -178,26 +195,33 @@ func (st *ScanStats) addSharedSpillPass(n int) {
 
 // labelSizeFallback re-counts one spilled set in memory after disk
 // trouble, keeping the caller's full engine options — workers, pool,
-// dense limit and stats metering — and clearing only the memory budget:
-// the budget cannot be honored without the disk, the parallelism and
-// accounting still can.
-func labelSizeFallback(d *dataset.Dataset, s lattice.AttrSet, cap int, opts CountOptions) (size int, within bool) {
+// dense limit, stats metering and cancellation context — and clearing only
+// the memory budget: the budget cannot be honored without the disk, the
+// parallelism and accounting still can. The returned error can only be a
+// context error (the fallback scan itself honors CountOptions.Ctx).
+func labelSizeFallback(d *dataset.Dataset, s lattice.AttrSet, cap int, opts CountOptions) (size int, within bool, err error) {
 	opts.MemBudget = 0
-	return LabelSizeParallel(d, s, cap, opts)
+	return LabelSizeParallelE(d, s, cap, opts)
 }
 
 // spillPartition is the shared partition phase: rows shard across workers,
 // each worker streaming its chunk's keys into a private ShardWriter —
 // columnar uint64 key blocks for the u64 format, per-row byte keys for the
 // byte format. Partition files are append-shared, which is safe because
-// flushes are whole records and group-by is order-blind.
-func spillPartition(w *spill.Writer, k *Keyer, cols [][]uint16, rows, workers int, format spillFormat, pool *VecPool) error {
+// flushes are whole records and group-by is order-blind. stop is polled
+// once per key block; a fired context makes workers stop routing rows and
+// close their shards — the caller then discards the (partial) runs via its
+// deferred Cleanup and reports stop.err().
+func spillPartition(w *spill.Writer, k *Keyer, cols [][]uint16, rows, workers int, format spillFormat, pool *VecPool, stop ctxStop) error {
 	errs := make([]error, workers)
 	workpool.RunChunks(rows, workers, func(wk, lo, hi int) {
 		sw := w.Shard()
 		if format == spillFmtU64 {
 			keys := pool.Uint64(keyBlockRows, false)
 			for blo := lo; blo < hi; blo += keyBlockRows {
+				if stop.hit() {
+					break
+				}
 				bhi := min(blo+keyBlockRows, hi)
 				k.KeyBlock(cols, blo, bhi, keys)
 				for _, key := range keys[:bhi-blo] {
@@ -209,11 +233,17 @@ func spillPartition(w *spill.Writer, k *Keyer, cols [][]uint16, rows, workers in
 			pool.PutUint64(keys)
 		} else {
 			var buf []byte
-			for r := lo; r < hi; r++ {
-				b, keyOK := k.AppendBytesRow(buf[:0], cols, r)
-				buf = b
-				if keyOK {
-					sw.Add(b)
+			for blo := lo; blo < hi; blo += keyBlockRows {
+				if stop.hit() {
+					break
+				}
+				bhi := min(blo+keyBlockRows, hi)
+				for r := blo; r < bhi; r++ {
+					b, keyOK := k.AppendBytesRow(buf[:0], cols, r)
+					buf = b
+					if keyOK {
+						sw.Add(b)
+					}
 				}
 			}
 		}
@@ -224,7 +254,7 @@ func spillPartition(w *spill.Writer, k *Keyer, cols [][]uint16, rows, workers in
 			return e
 		}
 	}
-	return nil
+	return stop.err()
 }
 
 // countMerge folds the runs of a build-mode spill scan: runs merge into
@@ -262,19 +292,31 @@ func countMerge[K comparable](
 // the key space. When the counted result models within the budget it
 // materializes as an ordinary map PC (one disk pass); otherwise the PC
 // retains the on-disk runs and serves lookups merge-on-read. Disk trouble
-// falls back to the in-memory kernel, trading the budget for correctness.
-func buildPCSpill(k *Keyer, cols [][]uint16, rows, workers, runs int, format spillFormat, opts CountOptions) *PC {
-	if pc, ok := buildPCSpillScan(k, cols, rows, workers, runs, format, opts); ok {
-		return pc
+// falls back to the in-memory kernel, trading the budget for correctness;
+// a fired CountOptions.Ctx instead aborts the build with the typed context
+// error — cancellation is a caller decision, never a degradation.
+func buildPCSpill(k *Keyer, cols [][]uint16, rows, workers, runs int, format spillFormat, opts CountOptions) (*PC, error) {
+	pc, err := buildPCSpillScan(k, cols, rows, workers, runs, format, opts)
+	if err == nil {
+		return pc, nil
 	}
-	opts.Stats.addSpillFallback()
+	if isCtxErr(err) {
+		return nil, err
+	}
+	opts.Stats.addSpillFallbackErr(err)
+	stop := opts.stop()
 	if format == spillFmtU64 {
-		return buildPCMap(k, cols, rows, workers)
+		pc = buildPCMap(k, cols, rows, workers, stop)
+	} else {
+		pc = buildPCBytes(k, cols, rows, workers, stop)
 	}
-	return buildPCBytes(k, cols, rows, workers)
+	if cerr := stop.err(); cerr != nil {
+		return nil, cerr
+	}
+	return pc, nil
 }
 
-func buildPCSpillScan(k *Keyer, cols [][]uint16, rows, workers, runs int, format spillFormat, opts CountOptions) (pc *PC, ok bool) {
+func buildPCSpillScan(k *Keyer, cols [][]uint16, rows, workers, runs int, format spillFormat, opts CountOptions) (pc *PC, err error) {
 	w, err := spill.NewWriter(spill.Config{
 		RecWidth: format.recWidth(k),
 		Runs:     runs,
@@ -283,19 +325,20 @@ func buildPCSpillScan(k *Keyer, cols [][]uint16, rows, workers, runs int, format
 		FS:       opts.FS,
 	})
 	if err != nil {
-		return nil, false
+		return nil, err
 	}
-	// Cleanup runs on every exit — success, error and panic alike — except
-	// when the result keeps the runs for merge-on-read reading (the
-	// spilledPC then owns the writer and its directory).
+	// Cleanup runs on every exit — success, error, cancellation and panic
+	// alike — except when the result keeps the runs for merge-on-read
+	// reading (the spilledPC then owns the writer and its directory).
 	keep := false
 	defer func() {
 		if !keep {
 			w.Cleanup()
 		}
 	}()
-	if err := spillPartition(w, k, cols, rows, workers, format, opts.Pool); err != nil {
-		return nil, false
+	stop := opts.stop()
+	if err := spillPartition(w, k, cols, rows, workers, format, opts.Pool, stop); err != nil {
+		return nil, err
 	}
 
 	countWorkers := workpool.Resolve(workers, runs)
@@ -303,38 +346,45 @@ func buildPCSpillScan(k *Keyer, cols [][]uint16, rows, workers, runs int, format
 	runSizes := make([]int, runs)
 	pc = &PC{keyer: k}
 	if format == spillFmtU64 {
-		m, size, err := countMerge(w.CountRunsU64, workers, opts.MemBudget, entry, runSizes)
+		count := func(cap, workers int, emit func(run int, counts map[uint64]int) bool) (int, bool, error) {
+			return w.CountRunsU64Ctx(opts.Ctx, cap, workers, emit)
+		}
+		m, size, err := countMerge(count, workers, opts.MemBudget, entry, runSizes)
 		if err != nil {
-			return nil, false
+			return nil, err
 		}
 		opts.Stats.addSpill(w.Stats(), format, countWorkers)
 		if m != nil {
 			pc.u = m
-			return pc, true
+			return pc, nil
 		}
 		keep = true
 		pc.sp = newSpilledPC(w, k, format, size, runSizes, opts.MemBudget, opts.Stats)
-		return pc, true
+		return pc, nil
 	}
-	m, size, err := countMerge(w.CountRuns, workers, opts.MemBudget, entry, runSizes)
+	count := func(cap, workers int, emit func(run int, counts map[string]int) bool) (int, bool, error) {
+		return w.CountRunsCtx(opts.Ctx, cap, workers, emit)
+	}
+	m, size, err := countMerge(count, workers, opts.MemBudget, entry, runSizes)
 	if err != nil {
-		return nil, false
+		return nil, err
 	}
 	opts.Stats.addSpill(w.Stats(), format, countWorkers)
 	if m != nil {
 		pc.s = m
-		return pc, true
+		return pc, nil
 	}
 	keep = true
 	pc.sp = newSpilledPC(w, k, format, size, runSizes, opts.MemBudget, opts.Stats)
-	return pc, true
+	return pc, nil
 }
 
 // labelSizeSpill is the external-memory LabelSize kernel: exactly the
 // sequential cap-abort contract, with peak memory bounded by one run's map
-// per counting worker instead of the distinct-key count. ok is false on
-// disk trouble (the caller falls back to an in-memory scan).
-func labelSizeSpill(k *Keyer, cols [][]uint16, rows, workers, runs int, format spillFormat, opts CountOptions, cap int) (size int, within, ok bool) {
+// per counting worker instead of the distinct-key count. A non-nil error
+// is either disk trouble — the caller falls back to an in-memory scan —
+// or a context error, which the caller propagates instead.
+func labelSizeSpill(k *Keyer, cols [][]uint16, rows, workers, runs int, format spillFormat, opts CountOptions, cap int) (size int, within bool, err error) {
 	w, err := spill.NewWriter(spill.Config{
 		RecWidth: format.recWidth(k),
 		Runs:     runs,
@@ -343,24 +393,24 @@ func labelSizeSpill(k *Keyer, cols [][]uint16, rows, workers, runs int, format s
 		FS:       opts.FS,
 	})
 	if err != nil {
-		return 0, false, false
+		return 0, false, err
 	}
 	// Deferred before anything else so the run files are removed on
-	// success, cap-abort, error and panic alike.
+	// success, cap-abort, error, cancellation and panic alike.
 	defer w.Cleanup()
-	if err := spillPartition(w, k, cols, rows, workers, format, opts.Pool); err != nil {
-		return 0, false, false
+	if err := spillPartition(w, k, cols, rows, workers, format, opts.Pool, opts.stop()); err != nil {
+		return 0, false, err
 	}
 	if format == spillFmtU64 {
-		size, within, err = w.CountRunsU64(cap, workers, nil)
+		size, within, err = w.CountRunsU64Ctx(opts.Ctx, cap, workers, nil)
 	} else {
-		size, within, err = w.CountRuns(cap, workers, nil)
+		size, within, err = w.CountRunsCtx(opts.Ctx, cap, workers, nil)
 	}
 	if err != nil {
-		return 0, false, false
+		return 0, false, err
 	}
 	opts.Stats.addSpill(w.Stats(), format, workpool.Resolve(workers, runs))
-	return size, within, true
+	return size, within, nil
 }
 
 // sharedSpillBufShare is the flush-buffer budget one partition shard of a
@@ -383,8 +433,10 @@ func sharedSpillBufShare(budget int64, workers int) int64 {
 // order exactly as labelSizeSpill counts them — same cap-abort, same
 // stats, same results. Disk trouble stays per set: a failed target (run
 // creation, partition write or run count) degrades only that set to the
-// in-memory fallback while its siblings' on-disk results stand.
-func labelSizesSpilledShared(d *dataset.Dataset, sets []lattice.AttrSet, cap int, opts CountOptions, spilled []spilledSet, sizes []int, within []bool) {
+// in-memory fallback while its siblings' on-disk results stand. A fired
+// CountOptions.Ctx aborts the whole pass with the typed context error
+// instead — cancellation is never degraded around.
+func labelSizesSpilledShared(d *dataset.Dataset, sets []lattice.AttrSet, cap int, opts CountOptions, spilled []spilledSet, sizes []int, within []bool) error {
 	rows := d.NumRows()
 	cols := datasetCols(d)
 	workers := opts.scanWorkers(rows)
@@ -400,20 +452,32 @@ func labelSizesSpilledShared(d *dataset.Dataset, sets []lattice.AttrSet, cap int
 	}
 	mw := spill.NewMultiWriter(cfgs, sharedSpillBufShare(opts.MemBudget, workers))
 	// Deferred before the pass so every target's run files are removed on
-	// success, cap-abort, error and panic alike; counted targets are
-	// additionally cleaned eagerly below to cap the peak disk footprint.
+	// success, cap-abort, error, cancellation and panic alike; counted
+	// targets are additionally cleaned eagerly below to cap the peak disk
+	// footprint.
 	defer mw.Cleanup()
 	opts.Stats.addSharedSpillPass(len(spilled))
-	sharedSpillPartition(mw, spilled, cols, rows, workers, opts.Pool)
+	stop := opts.stop()
+	sharedSpillPartition(mw, spilled, cols, rows, workers, opts.Pool, stop)
+	if err := stop.err(); err != nil {
+		return err
+	}
 	for i, sp := range spilled {
-		sz, w, ok := countSharedTarget(mw, i, sp, cap, workers, opts)
-		if !ok {
-			opts.Stats.addSpillFallback()
-			sz, w = labelSizeFallback(d, sets[sp.idx], cap, opts)
+		sz, w, serr := countSharedTarget(mw, i, sp, cap, workers, opts)
+		if serr != nil {
+			if isCtxErr(serr) {
+				return serr
+			}
+			opts.Stats.addSpillFallbackErr(serr)
+			sz, w, serr = labelSizeFallback(d, sets[sp.idx], cap, opts)
+			if serr != nil {
+				return serr
+			}
 		}
 		sizes[sp.idx], within[sp.idx] = sz, w
 		mw.CleanupTarget(i)
 	}
+	return nil
 }
 
 // sharedSpillPartition is the shared partition phase: one blocked,
@@ -422,7 +486,8 @@ func labelSizesSpilledShared(d *dataset.Dataset, sets []lattice.AttrSet, cap int
 // rest — and routes them through a per-worker MultiShard. A set that
 // failed stops costing key computation on every shard; group-by is
 // order-blind, so interleaving sets per block changes nothing downstream.
-func sharedSpillPartition(mw *spill.MultiWriter, spilled []spilledSet, cols [][]uint16, rows, workers int, pool *VecPool) {
+// stop is polled once per row block, like the fused scan's workers.
+func sharedSpillPartition(mw *spill.MultiWriter, spilled []spilledSet, cols [][]uint16, rows, workers int, pool *VecPool, stop ctxStop) {
 	needU64 := false
 	for _, sp := range spilled {
 		if sp.format == spillFmtU64 {
@@ -440,6 +505,9 @@ func sharedSpillPartition(mw *spill.MultiWriter, spilled []spilledSet, cols [][]
 		}
 		var buf []byte
 		for blo := lo; blo < hi; blo += keyBlockRows {
+			if stop.hit() {
+				return
+			}
 			bhi := min(blo+keyBlockRows, hi)
 			for si := range spilled {
 				sp := &spilled[si]
@@ -467,24 +535,31 @@ func sharedSpillPartition(mw *spill.MultiWriter, spilled []spilledSet, cols [][]
 	})
 }
 
+// errSpillTarget marks a shared-pass target whose writer never came up and
+// recorded no more specific error; the caller treats it as disk trouble.
+var errSpillTarget = errors.New("core: shared spill target unavailable")
+
 // countSharedTarget counts one shared-pass target's runs with the sizing
-// cap — identical to labelSizeSpill's counting half. ok is false on any
-// disk trouble recorded against the target (the caller falls back to the
-// in-memory scan for that one set).
-func countSharedTarget(mw *spill.MultiWriter, i int, sp spilledSet, cap, workers int, opts CountOptions) (size int, within, ok bool) {
+// cap — identical to labelSizeSpill's counting half. A non-nil error is
+// the disk trouble recorded against the target (the caller falls back to
+// the in-memory scan for that one set) or a context error from the count
+// phase, which the caller propagates instead.
+func countSharedTarget(mw *spill.MultiWriter, i int, sp spilledSet, cap, workers int, opts CountOptions) (size int, within bool, err error) {
 	w := mw.Writer(i)
-	if w == nil || mw.Err(i) != nil {
-		return 0, false, false
+	if err := mw.Err(i); err != nil {
+		return 0, false, err
 	}
-	var err error
+	if w == nil {
+		return 0, false, errSpillTarget
+	}
 	if sp.format == spillFmtU64 {
-		size, within, err = w.CountRunsU64(cap, workers, nil)
+		size, within, err = w.CountRunsU64Ctx(opts.Ctx, cap, workers, nil)
 	} else {
-		size, within, err = w.CountRuns(cap, workers, nil)
+		size, within, err = w.CountRunsCtx(opts.Ctx, cap, workers, nil)
 	}
 	if err != nil {
-		return 0, false, false
+		return 0, false, err
 	}
 	opts.Stats.addSpill(w.Stats(), sp.format, workpool.Resolve(workers, sp.runs))
-	return size, within, true
+	return size, within, nil
 }

@@ -346,9 +346,9 @@ func TestSpillRunBudgetModel(t *testing.T) {
 	}
 	var stats ScanStats
 	opts := CountOptions{Workers: 1, MemBudget: budget, SpillDir: dir, Stats: &stats}
-	size, within, ok := labelSizeSpill(k, datasetCols(d), d.NumRows(), 1, runs, format, opts, -1)
-	if !ok || !within {
-		t.Fatalf("spill sizing failed: ok=%v within=%v", ok, within)
+	size, within, err := labelSizeSpill(k, datasetCols(d), d.NumRows(), 1, runs, format, opts, -1)
+	if err != nil || !within {
+		t.Fatalf("spill sizing failed: err=%v within=%v", err, within)
 	}
 	if exact, _ := LabelSize(d, s, -1); size != exact {
 		t.Fatalf("size %d != exact %d", size, exact)

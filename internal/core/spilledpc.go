@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"runtime"
@@ -137,8 +138,9 @@ func newRunStore[K comparable](sp *spilledPC, dec func(rec []byte) K) *runStore[
 // miss. The returned map is immutable and remains valid even after the
 // floating slot moves on — callers may iterate it without any lock. A
 // failed (and once-retried) run read returns an error; nothing is cached,
-// so a later call retries the load from scratch.
-func (rs *runStore[K]) get(run int) (map[K]int, error) {
+// so a later call retries the load from scratch. ctx (nil for unarmed
+// callers) bounds the load's file scan; cache hits never consult it.
+func (rs *runStore[K]) get(ctx context.Context, run int) (map[K]int, error) {
 	if m, ok := (*rs.hot.Load())[run]; ok {
 		rs.sp.stats.hotHits.Add(1)
 		return m, nil
@@ -159,7 +161,15 @@ func (rs *runStore[K]) get(run int) (map[K]int, error) {
 		return m, nil
 	}
 	rs.admit.Unlock()
-	m, err := rs.load(run)
+	// A miss means disk IO: an already-fired context stops here, before
+	// the load, not one polling stride into it — so small runs (under the
+	// polling stride) still honor cancellation.
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	m, err := rs.load(ctx, run)
 	if err != nil {
 		return nil, err
 	}
@@ -176,18 +186,25 @@ func (rs *runStore[K]) get(run int) (map[K]int, error) {
 // discarded and the error propagates. One bounded retry absorbs transient
 // faults (a device-level hiccup recovers; a checksum mismatch on corrupt
 // data fails again deterministically). Both the failures and the retry are
-// metered.
-func (rs *runStore[K]) load(run int) (map[K]int, error) {
+// metered. A cancelled scan is neither retried nor metered as a read
+// error: the disk did nothing wrong, the caller just left.
+func (rs *runStore[K]) load(ctx context.Context, run int) (map[K]int, error) {
 	sp := rs.sp
 	sp.liveMu.RLock()
 	defer sp.liveMu.RUnlock()
 	sp.checkLive()
-	m, err := rs.scan(run)
+	m, err := rs.scan(ctx, run)
 	if err != nil {
+		if isCtxErr(err) {
+			return nil, err
+		}
 		sp.noteReadError()
 		sp.noteRetry()
-		m, err = rs.scan(run)
+		m, err = rs.scan(ctx, run)
 		if err != nil {
+			if isCtxErr(err) {
+				return nil, err
+			}
 			sp.noteReadError()
 			return nil, fmt.Errorf("core: spilled PC run read failed: %w", err)
 		}
@@ -196,15 +213,40 @@ func (rs *runStore[K]) load(run int) (map[K]int, error) {
 	return m, nil
 }
 
+// spillReadCheckRecs is the cancellation stride of a run-file scan: an
+// armed context is polled once per this many records, so an abandoned
+// spilled read stops mid-run while the per-record cost of the check stays
+// in the noise. Unarmed (nil-ctx) scans skip the polling entirely.
+const spillReadCheckRecs = 1024
+
 // scan is one attempt at streaming run's records into a fresh map.
-func (rs *runStore[K]) scan(run int) (map[K]int, error) {
+func (rs *runStore[K]) scan(ctx context.Context, run int) (map[K]int, error) {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	sp := rs.sp
 	m := make(map[K]int, sp.runSizes[run])
+	recs := 0
+	canceled := false
 	if err := sp.w.ScanRun(run, func(rec []byte) bool {
+		if done != nil {
+			if recs++; recs%spillReadCheckRecs == 0 {
+				select {
+				case <-done:
+					canceled = true
+					return false
+				default:
+				}
+			}
+		}
 		m[rs.dec(rec)]++
 		return true
 	}); err != nil {
 		return nil, err
+	}
+	if canceled {
+		return nil, ctx.Err()
 	}
 	return m, nil
 }
@@ -339,14 +381,16 @@ func (sp *spilledPC) readStats() SpillReadStats {
 
 // lookupValsE implements PC.LookupValsE for the spilled representation.
 // Safe for any number of concurrent callers; hits on pinned runs are
-// lock-free. A failed run read returns an error, never a wrong count.
-func (sp *spilledPC) lookupValsE(vals []uint16) (int, error) {
+// lock-free. A failed run read returns an error, never a wrong count. ctx
+// (nil when unarmed) cancels a miss's run-file load; a fired context
+// surfaces as the typed context error.
+func (sp *spilledPC) lookupValsE(ctx context.Context, vals []uint16) (int, error) {
 	if sp.u64 {
 		key, ok := sp.keyer.KeyVals(vals)
 		if !ok {
 			return 0, nil
 		}
-		m, err := sp.ru.get(sp.w.RunOfU64(key))
+		m, err := sp.ru.get(ctx, sp.w.RunOfU64(key))
 		if err != nil {
 			return 0, err
 		}
@@ -357,7 +401,7 @@ func (sp *spilledPC) lookupValsE(vals []uint16) (int, error) {
 	if !ok {
 		return 0, nil
 	}
-	m, err := sp.rs.get(sp.w.RunOf(b))
+	m, err := sp.rs.get(ctx, sp.w.RunOf(b))
 	if err != nil {
 		return 0, err
 	}
@@ -370,8 +414,10 @@ func (sp *spilledPC) lookupValsE(vals []uint16) (int, error) {
 // iteration memory stays one non-pinned run map. No lock is held while fn
 // runs — the run maps are immutable once fetched — so fn may re-enter this
 // PC (LookupVals, Each, Marginalize) freely. A failed run read aborts the
-// iteration with the error; fn has then seen a prefix of the entries.
-func (sp *spilledPC) eachE(n int, fn func(vals []uint16, count int) bool) error {
+// iteration with the error; fn has then seen a prefix of the entries. ctx
+// (nil when unarmed) is consulted at run boundaries and inside each run's
+// file scan, so abandoning a long streaming iteration stops promptly.
+func (sp *spilledPC) eachE(ctx context.Context, n int, fn func(vals []uint16, count int) bool) error {
 	sp.checkLive()
 	vals := make([]uint16, n)
 	if sp.u64 {
@@ -379,7 +425,12 @@ func (sp *spilledPC) eachE(n int, fn func(vals []uint16, count int) bool) error 
 			if sp.runSizes[run] == 0 {
 				continue
 			}
-			m, err := sp.ru.get(run)
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			m, err := sp.ru.get(ctx, run)
 			if err != nil {
 				return err
 			}
@@ -396,7 +447,12 @@ func (sp *spilledPC) eachE(n int, fn func(vals []uint16, count int) bool) error 
 		if sp.runSizes[run] == 0 {
 			continue
 		}
-		m, err := sp.rs.get(run)
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		m, err := sp.rs.get(ctx, run)
 		if err != nil {
 			return err
 		}

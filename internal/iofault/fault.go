@@ -6,6 +6,7 @@ import (
 	"io/fs"
 	"math"
 	"sync"
+	"syscall"
 )
 
 // ErrInjected is the default error of a scripted fault point; tests match
@@ -113,6 +114,24 @@ func (f *FaultFS) FailAt(op Op, n int64, err error) {
 // (ErrInjected when nil) — a persistent fault, e.g. a dead disk region.
 func (f *FaultFS) FailFrom(op Op, n int64, err error) {
 	f.addFault(fault{op: op, from: n, to: math.MaxInt64, err: err})
+}
+
+// NoSpaceAt scripts occurrence n (1-based) of op to fail with
+// syscall.ENOSPC — the disk-full fault, distinguishable from generic
+// injected EIO (FailAt with a nil error) via errors.Is(err,
+// syscall.ENOSPC). The storage tiers classify it into their typed
+// no-space errors and degrade to in-memory fallbacks instead of failing
+// the operation. Like every scripted fault it does not perturb the
+// recording pass: op totals count identically whatever error a fault
+// carries.
+func (f *FaultFS) NoSpaceAt(op Op, n int64) {
+	f.FailAt(op, n, syscall.ENOSPC)
+}
+
+// NoSpaceFrom scripts every occurrence of op from the Nth on to fail with
+// syscall.ENOSPC — a disk that stays full.
+func (f *FaultFS) NoSpaceFrom(op Op, n int64) {
+	f.FailFrom(op, n, syscall.ENOSPC)
 }
 
 // ShortWriteAt scripts occurrence n of OpWrite to write roughly half its

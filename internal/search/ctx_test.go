@@ -1,0 +1,112 @@
+package search
+
+// Cancellation of the search: Options.Ctx threads through enumeration
+// (fused sizing scans, batched refinement, boundary builds) and evaluation
+// (label builds); a fired context abandons the search with the typed
+// context error, leaves no spill run files behind, and leaks no
+// goroutines.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"pcbl/internal/core"
+	"pcbl/internal/testutil"
+)
+
+// expiredDeadline returns a context whose deadline already passed.
+func expiredDeadline(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func cancelledCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+func TestSearchCancelledReturnsTypedError(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	d := testutil.Fig2()
+	ps := core.DistinctTuples(d)
+	ctx := cancelledCtx()
+
+	if _, _, err := Enumerate(d, Options{Bound: 5, Workers: 2, Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Enumerate: err = %v, want context.Canceled", err)
+	}
+	if _, err := TopDown(d, ps, Options{Bound: 5, Workers: 2, Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TopDown: err = %v, want context.Canceled", err)
+	}
+	if _, err := Naive(d, ps, Options{Bound: 5, Workers: 2, Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Naive: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSearchExpiredDeadlineReturnsDeadlineExceeded(t *testing.T) {
+	d := testutil.Fig2()
+	if _, _, err := Enumerate(d, Options{Bound: 5, Workers: 1, Ctx: expiredDeadline(t)}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestSearchCancelledSpillLeavesNoFiles drives a budgeted search whose
+// sizing goes through on-disk spill runs, cancelling partway: the dies-
+// mid-flight path must still run every spill Cleanup. The cancel fires
+// from a context armed with a tiny deadline so it lands inside the scans
+// rather than before them; whatever quantum it lands in, the invariant is
+// the same — typed error, empty spill dir.
+func TestSearchCancelledSpillLeavesNoFiles(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	d := spillSearchDataset(t, 3000)
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Microsecond)
+	defer cancel()
+	_, _, err := Enumerate(d, Options{
+		Bound: 4000, Workers: 2, DisableRefine: true,
+		MemBudget: 50 << 10, SpillDir: dir, Ctx: ctx,
+	})
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want nil or context.DeadlineExceeded", err)
+	}
+	if err == nil {
+		t.Log("search finished before the deadline fired; cleanup still checked")
+	}
+	entries, derr := os.ReadDir(dir)
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("%d entries left in spill dir after cancelled search", len(entries))
+	}
+}
+
+func TestSearchEvaluationCancelledReleasesLabels(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	d := spillSearchDataset(t, 3000)
+	ps := core.DistinctTuples(d)
+	dir := t.TempDir()
+	// A cancelled context that still lets enumeration finish is hard to
+	// stage deterministically from outside; instead run the whole search
+	// under an expired deadline and assert the global invariant the
+	// acceptance criteria care about: typed error, no spill files.
+	_, err := TopDown(d, ps, Options{
+		Bound: 4000, Workers: 2, MemBudget: 50 << 10, SpillDir: dir,
+		Ctx: expiredDeadline(t),
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	entries, derr := os.ReadDir(dir)
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("%d entries left in spill dir", len(entries))
+	}
+}

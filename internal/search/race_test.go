@@ -120,7 +120,7 @@ func TestFusedFrontierMatchesPerSetScan(t *testing.T) {
 		var stats Stats
 		var next []lattice.AttrSet
 		i := 0
-		sizeFrontier(d, children, Options{Bound: bound, Workers: 4}, &stats, func(s lattice.AttrSet, within bool) {
+		err := sizeFrontier(d, children, Options{Bound: bound, Workers: 4}, &stats, func(s lattice.AttrSet, within bool) {
 			if s != children[i] {
 				t.Fatalf("visit order diverged at %d: got %v, want %v", i, s, children[i])
 			}
@@ -133,6 +133,9 @@ func TestFusedFrontierMatchesPerSetScan(t *testing.T) {
 			}
 			i++
 		})
+		if err != nil {
+			t.Fatalf("sizeFrontier: %v", err)
+		}
 		if stats.SizeComputed != len(children) {
 			t.Fatalf("SizeComputed %d, want %d", stats.SizeComputed, len(children))
 		}

@@ -7,6 +7,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -100,6 +101,25 @@ type Options struct {
 	// then partition with one dataset pass each instead of sharing a pass.
 	// Result-identical; for ablation.
 	DisableSharedSpill bool
+
+	// Ctx cancels the search cooperatively — cancel it or give it a
+	// deadline to bound a runaway search. Both phases poll it: enumeration
+	// at row-block granularity inside fused sizing scans and refinement
+	// passes (and between refinement chunks), evaluation between candidate
+	// labels and at block granularity inside each label build. A fired
+	// context abandons the search, releases every spill-backed label
+	// already built (no temp files survive), and returns the typed context
+	// error (context.Canceled or context.DeadlineExceeded). Nil means the
+	// search never cancels.
+	Ctx context.Context
+}
+
+// ctxErr reports a fired search context; nil ctx never fires.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // fusedBatch bounds how many candidate sets one fused scan tracks at once,
@@ -196,14 +216,17 @@ type Result struct {
 // in-bound counters. One call scans the dataset ⌈len(sets)/fusedBatch⌉
 // times instead of len(sets) times. This is the raw-scan path; the level
 // sizer below additionally schedules parent-PC refinements around it.
-func sizeFrontier(d *dataset.Dataset, sets []lattice.AttrSet, opts Options, stats *Stats, visit func(s lattice.AttrSet, within bool)) {
-	co := core.CountOptions{Workers: opts.Workers, DenseLimit: opts.DenseLimit, MemBudget: opts.MemBudget, SpillDir: opts.SpillDir, FS: opts.FS, DisableSharedSpill: opts.DisableSharedSpill}
+func sizeFrontier(d *dataset.Dataset, sets []lattice.AttrSet, opts Options, stats *Stats, visit func(s lattice.AttrSet, within bool)) error {
+	co := core.CountOptions{Workers: opts.Workers, DenseLimit: opts.DenseLimit, MemBudget: opts.MemBudget, SpillDir: opts.SpillDir, FS: opts.FS, DisableSharedSpill: opts.DisableSharedSpill, Ctx: opts.Ctx}
 	for lo := 0; lo < len(sets); lo += fusedBatch {
 		hi := lo + fusedBatch
 		if hi > len(sets) {
 			hi = len(sets)
 		}
-		_, within := core.LabelSizesFused(d, sets[lo:hi], opts.Bound, co)
+		_, within, err := core.LabelSizesFusedE(d, sets[lo:hi], opts.Bound, co)
+		if err != nil {
+			return err
+		}
 		for j, ok := range within {
 			stats.SizeComputed++
 			if ok {
@@ -212,6 +235,7 @@ func sizeFrontier(d *dataset.Dataset, sets []lattice.AttrSet, opts Options, stat
 			visit(sets[lo+j], ok)
 		}
 	}
+	return nil
 }
 
 // refineBatch bounds how many refinement tasks run between cache updates,
@@ -351,10 +375,12 @@ func (z *levelSizer) ensureCache() {
 }
 
 // sizeLevel sizes one slice of same-level candidate sets, invoking visit
-// for each in input order with its in-bound verdict.
-func (z *levelSizer) sizeLevel(sets []lattice.AttrSet, visit func(s lattice.AttrSet, within bool)) {
+// for each in input order with its in-bound verdict. A fired Options.Ctx
+// aborts the level and returns the typed context error; no verdicts are
+// visited for a cancelled level.
+func (z *levelSizer) sizeLevel(sets []lattice.AttrSet, visit func(s lattice.AttrSet, within bool)) error {
 	if len(sets) == 0 {
-		return
+		return nil
 	}
 	if cap(z.results) < len(sets) {
 		z.results = make([]sizeResult, len(sets))
@@ -413,16 +439,23 @@ func (z *levelSizer) sizeLevel(sets []lattice.AttrSet, visit func(s lattice.Attr
 	}
 	z.flushBatch()
 
-	z.runBatches(sets)
-	z.runTasks(sets)
+	if err := z.runBatches(sets); err != nil {
+		return err
+	}
+	if err := z.runTasks(sets); err != nil {
+		return err
+	}
 
 	// Raw-scan path for candidates on neither refinement tier. Spilled
 	// candidates (byte-key sets over the memory budget) are routed inside
 	// the fused sizing call onto external spill scans.
-	co := core.CountOptions{Workers: z.opts.Workers, DenseLimit: z.opts.DenseLimit, Stats: &z.scan, Pool: z.pool, MemBudget: z.opts.MemBudget, SpillDir: z.opts.SpillDir, FS: z.opts.FS, DisableSharedSpill: z.opts.DisableSharedSpill}
+	co := core.CountOptions{Workers: z.opts.Workers, DenseLimit: z.opts.DenseLimit, Stats: &z.scan, Pool: z.pool, MemBudget: z.opts.MemBudget, SpillDir: z.opts.SpillDir, FS: z.opts.FS, DisableSharedSpill: z.opts.DisableSharedSpill, Ctx: z.opts.Ctx}
 	for lo := 0; lo < len(z.scanSets); lo += fusedBatch {
 		hi := min(lo+fusedBatch, len(z.scanSets))
-		sizes, within := core.LabelSizesFused(z.d, z.scanSets[lo:hi], z.opts.Bound, co)
+		sizes, within, err := core.LabelSizesFusedE(z.d, z.scanSets[lo:hi], z.opts.Bound, co)
+		if err != nil {
+			return err
+		}
 		for j := range sizes {
 			z.results[z.scanIdx[lo+j]] = sizeResult{sizes[j], within[j]}
 		}
@@ -457,6 +490,7 @@ func (z *levelSizer) sizeLevel(sets []lattice.AttrSet, visit func(s lattice.Attr
 	for i := range z.batches {
 		z.batches[i].parent = nil
 	}
+	return nil
 }
 
 // flushBatch closes the currently open sibling batch, if any.
@@ -472,10 +506,10 @@ func (z *levelSizer) flushBatch() {
 // instead. Afterwards, in-bound candidates whose own children cannot all
 // take the batched tier are built eagerly into the cache (sequentially,
 // in slice order), so the per-child tier has parents at the next level.
-func (z *levelSizer) runBatches(sets []lattice.AttrSet) {
+func (z *levelSizer) runBatches(sets []lattice.AttrSet) error {
 	nb := len(z.batches)
 	if nb == 0 {
-		return
+		return nil
 	}
 	eff := workpool.Resolve(z.opts.Workers, 1<<30)
 	outer := min(nb, eff)
@@ -483,15 +517,25 @@ func (z *levelSizer) runBatches(sets []lattice.AttrSet) {
 	if outer < eff {
 		inner = eff / outer
 	}
+	errs := make([]error, nb)
 	workpool.Do(nb, outer, func(bi int) {
 		b := &z.batches[bi]
 		attrs := z.batchAttrs[b.lo:b.hi]
-		co := core.CountOptions{Workers: inner, Pool: z.pool}
-		res := b.parent.RefineSizeBatch(z.d, attrs, z.opts.Bound, co)
+		co := core.CountOptions{Workers: inner, Pool: z.pool, Ctx: z.opts.Ctx}
+		res, err := b.parent.RefineSizeBatchE(z.d, attrs, z.opts.Bound, co)
+		if err != nil {
+			errs[bi] = err
+			return
+		}
 		for k, r := range res {
 			z.results[z.batchIdx[b.lo+k]] = sizeResult{r.Size, r.Within}
 		}
 	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
 
 	// Boundary builds: a batched in-bound candidate some of whose gen
 	// children exceed the dense key space will be needed as a materialized
@@ -518,11 +562,17 @@ func (z *levelSizer) runBatches(sets []lattice.AttrSet) {
 			if !z.cache.HasRoom() {
 				continue
 			}
+			// A boundary build is a full raw scan; poll the context between
+			// builds so a cancelled search stops growing the cache.
+			if err := ctxErr(z.opts.Ctx); err != nil {
+				return err
+			}
 			if child := core.BuildRefinablePooled(z.d, s, z.pool); child != nil && !z.cache.Put(child) {
 				child.Release(z.pool)
 			}
 		}
 	}
+	return nil
 }
 
 // runTasks executes the per-child (eager) tier, chunked so freshly built
@@ -542,9 +592,9 @@ func (z *levelSizer) runBatches(sets []lattice.AttrSet) {
 // Every decision that shapes the next level's cache happens in
 // deterministic slice order, so results and path counters are reproducible
 // for any worker count.
-func (z *levelSizer) runTasks(sets []lattice.AttrSet) {
+func (z *levelSizer) runTasks(sets []lattice.AttrSet) error {
 	if len(z.tasks) == 0 {
-		return
+		return nil
 	}
 	lastUse := make(map[*core.RefinablePC]int, len(z.tasks))
 	for i := range z.tasks {
@@ -552,6 +602,12 @@ func (z *levelSizer) runTasks(sets []lattice.AttrSet) {
 	}
 	childBytes := int64(z.d.NumRows())*4 + 4096
 	for lo := 0; lo < len(z.tasks); lo += refineBatch {
+		// Per-child refinements are pure in-memory passes; polling the
+		// context once per chunk keeps cancellation latency at one chunk
+		// of compact-space work without touching the refine hot loop.
+		if err := ctxErr(z.opts.Ctx); err != nil {
+			return err
+		}
 		hi := min(lo+refineBatch, len(z.tasks))
 		chunk := z.tasks[lo:hi]
 		buildAllowance := int(z.cache.Room() / childBytes)
@@ -583,6 +639,7 @@ func (z *levelSizer) runTasks(sets []lattice.AttrSet) {
 			}
 		}
 	}
+	return nil
 }
 
 // endLevel tells the scheduler the whole lattice level has been sized:
@@ -621,12 +678,14 @@ func Naive(d *dataset.Dataset, ps *core.PatternSet, opts Options) (*Result, erro
 			return true
 		})
 		levelHit := false
-		sizer.sizeLevel(level, func(s lattice.AttrSet, within bool) {
+		if err := sizer.sizeLevel(level, func(s lattice.AttrSet, within bool) {
 			if within {
 				levelHit = true
 				cands = append(cands, s)
 			}
-		})
+		}); err != nil {
+			return nil, err
+		}
 		sizer.endLevel(k)
 		if !levelHit {
 			break
@@ -647,7 +706,10 @@ func TopDown(d *dataset.Dataset, ps *core.PatternSet, opts Options) (*Result, er
 		return nil, err
 	}
 	start := time.Now()
-	list, stats := enumerateTopDown(d, opts)
+	list, stats, err := enumerateTopDown(d, opts)
+	if err != nil {
+		return nil, err
+	}
 	stats.SearchTime = time.Since(start)
 	return finish(d, ps, list, opts, stats)
 }
@@ -656,7 +718,7 @@ func TopDown(d *dataset.Dataset, ps *core.PatternSet, opts Options) (*Result, er
 // Gen traversal with subtree pruning, sized through the frontier
 // scheduler. It returns the maximal in-bound candidate sets (unsorted) and
 // the enumeration counters.
-func enumerateTopDown(d *dataset.Dataset, opts Options) ([]lattice.AttrSet, Stats) {
+func enumerateTopDown(d *dataset.Dataset, opts Options) ([]lattice.AttrSet, Stats, error) {
 	n := d.NumAttrs()
 	var stats Stats
 	sizer := newLevelSizer(d, opts, &stats)
@@ -676,7 +738,7 @@ func enumerateTopDown(d *dataset.Dataset, opts Options) ([]lattice.AttrSet, Stat
 		}
 		frontier = frontier[:0]
 		level++
-		sizer.sizeLevel(children, func(c lattice.AttrSet, within bool) {
+		if err := sizer.sizeLevel(children, func(c lattice.AttrSet, within bool) {
 			if !within {
 				return // prune c's entire gen-subtree
 			}
@@ -687,14 +749,16 @@ func enumerateTopDown(d *dataset.Dataset, opts Options) ([]lattice.AttrSet, Stat
 				delete(cands, p)
 			}
 			cands[c] = struct{}{}
-		})
+		}); err != nil {
+			return nil, stats, err
+		}
 		sizer.endLevel(level)
 	}
 	list := make([]lattice.AttrSet, 0, len(cands))
 	for s := range cands {
 		list = append(list, s)
 	}
-	return list, stats
+	return list, stats, nil
 }
 
 // Enumerate runs only the candidate-enumeration phase of the top-down
@@ -707,7 +771,10 @@ func Enumerate(d *dataset.Dataset, opts Options) ([]lattice.AttrSet, Stats, erro
 		return nil, Stats{}, err
 	}
 	start := time.Now()
-	list, stats := enumerateTopDown(d, opts)
+	list, stats, err := enumerateTopDown(d, opts)
+	if err != nil {
+		return nil, stats, err
+	}
 	stats.SearchTime = time.Since(start)
 	lattice.SortAttrSets(list)
 	return list, stats, nil
@@ -784,13 +851,26 @@ func finish(d *dataset.Dataset, ps *core.PatternSet, cands []lattice.AttrSet, op
 	// Each candidate's label build runs single-threaded when candidates
 	// themselves are scored concurrently; a lone candidate gets the whole
 	// engine instead.
-	co := core.CountOptions{Workers: 1, DenseLimit: opts.DenseLimit, MemBudget: opts.MemBudget, SpillDir: opts.SpillDir, FS: opts.FS, DisableSharedSpill: opts.DisableSharedSpill}
+	co := core.CountOptions{Workers: 1, DenseLimit: opts.DenseLimit, MemBudget: opts.MemBudget, SpillDir: opts.SpillDir, FS: opts.FS, DisableSharedSpill: opts.DisableSharedSpill, Ctx: opts.Ctx}
 	if len(cands) == 1 {
 		co.Workers = opts.Workers
 	}
-	workpool.Do(len(cands), opts.Workers, func(i int) {
+	var failMu sync.Mutex
+	var failErr error
+	fail := func(err error) {
+		failMu.Lock()
+		if failErr == nil {
+			failErr = err
+		}
+		failMu.Unlock()
+	}
+	workpool.DoCtx(opts.Ctx, len(cands), opts.Workers, func(i int) {
 		s := cands[i]
-		l := core.BuildLabelOpts(d, s, co)
+		l, err := core.BuildLabelOptsCtx(opts.Ctx, d, s, co)
+		if err != nil {
+			fail(err)
+			return
+		}
 		mo := core.MaxErrOptions{
 			Sorted:    opts.FastEval,
 			StopAbove: cutoff(),
@@ -803,6 +883,20 @@ func finish(d *dataset.Dataset, ps *core.PatternSet, cands []lattice.AttrSet, op
 		}
 		results[i] = scored{i, s, l, maxErr, scanned, exact}
 	})
+	if failErr == nil {
+		failErr = ctxErr(opts.Ctx)
+	}
+	if failErr != nil {
+		// A cancelled evaluation keeps nothing: labels already built may
+		// hold merge-on-read spill runs on disk — release them before
+		// surfacing the typed error so no temp files outlive the search.
+		for i := range results {
+			if results[i].label != nil {
+				results[i].label.ReleaseSpill()
+			}
+		}
+		return nil, failErr
+	}
 
 	bestIdx := -1
 	for i, r := range results {
@@ -817,7 +911,13 @@ func finish(d *dataset.Dataset, ps *core.PatternSet, cands []lattice.AttrSet, op
 	}
 	if bestIdx < 0 { // all cut off: re-evaluate the first exactly
 		results[0].label.ReleaseSpill() // replaced below
-		l := core.BuildLabelOpts(d, cands[0], co)
+		l, err := core.BuildLabelOptsCtx(opts.Ctx, d, cands[0], co)
+		if err != nil {
+			for i := 1; i < len(results); i++ {
+				results[i].label.ReleaseSpill()
+			}
+			return nil, err
+		}
 		maxErr, scanned := core.MaxAbsError(l, ps, core.MaxErrOptions{Sorted: opts.FastEval, Workers: 1})
 		results[0] = scored{0, cands[0], l, maxErr, scanned, true}
 		stats.PatternsScanned += int64(scanned)

@@ -37,18 +37,52 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pcbl/internal/core"
 	"pcbl/internal/dataset"
 	"pcbl/internal/lattice"
 	"pcbl/internal/patexpr"
 )
+
+// Limits configures the daemon's overload protection. The zero value means
+// no admission control and no request timeout — the pre-limits behaviour.
+type Limits struct {
+	// RequestTimeout bounds each admitted query request: the handler runs
+	// under a context with this deadline (composed with the client's
+	// disconnect signal), and an expired deadline aborts in-flight spill
+	// reads and answers 503 + Retry-After. Zero means no timeout.
+	RequestTimeout time.Duration
+	// MaxInFlight caps concurrently executing query requests; requests
+	// beyond the cap wait in the queue. Zero means unlimited (no admission
+	// control at all).
+	MaxInFlight int
+	// MaxQueue bounds how many requests may wait for an in-flight slot;
+	// arrivals beyond it are shed immediately with 429 + Retry-After.
+	// Zero means a queue as deep as MaxInFlight.
+	MaxQueue int
+	// QueueTimeout bounds how long a queued request waits for a slot
+	// before it is shed with 503 + Retry-After. Zero means it waits until
+	// the client gives up.
+	QueueTimeout time.Duration
+}
+
+// queue resolves the effective queue depth.
+func (lim Limits) queue() int {
+	if lim.MaxQueue > 0 {
+		return lim.MaxQueue
+	}
+	return lim.MaxInFlight
+}
 
 // labelState is one immutable label generation: the label, its dataset,
 // and the artifact epoch it came from. Handlers load the pointer once per
@@ -80,6 +114,18 @@ type Handler struct {
 	recoveredPanics atomic.Int64
 	reloads         atomic.Int64
 	lastErr         atomic.Value // string
+
+	// Admission control (SetLimits): sem holds one token per in-flight
+	// query request; nil means unlimited. Shed and cancellation counters
+	// are cumulative. A cancelled or timed-out request is the client's
+	// doing (or its deadline's), not the label's — it never marks the
+	// label degraded.
+	limits           Limits
+	sem              chan struct{}
+	queued           atomic.Int64
+	shedQueueFull    atomic.Int64
+	shedQueueTimeout atomic.Int64
+	canceledRequests atomic.Int64
 }
 
 // NewHandler wraps a label (typically reopened from an artifact, but any
@@ -153,11 +199,88 @@ func (h *Handler) reloadHTTP(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ReloadResult{Epoch: st.epoch, TotalRows: st.l.Rows(), Size: st.l.Size()})
 }
 
+// SetLimits installs overload protection: a request timeout and an
+// in-flight cap with a bounded wait queue (see Limits). Call before the
+// handler starts serving; /healthz and /metrics bypass admission so the
+// daemon stays observable under overload. A zero Limits disables both
+// mechanisms.
+func (h *Handler) SetLimits(lim Limits) {
+	h.limits = lim
+	if lim.MaxInFlight > 0 {
+		h.sem = make(chan struct{}, lim.MaxInFlight)
+	} else {
+		h.sem = nil
+	}
+}
+
+// bypassAdmission reports probe/observability endpoints that must answer
+// even when the query queue is full.
+func bypassAdmission(path string) bool {
+	return path == "/healthz" || path == "/metrics"
+}
+
+// admit applies the in-flight cap: it returns a release function when the
+// request won a slot, or writes the shed response (429 queue full, 503
+// queue timeout) and returns ok=false. A client that disconnects while
+// queued is dropped silently.
+func (h *Handler) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	if h.sem == nil {
+		return func() {}, true
+	}
+	release = func() { <-h.sem }
+	select {
+	case h.sem <- struct{}{}:
+		return release, true
+	default:
+	}
+	if q := h.queued.Add(1); int(q) > h.limits.queue() {
+		h.queued.Add(-1)
+		h.shedQueueFull.Add(1)
+		w.Header().Set("Retry-After", retryAfter(h.limits))
+		writeErr(w, http.StatusTooManyRequests, "server overloaded: admission queue full")
+		return nil, false
+	}
+	defer h.queued.Add(-1)
+	var timeout <-chan time.Time
+	if h.limits.QueueTimeout > 0 {
+		t := time.NewTimer(h.limits.QueueTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case h.sem <- struct{}{}:
+		return release, true
+	case <-timeout:
+		h.shedQueueTimeout.Add(1)
+		w.Header().Set("Retry-After", retryAfter(h.limits))
+		writeErr(w, http.StatusServiceUnavailable, "server overloaded: no capacity within queue timeout")
+		return nil, false
+	case <-r.Context().Done():
+		h.canceledRequests.Add(1)
+		return nil, false // client gone; nothing to answer
+	}
+}
+
+// retryAfter hints how long a shed client should back off: one queue
+// timeout rounded up to a whole second, 1s when none is configured.
+func retryAfter(lim Limits) string {
+	secs := int(lim.QueueTimeout / time.Second)
+	if lim.QueueTimeout > time.Duration(secs)*time.Second {
+		secs++
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
 // ServeHTTP implements http.Handler. Every request runs under
 // panic-recovery middleware: a panic escaping a handler — the last-resort
 // failure mode for paths without an explicit error return — is recovered,
 // counted, and answered with 503 instead of killing the daemon's
-// connection-serving goroutine.
+// connection-serving goroutine. Query requests additionally pass admission
+// control and run under the configured request timeout (SetLimits);
+// /healthz and /metrics bypass both.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.requests.Add(1)
 	defer func() {
@@ -170,6 +293,18 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			writeDegraded(w, fmt.Errorf("internal failure: %v", rec))
 		}
 	}()
+	if !bypassAdmission(r.URL.Path) {
+		release, ok := h.admit(w, r)
+		if !ok {
+			return
+		}
+		defer release()
+		if h.limits.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), h.limits.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+	}
 	h.mux.ServeHTTP(w, r)
 }
 
@@ -183,6 +318,25 @@ func (h *Handler) noteFailure(err error) {
 // noteSuccess records one successful label read: a degraded label whose
 // reads work again (a transient fault passed) is healthy.
 func (h *Handler) noteSuccess() { h.degraded.Store(false) }
+
+// readErr answers a failed label read, classifying the error family: a
+// context error is the request's own cancellation or deadline — counted,
+// answered 503 on timeout, dropped silently on disconnect, and never
+// marking the label degraded — while disk trouble degrades as before.
+func (h *Handler) readErr(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		h.canceledRequests.Add(1)
+		if errors.Is(err, context.DeadlineExceeded) {
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, "request timed out: %v", err)
+		}
+		// Plain cancellation means the client disconnected; the response
+		// would go nowhere.
+		return
+	}
+	h.noteFailure(err)
+	writeDegraded(w, err)
+}
 
 // writeDegraded answers a request whose label read failed: 503 with a
 // Retry-After hint. The count is unknown, never wrong.
@@ -305,10 +459,9 @@ func (h *Handler) count(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	c, ok, cerr := st.l.CountE(p)
+	c, ok, cerr := st.l.CountCtx(r.Context(), p)
 	if cerr != nil {
-		h.noteFailure(cerr)
-		writeDegraded(w, cerr)
+		h.readErr(w, r, cerr)
 		return
 	}
 	if !ok {
@@ -339,10 +492,9 @@ func (h *Handler) estimate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	est, eerr := st.l.EstimateE(p)
+	est, eerr := st.l.EstimateCtx(r.Context(), p)
 	if eerr != nil {
-		h.noteFailure(eerr)
-		writeDegraded(w, eerr)
+		h.readErr(w, r, eerr)
 		return
 	}
 	h.noteSuccess()
@@ -381,10 +533,9 @@ func (h *Handler) marginal(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	pc, ok, merr := st.l.MarginalPCE(sub)
+	pc, ok, merr := st.l.MarginalPCCtx(r.Context(), sub)
 	if merr != nil {
-		h.noteFailure(merr)
-		writeDegraded(w, merr)
+		h.readErr(w, r, merr)
 		return
 	}
 	if !ok {
@@ -394,7 +545,7 @@ func (h *Handler) marginal(w http.ResponseWriter, r *http.Request) {
 	}
 	res := MarginalResult{Attrs: st.attrNames(sub), Patterns: make([]MarginalEntry, 0, pc.Size())}
 	members := sub.Members()
-	if err := pc.EachE(st.d.NumAttrs(), func(vals []uint16, count int) bool {
+	if err := pc.EachCtx(r.Context(), st.d.NumAttrs(), func(vals []uint16, count int) bool {
 		assign := make(map[string]string, len(members))
 		for _, a := range members {
 			assign[st.d.Attr(a).Name()] = st.d.Attr(a).Value(vals[a])
@@ -402,8 +553,7 @@ func (h *Handler) marginal(w http.ResponseWriter, r *http.Request) {
 		res.Patterns = append(res.Patterns, MarginalEntry{Pattern: assign, Count: count})
 		return true
 	}); err != nil {
-		h.noteFailure(err)
-		writeDegraded(w, err)
+		h.readErr(w, r, err)
 		return
 	}
 	h.noteSuccess()
@@ -411,7 +561,8 @@ func (h *Handler) marginal(w http.ResponseWriter, r *http.Request) {
 }
 
 // StatsResult is the /v1/stats response: read-path counters of the PC
-// section when it is merge-on-read (all zero otherwise).
+// section when it is merge-on-read (all zero otherwise), plus the
+// admission-control counters (all zero without SetLimits).
 type StatsResult struct {
 	Spilled      bool  `json:"spilled"`
 	HotHits      int64 `json:"hot_hits"`
@@ -419,10 +570,29 @@ type StatsResult struct {
 	RunLoads     int64 `json:"run_loads"`
 	ReadErrors   int64 `json:"read_errors"`
 	Retries      int64 `json:"retries"`
+
+	// InFlight and Queued are point-in-time gauges of the admission
+	// semaphore; the Shed counters total requests rejected 429 (queue
+	// full) and 503 (queue timeout); CanceledRequests totals requests
+	// aborted by their own context — client disconnects and request
+	// timeouts — which never mark the label degraded.
+	InFlight         int   `json:"in_flight"`
+	Queued           int   `json:"queued"`
+	ShedQueueFull    int64 `json:"shed_queue_full"`
+	ShedQueueTimeout int64 `json:"shed_queue_timeout"`
+	CanceledRequests int64 `json:"canceled_requests"`
 }
 
 func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
-	res := StatsResult{}
+	res := StatsResult{
+		Queued:           int(h.queued.Load()),
+		ShedQueueFull:    h.shedQueueFull.Load(),
+		ShedQueueTimeout: h.shedQueueTimeout.Load(),
+		CanceledRequests: h.canceledRequests.Load(),
+	}
+	if h.sem != nil {
+		res.InFlight = len(h.sem)
+	}
 	if st, ok := h.state.Load().l.PC().SpillReadStats(); ok {
 		res.Spilled = true
 		res.HotHits = st.HotHits
@@ -458,6 +628,20 @@ func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 		"Handler panics recovered by the middleware.", h.recoveredPanics.Load())
 	write("pcbl_degraded", "gauge",
 		"1 while the last label read failed and /healthz reports degraded.", gauge(h.degraded.Load()))
+	inflight := 0
+	if h.sem != nil {
+		inflight = len(h.sem)
+	}
+	write("pcbl_inflight_requests", "gauge",
+		"Query requests currently holding an admission slot.", int64(inflight))
+	write("pcbl_queued_requests", "gauge",
+		"Query requests currently waiting for an admission slot.", h.queued.Load())
+	write("pcbl_shed_queue_full_total", "counter",
+		"Requests rejected 429 because the admission queue was full.", h.shedQueueFull.Load())
+	write("pcbl_shed_queue_timeout_total", "counter",
+		"Requests rejected 503 after waiting the full queue timeout.", h.shedQueueTimeout.Load())
+	write("pcbl_canceled_requests_total", "counter",
+		"Requests aborted by client disconnect or request timeout.", h.canceledRequests.Load())
 	ls := h.state.Load()
 	write("pcbl_label_epoch", "gauge",
 		"Artifact epoch of the label generation currently serving.", ls.epoch)

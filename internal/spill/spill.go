@@ -41,6 +41,7 @@
 package spill
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -48,6 +49,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"syscall"
 
 	"pcbl/internal/iofault"
 	"pcbl/internal/workpool"
@@ -120,6 +122,37 @@ func (e *CorruptError) Error() string {
 // Is reports ErrCorrupt as this error's class, so callers match the
 // category without knowing the location details.
 func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
+// ErrNoSpace marks write failures caused by a full disk (the underlying
+// error chain contains syscall.ENOSPC). Callers use errors.Is(err,
+// ErrNoSpace) to route the affected set through an in-memory fallback
+// instead of treating a full disk like generic I/O trouble; the failed
+// writer's partial runs are removed by the usual Cleanup discipline.
+var ErrNoSpace = errors.New("spill: no space left on device")
+
+// noSpaceError tags an ENOSPC-caused failure so it matches both ErrNoSpace
+// (the class) and, through Unwrap, the original syscall.ENOSPC chain.
+type noSpaceError struct{ err error }
+
+func (e *noSpaceError) Error() string        { return "spill: no space left on device: " + e.err.Error() }
+func (e *noSpaceError) Unwrap() error        { return e.err }
+func (e *noSpaceError) Is(target error) bool { return target == ErrNoSpace }
+
+// WrapNoSpace classifies a storage error for layers writing label payloads
+// outside this package: ENOSPC anywhere in the chain becomes the typed
+// ErrNoSpace (the artifact writer uses it so saves and merges on a full
+// disk match errors.Is(err, ErrNoSpace)); everything else passes through
+// unchanged.
+func WrapNoSpace(err error) error { return wrapNoSpace(err) }
+
+// wrapNoSpace classifies a storage error: ENOSPC anywhere in the chain
+// becomes a typed ErrNoSpace; everything else passes through unchanged.
+func wrapNoSpace(err error) error {
+	if err != nil && errors.Is(err, syscall.ENOSPC) {
+		return &noSpaceError{err}
+	}
+	return err
+}
 
 // fnv64Offset and fnv64Prime are the FNV-1a 64-bit parameters of the
 // partition-routing hash.
@@ -207,7 +240,7 @@ func NewWriter(cfg Config) (*Writer, error) {
 	fsys := iofault.Resolve(cfg.FS)
 	dir, err := fsys.MkdirTemp(cfg.Dir, "pcbl-spill-*")
 	if err != nil {
-		return nil, err
+		return nil, wrapNoSpace(err)
 	}
 	w := &Writer{
 		cfg:    cfg,
@@ -223,7 +256,7 @@ func NewWriter(cfg Config) (*Writer, error) {
 		f, err := fsys.Create(runPath(dir, i))
 		if err != nil {
 			w.Cleanup()
-			return nil, err
+			return nil, wrapNoSpace(err)
 		}
 		w.files[i] = f
 	}
@@ -364,7 +397,7 @@ func (w *Writer) AdoptInto(dst string) error {
 			// fall through to copying this run.
 		}
 		if err := w.copyRun(i, dstPath); err != nil {
-			return fmt.Errorf("spill: adopting run %d: %w", i, err)
+			return fmt.Errorf("spill: adopting run %d: %w", i, wrapNoSpace(err))
 		}
 	}
 	// Durability barrier: run data written during the build was never
@@ -536,7 +569,7 @@ func (s *ShardWriter) flush(run int) {
 	_, err := w.files[run].Write(buf)
 	w.mus[run].Unlock()
 	if err != nil {
-		s.err = err
+		s.err = wrapNoSpace(err)
 		return
 	}
 	w.wmu.Lock()
@@ -708,15 +741,37 @@ func (w *Writer) ScanRun(run int, fn func(rec []byte) bool) error {
 // anywhere in a counting worker) is re-raised on the calling goroutine, so
 // the caller's deferred Cleanup still runs.
 func (w *Writer) CountRuns(cap, workers int, emit func(run int, counts map[string]int) bool) (size int, within bool, err error) {
-	return countRuns(w, cap, workers, addRecBytes, emit)
+	return countRuns(nil, w, cap, workers, addRecBytes, emit)
 }
 
 // CountRunsU64 is CountRuns for the uint64 record format: 8-byte
 // little-endian records counted into map[uint64]int — no per-key string
 // materialization, the same cap-abort and parallelism contract.
 func (w *Writer) CountRunsU64(cap, workers int, emit func(run int, counts map[uint64]int) bool) (size int, within bool, err error) {
-	return countRuns(w, cap, workers, addRecU64, emit)
+	return countRuns(nil, w, cap, workers, addRecU64, emit)
 }
+
+// CountRunsCtx is CountRuns with cooperative cancellation: when ctx fires,
+// workers stop at the next run boundary (and, within a run, at the next
+// ctxCheckRecs-record stride), the shared stop flag fans the abort out to
+// every worker — the same machinery as the cap-abort — and the context's
+// error is returned. A nil ctx (or context.Background()) costs a single
+// nil compare per check.
+func (w *Writer) CountRunsCtx(ctx context.Context, cap, workers int, emit func(run int, counts map[string]int) bool) (size int, within bool, err error) {
+	return countRuns(ctx, w, cap, workers, addRecBytes, emit)
+}
+
+// CountRunsU64Ctx is CountRunsU64 with cooperative cancellation; see
+// CountRunsCtx.
+func (w *Writer) CountRunsU64Ctx(ctx context.Context, cap, workers int, emit func(run int, counts map[uint64]int) bool) (size int, within bool, err error) {
+	return countRuns(ctx, w, cap, workers, addRecU64, emit)
+}
+
+// ctxCheckRecs is the in-run cancellation stride: counting workers poll the
+// context's done channel once per this many records, so a cancelled count
+// aborts mid-run instead of only at run boundaries while the per-record
+// cost stays one local increment and mask.
+const ctxCheckRecs = 8192
 
 // addRecBytes and addRecU64 fold one record into a run map, reporting
 // whether it was a new distinct key. The string form relies on the
@@ -735,15 +790,19 @@ func addRecU64(m map[uint64]int, rec []byte) bool {
 
 // countRuns is the shared, format-generic run-counting engine behind
 // CountRuns and CountRunsU64.
-func countRuns[K comparable](w *Writer, capN, workers int, add func(map[K]int, []byte) bool, emit func(run int, counts map[K]int) bool) (size int, within bool, err error) {
+func countRuns[K comparable](ctx context.Context, w *Writer, capN, workers int, add func(map[K]int, []byte) bool, emit func(run int, counts map[K]int) bool) (size int, within bool, err error) {
 	if w.done {
 		return 0, false, fmt.Errorf("spill: CountRuns after Cleanup")
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
 	}
 	workers = workpool.Resolve(workers, len(w.files))
 	var (
 		total    atomic.Int64 // distinct keys counted so far, across workers
 		exceeded atomic.Bool  // cap proven breached
-		stopped  atomic.Bool  // emit asked to stop
+		stopped  atomic.Bool  // emit asked to stop, or the context fired
 	)
 	errs := make([]error, workers)
 	panics := make([]any, workers)
@@ -757,16 +816,37 @@ func countRuns[K comparable](w *Writer, capN, workers int, add func(map[K]int, [
 		chunk := getBuf(w.cfg.Pool, w.chunkLen())
 		defer putBuf(w.cfg.Pool, chunk)
 		var m map[K]int
+		var recs int
 		for run := lo; run < hi; run++ {
 			if exceeded.Load() || stopped.Load() {
 				return
+			}
+			if done != nil {
+				select {
+				case <-done:
+					errs[wk] = ctx.Err()
+					stopped.Store(true)
+					return
+				default:
+				}
 			}
 			if m == nil {
 				m = make(map[K]int)
 			} else {
 				clear(m)
 			}
+			canceled := false
 			aborted, err := w.scanRun(run, chunk, func(rec []byte) bool {
+				if done != nil {
+					if recs++; recs%ctxCheckRecs == 0 {
+						select {
+						case <-done:
+							canceled = true
+							return false
+						default:
+						}
+					}
+				}
 				if add(m, rec) && capN >= 0 && total.Add(1) > int64(capN) {
 					// This insert proved the global distinct count out of
 					// bound (runs are disjoint, so the total is monotone).
@@ -777,6 +857,11 @@ func countRuns[K comparable](w *Writer, capN, workers int, add func(map[K]int, [
 			})
 			if err != nil {
 				errs[wk] = err
+				return
+			}
+			if canceled {
+				errs[wk] = ctx.Err()
+				stopped.Store(true)
 				return
 			}
 			if aborted {

@@ -1,0 +1,111 @@
+package testutil
+
+import (
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// CheckGoroutines registers a test cleanup that fails the test if
+// goroutines started during it are still running when it ends — the shared
+// leak check of the cancellation and overload suites. Call it first in the
+// test body. Goroutines take a moment to unwind after a cancelled scan or
+// a closed server, so the check retries with backoff for a few seconds
+// before declaring a leak; stacks that are provably not ours (the runtime's
+// own workers, testing harness plumbing) are ignored.
+func CheckGoroutines(t *testing.T) {
+	t.Helper()
+	before := interestingStacks()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var leaked []string
+		for {
+			leaked = leaked[:0]
+			for s := range interestingStacks() {
+				if !before[s] {
+					leaked = append(leaked, s)
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		sort.Strings(leaked)
+		t.Errorf("%d goroutine(s) leaked:\n%s", len(leaked), strings.Join(leaked, "\n---\n"))
+	})
+}
+
+// interestingStacks snapshots the current goroutine stacks, keyed by their
+// full text with the variable header (goroutine id, argument addresses)
+// stripped so before/after comparison is by code location, and filters out
+// stacks the test cannot leak.
+func interestingStacks() map[string]bool {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	out := make(map[string]bool)
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		lines := strings.SplitN(g, "\n", 2)
+		if len(lines) < 2 {
+			continue
+		}
+		body := stripAddrs(lines[1])
+		if ignoredStack(body) {
+			continue
+		}
+		out[body] = true
+	}
+	return out
+}
+
+// ignoredStack reports goroutines no test owns: the runtime's and the
+// testing package's own workers, and net/http's per-connection service
+// goroutines that unwind on their own schedule after a test server closes.
+func ignoredStack(body string) bool {
+	for _, frame := range []string{
+		"testing.(*T).Run",
+		"testing.tRunner",
+		"testing.runTests",
+		"testing.(*M).",
+		"runtime.goexit",
+		"runtime.gc",
+		"runtime.bgsweep",
+		"runtime.bgscavenge",
+		"runtime/trace",
+		"signal.signal_recv",
+		"net/http.(*persistConn)",
+		"net/http.setRequestCancel",
+		"internal/poll.runtime_pollWait",
+	} {
+		if strings.Contains(body, frame) {
+			return true
+		}
+	}
+	return false
+}
+
+// stripAddrs removes hex argument values from stack frame lines so two
+// snapshots of the same goroutine compare equal.
+func stripAddrs(s string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(s, "\n") {
+		if i := strings.Index(line, "("); i > 0 && strings.Contains(line[i:], "0x") {
+			line = line[:i] + "(...)"
+		}
+		b.WriteString(line)
+		b.WriteString("\n")
+	}
+	return b.String()
+}

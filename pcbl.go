@@ -1,8 +1,10 @@
 package pcbl
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"pcbl/internal/artifact"
 	"pcbl/internal/core"
@@ -12,6 +14,7 @@ import (
 	"pcbl/internal/lattice"
 	"pcbl/internal/patexpr"
 	"pcbl/internal/search"
+	"pcbl/internal/spill"
 )
 
 // Re-exported types. The implementation lives in the internal packages; the
@@ -149,6 +152,19 @@ func BuildLabel(d *Dataset, attrNames ...string) (*Label, error) {
 	return core.BuildLabelOpts(d, s, core.CountOptions{}), nil
 }
 
+// BuildLabelCtx is BuildLabel with cooperative cancellation: the counting
+// engine polls ctx at row-block (and spill-run) granularity, and a fired
+// context abandons the build — spill temp files removed, no partial label —
+// returning the typed context error (context.Canceled or
+// context.DeadlineExceeded). A nil ctx is exactly BuildLabel.
+func BuildLabelCtx(ctx context.Context, d *Dataset, attrNames ...string) (*Label, error) {
+	s, err := AttrSetOf(d, attrNames...)
+	if err != nil {
+		return nil, err
+	}
+	return core.BuildLabelOptsCtx(ctx, d, s, core.CountOptions{})
+}
+
 // PartialLabel is the partial-pattern label extension (paper §II-C future
 // work): tuples NULL in part of S still contribute their partial pattern,
 // and restriction counts are exact even on NULL-bearing data.
@@ -242,6 +258,13 @@ type GenerateOptions struct {
 	// changes the result).
 	BranchAndBound bool
 
+	// Timeout bounds the whole search when positive: the search runs under
+	// a deadline of now+Timeout (composed with any GenerateCtx context —
+	// whichever fires first wins) and an expired deadline abandons the
+	// search, releases every spill-backed label already built, and returns
+	// context.DeadlineExceeded. Zero means no deadline.
+	Timeout time.Duration
+
 	// Engine configures the counting engine (workers, dense threshold,
 	// memory budget, spill placement, filesystem seam). A non-zero Engine
 	// field wins over the matching deprecated top-level field below.
@@ -321,6 +344,26 @@ func (o GenerateOptions) engine() EngineOptions {
 // estimation error over the workload (Definition 2.15), searched with the
 // selected algorithm.
 func GenerateLabel(d *Dataset, opts GenerateOptions) (*SearchResult, error) {
+	return GenerateCtx(nil, d, opts)
+}
+
+// GenerateCtx is GenerateLabel with cooperative cancellation: both search
+// phases poll ctx (enumeration at row-block granularity inside fused
+// sizing scans, evaluation between and inside candidate label builds), and
+// a fired context abandons the search, releases every spill-backed label
+// already built, and returns the typed context error. opts.Timeout, when
+// positive, is composed as a deadline on top of ctx. A nil ctx with a zero
+// Timeout is exactly GenerateLabel.
+func GenerateCtx(ctx context.Context, d *Dataset, opts GenerateOptions) (*SearchResult, error) {
+	if opts.Timeout > 0 {
+		base := ctx
+		if base == nil {
+			base = context.Background()
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(base, opts.Timeout)
+		defer cancel()
+	}
 	ps := opts.Patterns
 	if ps == nil {
 		ps = core.DistinctTuples(d)
@@ -338,6 +381,7 @@ func GenerateLabel(d *Dataset, opts GenerateOptions) (*SearchResult, error) {
 		SpillDir:           eng.SpillDir,
 		FS:                 eng.FS,
 		DisableSharedSpill: eng.DisableSharedSpill,
+		Ctx:                ctx,
 	}
 	switch opts.Algorithm {
 	case "", TopDown:
@@ -466,6 +510,13 @@ var (
 	// against a different artifact epoch or row watermark than the one on
 	// disk; rebuild the delta against the current manifest.
 	ErrEpochMismatch = artifact.ErrEpochMismatch
+	// ErrNoSpace marks disk-space exhaustion (ENOSPC) during spill writes
+	// or artifact saves/merges. Builds and sizing scans that hit it degrade
+	// to the in-memory engine with identical results (metered in stats);
+	// saves and merges abort cleanly — crash-safety holds, the previous
+	// artifact generation stays committed. Dispatch with
+	// errors.Is(err, ErrNoSpace).
+	ErrNoSpace = spill.ErrNoSpace
 )
 
 // ReadCSVAppend reads the appended tail of a grown CSV into a delta
